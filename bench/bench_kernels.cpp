@@ -1,0 +1,157 @@
+// Micro-benchmarks of the core kernels (google-benchmark).
+//
+// Not tied to a specific paper figure; used to sanity-check the building
+// blocks behind them: histogram accumulation under different feature-block
+// sizes (the Section IV-E write-region argument at kernel granularity),
+// histogram reduction, row partitioning, split finding, quantile binning.
+#include <benchmark/benchmark.h>
+
+#include "harpgbdt.h"
+#include "common/random.h"
+#include "core/hist_builder.h"
+
+namespace {
+
+using namespace harp;
+
+struct KernelFixture {
+  Dataset ds;
+  BinnedMatrix matrix;
+  std::vector<GradientPair> gh;
+
+  static const KernelFixture& Get() {
+    static KernelFixture* fixture = [] {
+      auto* f = new KernelFixture();
+      SyntheticSpec spec;
+      spec.rows = 60000;
+      spec.features = 64;
+      spec.density = 0.9;
+      spec.mean_distinct = 200;
+      spec.seed = 1234;
+      f->ds = GenerateSynthetic(spec);
+      f->matrix =
+          BinnedMatrix::Build(f->ds, QuantileCuts::Compute(f->ds, 256));
+      Rng rng(99);
+      f->gh.resize(spec.rows);
+      for (auto& g : f->gh) {
+        g.g = static_cast<float>(rng.Normal());
+        g.h = static_cast<float>(rng.NextDouble() + 0.1);
+      }
+      return f;
+    }();
+    return *fixture;
+  }
+};
+
+// Histogram accumulation with a given feature-block size: the write-region
+// vs redundant-read trade-off measured in isolation.
+void BM_BuildHistFeatureBlocks(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  const int feature_blk = static_cast<int>(state.range(0));
+  const auto blocks = MakeFeatureBlocks(f.matrix.num_features(), feature_blk);
+  std::vector<GHPair> hist(f.matrix.TotalBins());
+  for (auto _ : state) {
+    std::fill(hist.begin(), hist.end(), GHPair{});
+    for (const Range& fb : blocks) {
+      for (uint32_t r = 0; r < f.matrix.num_rows(); ++r) {
+        AccumulateRow(f.matrix.RowBins(r), f.gh[r].g, f.gh[r].h, f.matrix,
+                      hist.data(), fb, {0u, 256u});
+      }
+    }
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * f.matrix.num_rows() *
+                          f.matrix.num_features());
+}
+BENCHMARK(BM_BuildHistFeatureBlocks)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_HistogramReduce(benchmark::State& state) {
+  const size_t bins = 32768;
+  const int replicas = static_cast<int>(state.range(0));
+  std::vector<std::vector<GHPair>> parts(static_cast<size_t>(replicas),
+                                         std::vector<GHPair>(bins,
+                                                             GHPair{1, 1}));
+  std::vector<GHPair> dst(bins);
+  for (auto _ : state) {
+    std::fill(dst.begin(), dst.end(), GHPair{});
+    for (const auto& part : parts) {
+      AddHistogram(dst.data(), part.data(), bins);
+    }
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bins * replicas);
+}
+BENCHMARK(BM_HistogramReduce)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_HistogramSubtract(benchmark::State& state) {
+  const size_t bins = 32768;
+  std::vector<GHPair> parent(bins, GHPair{3, 3});
+  std::vector<GHPair> sibling(bins, GHPair{1, 1});
+  std::vector<GHPair> child(bins);
+  for (auto _ : state) {
+    SubtractHistogram(child.data(), parent.data(), sibling.data(), bins);
+    benchmark::DoNotOptimize(child.data());
+  }
+  state.SetItemsProcessed(state.iterations() * bins);
+}
+BENCHMARK(BM_HistogramSubtract);
+
+void BM_RowPartition(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  const bool membuf = state.range(0) != 0;
+  for (auto _ : state) {
+    RowPartitioner partitioner(f.matrix.num_rows(), membuf);
+    partitioner.Reset(f.gh, 4, nullptr);
+    partitioner.ApplySplit(0, 1, 2, f.matrix, 3,
+                           std::max(1u, f.matrix.NumBins(3) / 2), false,
+                           nullptr);
+    benchmark::DoNotOptimize(partitioner.NodeSize(1));
+  }
+  state.SetItemsProcessed(state.iterations() * f.matrix.num_rows());
+}
+BENCHMARK(BM_RowPartition)->Arg(0)->Arg(1);
+
+void BM_FindSplit(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  std::vector<GHPair> hist(f.matrix.TotalBins());
+  GHPair total;
+  for (uint32_t r = 0; r < f.matrix.num_rows(); ++r) {
+    AccumulateRow(f.matrix.RowBins(r), f.gh[r].g, f.gh[r].h, f.matrix,
+                  hist.data(), {0u, f.matrix.num_features()}, {0u, 256u});
+    total.Add(f.gh[r].g, f.gh[r].h);
+  }
+  TrainParams params;
+  const SplitEvaluator eval(params);
+  for (auto _ : state) {
+    SplitInfo split = eval.FindBestSplit(f.matrix, hist.data(), total, 0,
+                                         f.matrix.num_features());
+    benchmark::DoNotOptimize(split);
+  }
+  state.SetItemsProcessed(state.iterations() * f.matrix.TotalBins());
+}
+BENCHMARK(BM_FindSplit);
+
+void BM_QuantileCompute(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  for (auto _ : state) {
+    QuantileCuts cuts = QuantileCuts::Compute(f.ds, 256);
+    benchmark::DoNotOptimize(cuts.cuts().data());
+  }
+}
+BENCHMARK(BM_QuantileCompute);
+
+void BM_AucMetric(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  Rng rng(5);
+  std::vector<double> scores(f.ds.num_rows());
+  for (auto& s : scores) s = rng.NextDouble();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Auc(f.ds.labels(), scores));
+  }
+  state.SetItemsProcessed(state.iterations() * f.ds.num_rows());
+}
+BENCHMARK(BM_AucMetric);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+// Prints the Table III shape statistics for every built-in dataset preset,
+// verifying that the synthetic generators match the paper's N/M/S/CV.
+//
+// Usage: dataset_report [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harpgbdt.h"
+
+int main(int argc, char** argv) {
+  using namespace harp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.2;
+
+  std::printf("Table III shape statistics at scale %.2f (paper values in "
+              "parentheses)\n\n%s\n",
+              scale, ShapeHeader().c_str());
+  struct Row {
+    SyntheticSpec spec;
+    const char* paper;
+  };
+  const Row rows[] = {
+      {HiggsSpec(scale), "(paper: M=28   S=0.92 CV=0.40)"},
+      {AirlineSpec(scale), "(paper: M=8    S=1.00 CV=0.89)"},
+      {CriteoSpec(scale), "(paper: M=65   S=0.96 CV=0.58)"},
+      {YfccSpec(scale), "(paper: M=4096 S=0.31 CV=0.06)"},
+      {SynsetSpec(scale), "(paper: M=128  S=1.00 CV=0.00)"},
+  };
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  for (const Row& row : rows) {
+    const Dataset ds = GenerateSynthetic(row.spec, &pool);
+    const BinnedMatrix matrix = BinnedMatrix::Build(
+        ds, QuantileCuts::Compute(ds, 256, &pool), &pool);
+    const DatasetShape shape = ComputeShape(row.spec.name, ds, matrix);
+    std::printf("%s  %s\n", FormatShapeRow(shape).c_str(), row.paper);
+  }
+  return 0;
+}

@@ -1,0 +1,249 @@
+// harp_cli — command-line trainer/predictor, the downstream-user interface.
+//
+//   harp_cli train   --data train.csv [--format csv|libsvm] --model out.model
+//                    [--trees 100] [--tree-size 8] [--grow topk]
+//                    [--k 32] [--mode ASYNC] [--threads N] [--eta 0.1]
+//                    [--lambda 1] [--gamma 1] [--min-child-weight 1]
+//                    [--objective logistic|squared] [--subsample 1.0]
+//                    [--colsample 1.0] [--valid valid.csv]
+//                    [--early-stopping 0] [--label-column 0] [--header]
+//   harp_cli predict --data test.csv --model in.model [--output preds.txt]
+//   harp_cli eval    --data test.csv --model in.model
+//   harp_cli inspect --model in.model [--top 10]
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "harpgbdt.h"
+
+namespace {
+
+using namespace harp;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> values;
+  std::map<std::string, bool> flags;
+
+  std::string Get(const std::string& key, const std::string& dflt) const {
+    auto it = values.find(key);
+    return it != values.end() ? it->second : dflt;
+  }
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values.find(key);
+    return it != values.end() ? std::stod(it->second) : dflt;
+  }
+  int GetInt(const std::string& key, int dflt) const {
+    auto it = values.find(key);
+    return it != values.end() ? std::stoi(it->second) : dflt;
+  }
+  bool Has(const std::string& key) const { return flags.count(key) > 0; }
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: harp_cli <train|predict|eval|inspect> [options]\n"
+               "see the header comment of examples/harp_cli.cpp\n");
+  return 2;
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  if (argc < 2) return false;
+  args->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) return false;
+    arg = arg.substr(2);
+    // Boolean switches take no value.
+    if (arg == "header" || arg == "zero-based" || arg == "membuf-off" ||
+        arg == "subtraction") {
+      args->flags[arg] = true;
+    } else {
+      if (i + 1 >= argc) return false;
+      args->values[arg] = argv[++i];
+    }
+  }
+  return true;
+}
+
+bool LoadData(const Args& args, const std::string& path, Dataset* out) {
+  std::string error;
+  const std::string format = args.Get("format", "csv");
+  bool ok = false;
+  if (format == "csv") {
+    CsvOptions options;
+    options.label_column = args.GetInt("label-column", 0);
+    options.has_header = args.Has("header");
+    ok = ReadCsv(path, options, out, &error);
+  } else if (format == "libsvm") {
+    LibsvmOptions options;
+    options.zero_based = args.Has("zero-based");
+    ok = ReadLibsvm(path, options, out, &error);
+  } else {
+    error = "unknown format " + format;
+  }
+  if (!ok) std::fprintf(stderr, "failed to load %s: %s\n", path.c_str(),
+                        error.c_str());
+  return ok;
+}
+
+int CmdTrain(const Args& args) {
+  Dataset train;
+  if (!LoadData(args, args.Get("data", ""), &train)) return 1;
+  std::printf("loaded %u rows x %u features (S=%.2f)\n", train.num_rows(),
+              train.num_features(), train.Sparseness());
+
+  TrainParams p;
+  p.num_trees = args.GetInt("trees", 100);
+  p.tree_size = args.GetInt("tree-size", 8);
+  p.learning_rate = args.GetDouble("eta", 0.1);
+  p.reg_lambda = args.GetDouble("lambda", 1.0);
+  p.min_split_loss = args.GetDouble("gamma", 1.0);
+  p.min_child_weight = args.GetDouble("min-child-weight", 1.0);
+  p.topk = args.GetInt("k", 32);
+  p.num_threads = args.GetInt("threads", 0);
+  p.subsample = args.GetDouble("subsample", 1.0);
+  p.colsample_bytree = args.GetDouble("colsample", 1.0);
+  p.use_membuf = !args.Has("membuf-off");
+  p.use_hist_subtraction = args.Has("subtraction");
+  if (!ParseGrowPolicy(args.Get("grow", "topk"), &p.grow_policy)) {
+    std::fprintf(stderr, "bad --grow\n");
+    return 1;
+  }
+  if (!ParseParallelMode(args.Get("mode", "SYNC"), &p.mode)) {
+    std::fprintf(stderr, "bad --mode\n");
+    return 1;
+  }
+  if (!ParseObjectiveKind(args.Get("objective", "logistic"), &p.objective)) {
+    std::fprintf(stderr, "bad --objective\n");
+    return 1;
+  }
+
+  Dataset valid;
+  EvalSet eval;
+  EvalSet* eval_ptr = nullptr;
+  if (!args.Get("valid", "").empty()) {
+    if (!LoadData(args, args.Get("valid", ""), &valid)) return 1;
+    eval.data = &valid;
+    eval.early_stopping_rounds = args.GetInt("early-stopping", 0);
+    eval_ptr = &eval;
+  }
+
+  TrainStats stats;
+  GbdtTrainer trainer(p);
+  const GbdtModel model = trainer.Train(train, &stats, {}, eval_ptr);
+  std::printf("%s", stats.Report().c_str());
+  if (eval_ptr != nullptr && !eval.history.empty()) {
+    std::printf("validation metric: first=%.5f best=%.5f (iter %d) "
+                "last=%.5f\n",
+                eval.history.front(), eval.best_metric, eval.best_iteration,
+                eval.history.back());
+  }
+
+  const std::string model_path = args.Get("model", "harp.model");
+  std::string error;
+  if (!SaveModel(model_path, model, &error)) {
+    std::fprintf(stderr, "save failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("model (%zu trees, %lld nodes) saved to %s\n",
+              model.NumTrees(), static_cast<long long>(model.TotalNodes()),
+              model_path.c_str());
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  GbdtModel model;
+  std::string error;
+  if (!LoadModel(args.Get("model", "harp.model"), &model, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  Dataset data;
+  if (!LoadData(args, args.Get("data", ""), &data)) return 1;
+
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  const BinnedMatrix binned = model.BinDataset(data, &pool);
+  std::vector<double> margins = model.PredictMarginsBinned(binned, &pool);
+  const std::string out_path = args.Get("output", "");
+  std::FILE* out = out_path.empty() ? stdout
+                                    : std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  for (double m : margins) {
+    std::fprintf(out, "%.9g\n", model.Transform(m));
+  }
+  if (out != stdout) {
+    std::fclose(out);
+    std::printf("wrote %zu predictions to %s\n", margins.size(),
+                out_path.c_str());
+  }
+  return 0;
+}
+
+int CmdEval(const Args& args) {
+  GbdtModel model;
+  std::string error;
+  if (!LoadModel(args.Get("model", "harp.model"), &model, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  Dataset data;
+  if (!LoadData(args, args.Get("data", ""), &data)) return 1;
+
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  const std::vector<double> preds = model.Predict(data, &pool);
+  if (model.objective() == ObjectiveKind::kLogistic) {
+    std::printf("rows=%u AUC=%.5f logloss=%.5f error=%.5f\n",
+                data.num_rows(), Auc(data.labels(), preds),
+                LogLoss(data.labels(), preds),
+                ErrorRate(data.labels(), preds));
+  } else {
+    std::printf("rows=%u RMSE=%.5f\n", data.num_rows(),
+                Rmse(data.labels(), preds));
+  }
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  GbdtModel model;
+  std::string error;
+  if (!LoadModel(args.Get("model", "harp.model"), &model, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("objective: %s\n", ToString(model.objective()).c_str());
+  std::printf("trees: %zu, total nodes: %lld\n", model.NumTrees(),
+              static_cast<long long>(model.TotalNodes()));
+  int max_depth = 0;
+  int64_t leaves = 0;
+  for (const RegTree& tree : model.trees()) {
+    max_depth = std::max(max_depth, tree.MaxDepth());
+    leaves += tree.NumLeaves();
+  }
+  std::printf("max depth: %d, total leaves: %lld\n", max_depth,
+              static_cast<long long>(leaves));
+  const FeatureImportance importance =
+      ComputeImportance(model, model.cuts().num_features());
+  std::printf("top features by gain:\n%s",
+              FormatImportance(importance,
+                               static_cast<size_t>(args.GetInt("top", 10)))
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return Usage();
+  if (args.command == "train") return CmdTrain(args);
+  if (args.command == "predict") return CmdPredict(args);
+  if (args.command == "eval") return CmdEval(args);
+  if (args.command == "inspect") return CmdInspect(args);
+  return Usage();
+}

@@ -1,0 +1,73 @@
+// HIGGS-style physics classification: compare the three parallelization
+// strategies on one learning problem and watch accuracy-per-second — the
+// paper's headline scenario (Sections V-E, V-F) as a runnable example.
+//
+// Usage: higgs_convergence [scale] [trees]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harpgbdt.h"
+
+int main(int argc, char** argv) {
+  using namespace harp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  const int trees = argc > 2 ? std::atoi(argv[2]) : 30;
+
+  const Dataset all = GenerateSynthetic(HiggsSpec(scale));
+  const uint32_t train_rows = all.num_rows() * 4 / 5;
+  const Dataset train = all.Slice(0, train_rows);
+  const Dataset test = all.Slice(train_rows, all.num_rows());
+  std::printf("HIGGS-like: %u train / %u test rows, %u features\n",
+              train.num_rows(), test.num_rows(), train.num_features());
+
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  BinnedMatrix matrix = BinnedMatrix::Build(
+      train, QuantileCuts::Compute(train, 256, &pool), &pool);
+  matrix.EnsureColumnMajor(&pool);
+
+  auto report = [&](const char* name, const GbdtModel& model,
+                    const TrainStats& stats) {
+    const double auc = Auc(test.labels(), model.Predict(test, &pool));
+    std::printf("%-22s %8.1f ms/tree   test AUC %.4f   barrier %4.1f%%  "
+                "regions/tree %lld\n",
+                name, stats.SecondsPerTree() * 1e3, auc,
+                stats.sync.BarrierOverhead() * 100.0,
+                static_cast<long long>(stats.sync.parallel_regions /
+                                       std::max(1, stats.trees)));
+  };
+
+  {
+    TrainParams p;
+    p.num_trees = trees;
+    p.tree_size = 8;
+    p.grow_policy = GrowPolicy::kLeafwise;
+    TrainStats stats;
+    baselines::XgbHistTrainer trainer(p);
+    report("XGBoost-style (hist)",
+           trainer.TrainBinned(matrix, train.labels(), &stats), stats);
+  }
+  {
+    TrainParams p;
+    p.num_trees = trees;
+    p.tree_size = 8;
+    p.grow_policy = GrowPolicy::kLeafwise;
+    TrainStats stats;
+    baselines::LightGbmTrainer trainer(p);
+    report("LightGBM-style",
+           trainer.TrainBinned(matrix, train.labels(), &stats), stats);
+  }
+  {
+    TrainParams p;
+    p.num_trees = trees;
+    p.tree_size = 8;
+    p.grow_policy = GrowPolicy::kTopK;
+    p.topk = 32;
+    p.mode = ParallelMode::kASYNC;
+    p.node_blk_size = 32;
+    TrainStats stats;
+    GbdtTrainer trainer(p);
+    report("HarpGBDT (TopK+ASYNC)",
+           trainer.TrainBinned(matrix, train.labels(), &stats), stats);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quickstart: generate a HIGGS-shaped synthetic dataset, train HarpGBDT
+// with the TopK + ASYNC configuration, evaluate AUC on a held-out split,
+// and save/reload the model.
+//
+// Usage: quickstart [rows] [trees]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harpgbdt.h"
+
+int main(int argc, char** argv) {
+  const uint32_t rows = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1]))
+                                 : 20000;
+  const int trees = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  // 1. Data: a synthetic binary-classification set shaped like HIGGS
+  //    (28 features, 8% missing entries, uneven bin counts).
+  harp::SyntheticSpec spec = harp::HiggsSpec(1.0);
+  spec.rows = rows + rows / 4;  // train + test
+  const harp::Dataset all = harp::GenerateSynthetic(spec);
+  const harp::Dataset train = all.Slice(0, rows);
+  const harp::Dataset test = all.Slice(rows, all.num_rows());
+  std::printf("train: %u rows x %u features, sparseness %.2f\n",
+              train.num_rows(), train.num_features(), train.Sparseness());
+
+  // 2. Train: TopK growth (K=32) with the ASYNC node-parallel mode.
+  harp::TrainParams params;
+  params.num_trees = trees;
+  params.tree_size = 6;  // up to 2^6 = 64 leaves per tree
+  params.grow_policy = harp::GrowPolicy::kTopK;
+  params.topk = 32;
+  params.mode = harp::ParallelMode::kASYNC;
+
+  harp::TrainStats stats;
+  harp::GbdtTrainer trainer(params);
+  const harp::GbdtModel model = trainer.Train(train, &stats);
+  std::printf("%s", stats.Report().c_str());
+
+  // 3. Evaluate.
+  const std::vector<double> train_pred = model.Predict(train);
+  const std::vector<double> test_pred = model.Predict(test);
+  std::printf("train AUC %.4f logloss %.4f | test AUC %.4f logloss %.4f\n",
+              harp::Auc(train.labels(), train_pred),
+              harp::LogLoss(train.labels(), train_pred),
+              harp::Auc(test.labels(), test_pred),
+              harp::LogLoss(test.labels(), test_pred));
+
+  // 4. Save, reload, verify predictions match bit-exactly.
+  std::string error;
+  const std::string path = "/tmp/harpgbdt_quickstart.model";
+  if (!harp::SaveModel(path, model, &error)) {
+    std::fprintf(stderr, "save failed: %s\n", error.c_str());
+    return 1;
+  }
+  harp::GbdtModel reloaded;
+  if (!harp::LoadModel(path, &reloaded, &error)) {
+    std::fprintf(stderr, "load failed: %s\n", error.c_str());
+    return 1;
+  }
+  const std::vector<double> reloaded_pred = reloaded.Predict(test);
+  for (size_t i = 0; i < test_pred.size(); ++i) {
+    if (test_pred[i] != reloaded_pred[i]) {
+      std::fprintf(stderr, "prediction mismatch after reload at row %zu\n", i);
+      return 1;
+    }
+  }
+  std::printf("model saved to %s and reloaded: predictions identical\n",
+              path.c_str());
+  return 0;
+}

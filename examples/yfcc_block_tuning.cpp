@@ -1,0 +1,61 @@
+// Fat-matrix block tuning: YFCC-shaped input (4096 features, 69% missing)
+// and a walk through the block-parameter space, showing why standard data
+// parallelism struggles on wide inputs and how <feature_blk, node_blk>
+// tuning recovers the performance (Sections IV-A, V-F).
+//
+// Usage: yfcc_block_tuning [scale]
+#include <cstdio>
+#include <cstdlib>
+
+#include "harpgbdt.h"
+#include "common/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace harp;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.4;
+
+  const Dataset train = GenerateSynthetic(YfccSpec(scale));
+  ThreadPool pool(ThreadPool::DefaultThreads());
+  const BinnedMatrix matrix = BinnedMatrix::Build(
+      train, QuantileCuts::Compute(train, 256, &pool), &pool);
+  std::printf("YFCC-like fat matrix: %u rows x %u features, S=%.2f, "
+              "%u histogram slots (%.1f MB per node histogram)\n\n",
+              train.num_rows(), train.num_features(), train.Sparseness(),
+              matrix.TotalBins(),
+              matrix.TotalBins() * 16.0 / (1024.0 * 1024.0));
+
+  auto run = [&](const char* label, ParallelMode mode, int feature_blk,
+                 int node_blk) {
+    TrainParams p;
+    p.num_trees = 3;
+    p.tree_size = 8;
+    p.grow_policy = GrowPolicy::kTopK;
+    p.topk = 32;
+    p.mode = mode;
+    p.feature_blk_size = feature_blk;
+    p.node_blk_size = node_blk;
+    TrainStats stats;
+    GbdtTrainer(p).TrainBinned(matrix, train.labels(), &stats);
+    std::printf("%-34s %8.0f ms/tree   write-window %s\n", label,
+                stats.SecondsPerTree() * 1e3,
+                HumanBytes(16.0 *
+                           (feature_blk == 0
+                                ? matrix.TotalBins()
+                                : matrix.TotalBins() /
+                                      (train.num_features() /
+                                       static_cast<uint32_t>(feature_blk))))
+                    .c_str());
+  };
+
+  std::printf("-- standard configurations --\n");
+  run("DP, whole-row writes (f=0, n=1)", ParallelMode::kDP, 0, 1);
+  run("MP, classic feature-wise (f=1)", ParallelMode::kMP, 1, 1);
+  std::printf("\n-- block-tuned (Section IV-A) --\n");
+  run("MP, f=64,  n=4", ParallelMode::kMP, 64, 4);
+  run("MP, f=256, n=8", ParallelMode::kMP, 256, 8);
+  run("MP, f=1024, n=8", ParallelMode::kMP, 1024, 8);
+  std::printf("\nThe block-tuned MP rows should be the fastest: the write "
+              "window stays cache-sized while each row block is read far "
+              "fewer times than classic feature-wise MP.\n");
+  return 0;
+}

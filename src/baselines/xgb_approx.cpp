@@ -1,0 +1,219 @@
+#include "baselines/xgb_approx.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace harp::baselines {
+
+XgbApproxBuilder::XgbApproxBuilder(const BinnedMatrix& matrix,
+                                   const TrainParams& params,
+                                   ThreadPool& pool)
+    : matrix_(matrix),
+      params_(params.Validate()),
+      pool_(pool),
+      evaluator_(params) {
+  HARP_CHECK(matrix.HasColumnMajor())
+      << "XgbApproxBuilder needs the column-major view";
+  HARP_CHECK(params.grow_policy == GrowPolicy::kDepthwise)
+      << "XGB-Approx is depthwise only";
+}
+
+RegTree XgbApproxBuilder::BuildTree(
+    const std::vector<GradientPair>& gradients, TrainStats* stats) {
+  build_ns_ = find_ns_ = apply_ns_ = 0;
+  hist_updates_ = 0;
+
+  const uint32_t num_rows = matrix_.num_rows();
+  const uint32_t num_features = matrix_.num_features();
+  const size_t total_bins = matrix_.TotalBins();
+  const int max_depth = params_.tree_size;
+  const GradientPair* grads = gradients.data();
+
+  position_.assign(num_rows, 0);
+
+  RegTree tree;
+  {
+    GHPair root_sum;
+    for (const GradientPair& gp : gradients) root_sum.Add(gp.g, gp.h);
+    tree.mutable_node(0).sum = root_sum;
+    tree.mutable_node(0).num_rows = num_rows;
+  }
+
+  std::vector<int> level_nodes{0};
+  for (int depth = 0; depth < max_depth && !level_nodes.empty(); ++depth) {
+    const size_t level_size = level_nodes.size();
+
+    // node id -> index within the level (-1 = not in this level).
+    std::vector<int32_t> node_index(static_cast<size_t>(tree.num_nodes()),
+                                    -1);
+    for (size_t i = 0; i < level_size; ++i) {
+      node_index[static_cast<size_t>(level_nodes[i])] =
+          static_cast<int32_t>(i);
+    }
+
+    // --- BuildHist: one pass per feature column covers ALL level nodes
+    // (the vertical-plane write region of node_blk_size = 0).
+    std::vector<std::vector<GHPair>> hists(level_size);
+    for (auto& h : hists) h.assign(total_bins, GHPair{});
+    {
+      const Stopwatch watch;
+      pool_.ParallelForDynamic(
+          num_features, 1, [&](int64_t begin, int64_t end, int) {
+            for (int64_t f = begin; f < end; ++f) {
+              const uint8_t* col = matrix_.ColBins(static_cast<uint32_t>(f));
+              const uint32_t offset =
+                  matrix_.BinOffset(static_cast<uint32_t>(f));
+              for (uint32_t rid = 0; rid < num_rows; ++rid) {
+                const int32_t li =
+                    node_index[static_cast<size_t>(position_[rid])];
+                if (li < 0) continue;
+                hists[static_cast<size_t>(li)][offset + col[rid]].Add(
+                    grads[rid].g, grads[rid].h);
+              }
+            }
+          });
+      build_ns_ += watch.ElapsedNs();
+      hist_updates_ += static_cast<int64_t>(num_rows) * num_features;
+    }
+
+    // --- FindSplit per level node (parallel over the node x feature grid).
+    std::vector<SplitInfo> best(level_size);
+    {
+      const Stopwatch watch;
+      const int lanes = std::max(1, pool_.num_threads());
+      const uint32_t fb = std::max(1u, num_features /
+                                           static_cast<uint32_t>(2 * lanes));
+      std::vector<std::pair<size_t, uint32_t>> grid;  // (node idx, f begin)
+      for (size_t i = 0; i < level_size; ++i) {
+        for (uint32_t f = 0; f < num_features; f += fb) {
+          grid.emplace_back(i, f);
+        }
+      }
+      std::vector<SplitInfo> partial(grid.size());
+      pool_.ParallelForDynamic(
+          static_cast<int64_t>(grid.size()), 1,
+          [&](int64_t begin, int64_t end, int) {
+            for (int64_t g = begin; g < end; ++g) {
+              const auto [i, f] = grid[static_cast<size_t>(g)];
+              partial[static_cast<size_t>(g)] = evaluator_.FindBestSplit(
+                  matrix_, hists[i].data(), tree.node(level_nodes[i]).sum, f,
+                  std::min(num_features, f + fb));
+            }
+          });
+      for (size_t g = 0; g < grid.size(); ++g) {
+        const size_t i = grid[g].first;
+        if (partial[g].BetterThan(best[i])) best[i] = partial[g];
+      }
+      find_ns_ += watch.ElapsedNs();
+    }
+
+    // --- ApplySplit: expand the tree, then rewrite positions in one
+    // parallel sweep.
+    const Stopwatch watch;
+    struct AppliedSplit {
+      int left;
+      int right;
+      uint32_t feature;
+      uint32_t bin;
+      bool default_left;
+    };
+    // Indexed like node_index; nodes without a valid split keep {-1,...}.
+    std::vector<AppliedSplit> applied(level_size,
+                                      AppliedSplit{-1, -1, 0, 0, false});
+    std::vector<int> next_level;
+    for (size_t i = 0; i < level_size; ++i) {
+      if (!best[i].IsValid()) continue;
+      const int node_id = level_nodes[i];
+      const float cut =
+          matrix_.cuts().CutFor(best[i].feature, best[i].bin);
+      const auto [left, right] = tree.ApplySplit(node_id, best[i], cut);
+      applied[i] = AppliedSplit{left, right, best[i].feature, best[i].bin,
+                                best[i].default_left};
+      next_level.push_back(left);
+      next_level.push_back(right);
+      if (stats != nullptr) ++stats->nodes_split;
+    }
+
+    if (!next_level.empty()) {
+      // Per-thread child row counts, merged after the sweep.
+      const int threads = pool_.num_threads();
+      std::vector<std::vector<uint32_t>> counts(
+          static_cast<size_t>(threads),
+          std::vector<uint32_t>(static_cast<size_t>(tree.num_nodes()), 0));
+      pool_.ParallelFor(num_rows, [&](int64_t begin, int64_t end,
+                                      int thread_id) {
+        auto& my_counts = counts[static_cast<size_t>(thread_id)];
+        for (int64_t r = begin; r < end; ++r) {
+          const uint32_t rid = static_cast<uint32_t>(r);
+          const int32_t li =
+              node_index[static_cast<size_t>(position_[rid])];
+          if (li < 0) continue;
+          const AppliedSplit& sp = applied[static_cast<size_t>(li)];
+          if (sp.left < 0) continue;
+          const uint8_t bin = matrix_.RowBins(rid)[sp.feature];
+          const bool go_left =
+              (bin == 0) ? sp.default_left : (bin <= sp.bin);
+          position_[rid] = go_left ? sp.left : sp.right;
+          ++my_counts[static_cast<size_t>(position_[rid])];
+        }
+      });
+      for (int child : next_level) {
+        uint32_t n = 0;
+        for (int t = 0; t < threads; ++t) {
+          n += counts[static_cast<size_t>(t)][static_cast<size_t>(child)];
+        }
+        tree.mutable_node(child).num_rows = n;
+      }
+    }
+    apply_ns_ += watch.ElapsedNs();
+    level_nodes = std::move(next_level);
+  }
+
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    TreeNode& node = tree.mutable_node(id);
+    if (node.IsLeaf()) node.leaf_value = evaluator_.LeafValue(node.sum);
+  }
+
+  if (stats != nullptr) {
+    stats->build_hist_ns += build_ns_;
+    stats->find_split_ns += find_ns_;
+    stats->apply_split_ns += apply_ns_;
+    stats->hist_updates += hist_updates_;
+    stats->leaves += tree.NumLeaves();
+    stats->max_tree_depth = std::max(stats->max_tree_depth, tree.MaxDepth());
+  }
+  return tree;
+}
+
+void XgbApproxBuilder::UpdateMargins(const RegTree& tree,
+                                     std::vector<double>* margins) {
+  pool_.ParallelFor(
+      static_cast<int64_t>(margins->size()),
+      [&](int64_t begin, int64_t end, int) {
+        for (int64_t r = begin; r < end; ++r) {
+          (*margins)[static_cast<size_t>(r)] +=
+              tree.node(position_[static_cast<size_t>(r)]).leaf_value;
+        }
+      });
+}
+
+XgbApproxTrainer::XgbApproxTrainer(TrainParams params)
+    : params_(std::move(params)) {
+  params_.Validate();
+}
+
+GbdtModel XgbApproxTrainer::TrainBinned(BinnedMatrix& matrix,
+                                        const std::vector<float>& labels,
+                                        TrainStats* stats,
+                                        const IterCallback& callback) {
+  const int threads = params_.num_threads > 0 ? params_.num_threads
+                                              : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  matrix.EnsureColumnMajor(&pool);
+  XgbApproxBuilder builder(matrix, params_, pool);
+  return RunBoosting(matrix, labels, params_, pool, builder, stats, callback);
+}
+
+}  // namespace harp::baselines

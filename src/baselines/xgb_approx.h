@@ -1,0 +1,61 @@
+// Reimplementation of the original XGBoost feature-wise strategy
+// ("XGB-Approx" in Section IV-A).
+//
+// Characteristics reproduced:
+//   - depthwise growth, whole level at a time;
+//   - feature-wise parallelism with node_blk_size = 0 ("all"): one pass
+//     per feature column builds that feature's histogram rows for EVERY
+//     node of the level simultaneously — the write region is "a vertical
+//     plane crossing all tree nodes in GHSum";
+//   - a row -> node position array instead of per-node row lists
+//     (ApplySplit just rewrites positions, no data movement).
+#pragma once
+
+#include "core/gbdt.h"
+#include "core/tree_builder.h"
+
+namespace harp::baselines {
+
+class XgbApproxBuilder final : public TreeBuilderBase {
+ public:
+  XgbApproxBuilder(const BinnedMatrix& matrix, const TrainParams& params,
+                   ThreadPool& pool);
+
+  RegTree BuildTree(const std::vector<GradientPair>& gradients,
+                    TrainStats* stats) override;
+
+  void UpdateMargins(const RegTree& tree,
+                     std::vector<double>* margins) override;
+
+ private:
+  const BinnedMatrix& matrix_;
+  const TrainParams& params_;
+  ThreadPool& pool_;
+  SplitEvaluator evaluator_;
+
+  // position_[rid] = current leaf id of the row (persists after BuildTree
+  // for UpdateMargins).
+  std::vector<int32_t> position_;
+
+  int64_t build_ns_ = 0;
+  int64_t find_ns_ = 0;
+  int64_t apply_ns_ = 0;
+  int64_t hist_updates_ = 0;
+};
+
+class XgbApproxTrainer {
+ public:
+  explicit XgbApproxTrainer(TrainParams params);
+
+  GbdtModel TrainBinned(BinnedMatrix& matrix,
+                        const std::vector<float>& labels,
+                        TrainStats* stats = nullptr,
+                        const IterCallback& callback = {});
+
+  const TrainParams& params() const { return params_; }
+
+ private:
+  TrainParams params_;
+};
+
+}  // namespace harp::baselines

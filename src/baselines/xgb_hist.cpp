@@ -1,0 +1,195 @@
+#include "baselines/xgb_hist.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/grow_policy.h"
+
+namespace harp::baselines {
+
+XgbHistBuilder::XgbHistBuilder(const BinnedMatrix& matrix,
+                               const TrainParams& params, ThreadPool& pool)
+    : matrix_(matrix),
+      params_(params.Validate()),
+      pool_(pool),
+      evaluator_(params),
+      hists_(matrix.TotalBins()),
+      partitioner_(matrix.num_rows(), /*use_membuf=*/false) {
+  HARP_CHECK(params.grow_policy != GrowPolicy::kTopK)
+      << "XGB-Hist supports depthwise/leafwise only";
+}
+
+void XgbHistBuilder::BuildNodeHist(int node_id, GHPair* hist) {
+  const size_t total_bins = matrix_.TotalBins();
+  const int threads = pool_.num_threads();
+  const uint32_t rows = partitioner_.NodeSize(node_id);
+  const uint32_t num_features = matrix_.num_features();
+
+  // Per-thread replicas of ONE node's histogram (node_blk = 1).
+  replicas_.assign(static_cast<size_t>(threads) * total_bins, GHPair{});
+
+  const int64_t auto_blk =
+      std::max<int64_t>(1, static_cast<int64_t>(rows) / std::max(1, threads));
+  const int64_t row_blk =
+      params_.row_blk_size > 0 ? params_.row_blk_size : auto_blk;
+
+  pool_.ParallelForDynamic(
+      rows, row_blk, [&](int64_t begin, int64_t end, int thread_id) {
+        GHPair* replica =
+            replicas_.data() + static_cast<size_t>(thread_id) * total_bins;
+        partitioner_.ForEachRowRange(
+            node_id, static_cast<uint32_t>(begin),
+            static_cast<uint32_t>(end), [&](uint32_t rid, float g, float h) {
+              const uint8_t* row_bins = matrix_.RowBins(rid);
+              for (uint32_t f = 0; f < num_features; ++f) {
+                replica[matrix_.BinOffset(f) + row_bins[f]].Add(g, h);
+              }
+            });
+      });
+  hist_updates_ += static_cast<int64_t>(rows) * num_features;
+
+  const Stopwatch reduce_watch;
+  pool_.ParallelFor(static_cast<int64_t>(total_bins),
+                    [&](int64_t begin, int64_t end, int) {
+                      for (int64_t s = begin; s < end; ++s) {
+                        GHPair sum;
+                        for (int t = 0; t < threads; ++t) {
+                          sum += replicas_[static_cast<size_t>(t) *
+                                               total_bins +
+                                           static_cast<size_t>(s)];
+                        }
+                        hist[static_cast<size_t>(s)] = sum;
+                      }
+                    });
+  reduce_ns_ += reduce_watch.ElapsedNs();
+}
+
+SplitInfo XgbHistBuilder::FindNodeSplit(const RegTree& tree, int node_id,
+                                        const GHPair* hist) {
+  const uint32_t num_features = matrix_.num_features();
+  const GHPair node_sum = tree.node(node_id).sum;
+  const int lanes = std::max(1, pool_.num_threads());
+  std::vector<SplitInfo> partial(static_cast<size_t>(lanes));
+  pool_.ParallelForDynamic(
+      num_features, std::max<int64_t>(1, num_features / (4 * lanes)),
+      [&](int64_t begin, int64_t end, int thread_id) {
+        const SplitInfo found = evaluator_.FindBestSplit(
+            matrix_, hist, node_sum, static_cast<uint32_t>(begin),
+            static_cast<uint32_t>(end));
+        auto& best = partial[static_cast<size_t>(thread_id)];
+        if (found.BetterThan(best)) best = found;
+      });
+  SplitInfo best;
+  for (const SplitInfo& s : partial) {
+    if (s.BetterThan(best)) best = s;
+  }
+  return best;
+}
+
+RegTree XgbHistBuilder::BuildTree(const std::vector<GradientPair>& gradients,
+                                  TrainStats* stats) {
+  build_ns_ = reduce_ns_ = find_ns_ = apply_ns_ = 0;
+  hist_updates_ = 0;
+
+  const int64_t max_leaves = params_.MaxLeaves();
+  const int max_depth = params_.MaxDepth();
+  const int max_nodes = static_cast<int>(2 * max_leaves);
+  partitioner_.Reset(gradients, max_nodes, &pool_);
+  hists_.ReleaseAll();
+
+  RegTree tree;
+  tree.mutable_nodes().reserve(static_cast<size_t>(max_nodes));
+  tree.mutable_node(0).sum = partitioner_.NodeSum(0, &pool_);
+  tree.mutable_node(0).num_rows = partitioner_.num_rows();
+
+  // Processes one node end to end: hist -> split. Leaf-by-leaf barriers.
+  auto process_node = [&](int node_id) -> Candidate {
+    GHPair* hist = hists_.Acquire(node_id);
+    {
+      const Stopwatch watch;
+      BuildNodeHist(node_id, hist);
+      build_ns_ += watch.ElapsedNs();
+    }
+    const Stopwatch watch;
+    const SplitInfo split = FindNodeSplit(tree, node_id, hist);
+    find_ns_ += watch.ElapsedNs();
+    hists_.Release(node_id);
+    return Candidate{node_id, tree.node(node_id).depth, split};
+  };
+
+  GrowQueue queue(params_.grow_policy);
+  {
+    const Candidate root = process_node(0);
+    if (root.split.IsValid() && max_leaves > 1 && max_depth > 0) {
+      queue.Push(root);
+    }
+  }
+
+  int64_t leaves = 1;
+  while (!queue.Empty() && leaves < max_leaves) {
+    // Depthwise pops a whole level, leafwise pops 1 — but either way each
+    // node is processed individually (the O(2^D) barrier behaviour).
+    const std::vector<Candidate> batch = queue.PopBatch(
+        /*k=*/1, static_cast<int>(std::min<int64_t>(max_leaves - leaves,
+                                                    1 << 20)));
+    if (batch.empty()) break;
+    for (const Candidate& cand : batch) {
+      if (leaves >= max_leaves) break;
+      const Stopwatch watch;
+      const float cut =
+          matrix_.cuts().CutFor(cand.split.feature, cand.split.bin);
+      const auto [left, right] = tree.ApplySplit(cand.node_id, cand.split, cut);
+      partitioner_.ApplySplit(cand.node_id, left, right, matrix_,
+                              cand.split.feature, cand.split.bin,
+                              cand.split.default_left, &pool_);
+      tree.mutable_node(left).num_rows = partitioner_.NodeSize(left);
+      tree.mutable_node(right).num_rows = partitioner_.NodeSize(right);
+      apply_ns_ += watch.ElapsedNs();
+      ++leaves;
+      if (stats != nullptr) ++stats->nodes_split;
+
+      for (const int child : {left, right}) {
+        const Candidate c = process_node(child);
+        if (c.split.IsValid() && c.depth < max_depth) queue.Push(c);
+      }
+    }
+  }
+
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    TreeNode& node = tree.mutable_node(id);
+    if (node.IsLeaf()) node.leaf_value = evaluator_.LeafValue(node.sum);
+  }
+
+  if (stats != nullptr) {
+    stats->build_hist_ns += build_ns_;
+    stats->reduce_ns += reduce_ns_;
+    stats->find_split_ns += find_ns_;
+    stats->apply_split_ns += apply_ns_;
+    stats->hist_updates += hist_updates_;
+    stats->leaves += leaves;
+    stats->max_tree_depth = std::max(stats->max_tree_depth, tree.MaxDepth());
+    stats->hist_peak_bytes =
+        std::max(stats->hist_peak_bytes, hists_.PeakBytes());
+  }
+  return tree;
+}
+
+XgbHistTrainer::XgbHistTrainer(TrainParams params)
+    : params_(std::move(params)) {
+  params_.Validate();
+}
+
+GbdtModel XgbHistTrainer::TrainBinned(const BinnedMatrix& matrix,
+                                      const std::vector<float>& labels,
+                                      TrainStats* stats,
+                                      const IterCallback& callback) {
+  const int threads = params_.num_threads > 0 ? params_.num_threads
+                                              : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  XgbHistBuilder builder(matrix, params_, pool);
+  return RunBoosting(matrix, labels, params_, pool, builder, stats, callback);
+}
+
+}  // namespace harp::baselines

@@ -1,0 +1,62 @@
+// Cache-line-aligned allocation helpers.
+//
+// Per-thread histogram replicas in the data-parallel builder are placed in
+// cache-line-aligned buffers so replica boundaries never share a line
+// (false sharing would masquerade as the "memory bound" behaviour the paper
+// measures, corrupting the experiment).
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace harp {
+
+inline constexpr size_t kCacheLineBytes = 64;
+
+// Minimal aligned allocator for std::vector.
+template <typename T, size_t Alignment = kCacheLineBytes>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    void* ptr = std::aligned_alloc(Alignment, RoundUp(n * sizeof(T)));
+    if (ptr == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(ptr);
+  }
+
+  void deallocate(T* ptr, size_t) noexcept { std::free(ptr); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U, Alignment>&) const noexcept {
+    return false;
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+ private:
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  static size_t RoundUp(size_t bytes) {
+    return (bytes + Alignment - 1) / Alignment * Alignment;
+  }
+};
+
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace harp

@@ -1,0 +1,31 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace harp {
+
+int GetEnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  long parsed = std::strtol(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<int>(parsed);
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  return std::string(value);
+}
+
+}  // namespace harp

@@ -1,0 +1,21 @@
+// Environment-variable configuration helpers.
+//
+// Benchmarks and examples use these so the same binaries can run at
+// laptop scale (defaults) or be scaled up via HARP_BENCH_SCALE /
+// HARP_BENCH_THREADS without recompiling.
+#pragma once
+
+#include <string>
+
+namespace harp {
+
+// Returns the integer value of `name`, or `fallback` when unset/unparsable.
+int GetEnvInt(const char* name, int fallback);
+
+// Returns the double value of `name`, or `fallback` when unset/unparsable.
+double GetEnvDouble(const char* name, double fallback);
+
+// Returns the string value of `name`, or `fallback` when unset.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace harp

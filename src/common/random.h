@@ -1,0 +1,104 @@
+// Deterministic, seedable PRNG used throughout the library.
+//
+// std::mt19937 distributions are not guaranteed bit-identical across
+// standard library implementations; the synthetic dataset generators must be
+// exactly reproducible (tests pin shape statistics), so we ship our own
+// SplitMix64-seeded Xoshiro256** plus the few distributions we need.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace harp {
+
+// SplitMix64: used to expand a single seed into Xoshiro state.
+inline uint64_t SplitMix64Next(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Xoshiro256**: fast, high-quality, tiny state. Deterministic everywhere.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64Next(sm);
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) {
+    // Lemire's multiply-shift rejection method (unbiased).
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Standard normal via Box-Muller (no cached second value: determinism is
+  // simpler to reason about when each call consumes a fixed number of draws).
+  double Normal() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Guard u1 == 0 which would take log(0).
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double Normal(double mean, double stddev) {
+    return mean + stddev * Normal();
+  }
+
+  // Bernoulli draw with probability p of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Exponential with rate lambda.
+  double Exponential(double lambda) {
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / lambda;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace harp

@@ -1,0 +1,43 @@
+// Small descriptive-statistics helpers shared by the data-shape reports
+// (Table III's S and CV columns) and the benchmark harness.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace harp {
+
+// Streaming mean/variance/min/max (Welford). Numerically stable.
+class RunningStats {
+ public:
+  void Add(double x);
+
+  int64_t Count() const { return count_; }
+  double Mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Population variance/stddev (the paper's CV = stdev / mean).
+  double Variance() const;
+  double Stddev() const;
+  // Coefficient of variation; 0 when the mean is 0.
+  double CV() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Percentile of a sample using linear interpolation; q in [0, 1].
+// Sorts a copy; intended for reporting, not hot paths.
+double Percentile(std::vector<double> values, double q);
+
+// Mean of a sample (0 for empty input).
+double Mean(const std::vector<double>& values);
+
+// Geometric mean; all inputs must be > 0 (returns 0 for empty input).
+double GeometricMean(const std::vector<double>& values);
+
+}  // namespace harp

@@ -1,0 +1,116 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace harp {
+
+std::vector<std::string_view> Split(std::string_view text, char delim) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(text.substr(start));
+      break;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view text) {
+  std::vector<std::string_view> parts;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    const size_t start = i;
+    while (i < n && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) parts.push_back(text.substr(start, i - start));
+  }
+  return parts;
+}
+
+std::string_view Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+bool ParseDouble(std::string_view text, double* out) {
+  if (text.empty()) return false;
+  // strtod needs a NUL terminator; string_views from Split are not
+  // NUL-terminated, so copy into a small buffer.
+  char buf[64];
+  if (text.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(buf, &end);
+  if (end != buf + text.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseInt(std::string_view text, int64_t* out) {
+  if (text.empty()) return false;
+  char buf[32];
+  if (text.size() >= sizeof(buf)) return false;
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  char* end = nullptr;
+  errno = 0;
+  const long long value = std::strtoll(buf, &end, 10);
+  if (end != buf + text.size() || errno == ERANGE) return false;
+  *out = value;
+  return true;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result;
+  if (needed > 0) {
+    result.resize(static_cast<size_t>(needed));
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds < 1e-6) return StrFormat("%.1fns", seconds * 1e9);
+  if (seconds < 1e-3) return StrFormat("%.1fus", seconds * 1e6);
+  if (seconds < 1.0) return StrFormat("%.2fms", seconds * 1e3);
+  return StrFormat("%.3fs", seconds);
+}
+
+std::string HumanBytes(double bytes) {
+  if (bytes < 1024.0) return StrFormat("%.0fB", bytes);
+  if (bytes < 1024.0 * 1024.0) return StrFormat("%.1fKB", bytes / 1024.0);
+  if (bytes < 1024.0 * 1024.0 * 1024.0) {
+    return StrFormat("%.1fMB", bytes / (1024.0 * 1024.0));
+  }
+  return StrFormat("%.2fGB", bytes / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace harp

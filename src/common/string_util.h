@@ -1,0 +1,32 @@
+// String parsing/formatting helpers for the text readers and model IO.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace harp {
+
+// Splits on a single delimiter; keeps empty fields (CSV semantics).
+std::vector<std::string_view> Split(std::string_view text, char delim);
+
+// Splits on runs of whitespace; drops empty fields (LIBSVM semantics).
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+// Strips leading/trailing spaces, tabs and CR/LF.
+std::string_view Trim(std::string_view text);
+
+// Strict parsers: return false (leaving *out untouched) on malformed input.
+bool ParseDouble(std::string_view text, double* out);
+bool ParseInt(std::string_view text, int64_t* out);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Formats seconds with an adaptive unit (ns/us/ms/s) for human-facing tables.
+std::string HumanDuration(double seconds);
+
+// Formats a byte count with an adaptive unit (B/KB/MB/GB).
+std::string HumanBytes(double bytes);
+
+}  // namespace harp

@@ -1,0 +1,177 @@
+#include "core/gbdt.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/timer.h"
+#include "core/metrics.h"
+#include "core/objective.h"
+
+namespace harp {
+namespace {
+
+// Validation metric (lower is better): logloss for logistic, RMSE for
+// squared error. Margins are raw scores.
+double EvalMetric(ObjectiveKind kind, const Objective& objective,
+                  const std::vector<float>& labels,
+                  const std::vector<double>& margins) {
+  std::vector<double> predictions(margins.size());
+  for (size_t i = 0; i < margins.size(); ++i) {
+    predictions[i] = objective.Transform(margins[i]);
+  }
+  return kind == ObjectiveKind::kLogistic ? LogLoss(labels, predictions)
+                                          : Rmse(labels, predictions);
+}
+
+}  // namespace
+
+GbdtModel RunBoosting(const BinnedMatrix& matrix,
+                      const std::vector<float>& labels,
+                      const TrainParams& params, ThreadPool& pool,
+                      TreeBuilderBase& builder, TrainStats* stats,
+                      const IterCallback& callback, EvalSet* eval) {
+  HARP_CHECK_EQ(labels.size(), static_cast<size_t>(matrix.num_rows()));
+  params.Validate();
+
+  const auto objective = Objective::Create(params.objective);
+  const double base_margin = objective->InitialMargin(params.base_score);
+  GbdtModel model(params.objective, base_margin, matrix.cuts());
+
+  std::vector<double> margins(labels.size(), base_margin);
+  std::vector<GradientPair> gradients;
+
+  const bool row_sampling = params.subsample < 1.0;
+  const bool col_sampling = params.colsample_bytree < 1.0;
+  std::vector<uint8_t> column_mask;
+  std::vector<double> eval_margins;
+  if (eval != nullptr) {
+    HARP_CHECK(eval->data != nullptr);
+    eval->history.clear();
+    eval->best_iteration = -1;
+    eval_margins.assign(eval->data->num_rows(), base_margin);
+  }
+
+  const SyncSnapshot sync_before = pool.Snapshot();
+  const Stopwatch total_watch;
+
+  for (int iter = 0; iter < params.num_trees; ++iter) {
+    const Stopwatch tree_watch;
+
+    {
+      const Stopwatch watch;
+      objective->ComputeGradients(labels, margins, &gradients, &pool);
+      if (row_sampling) {
+        // Rows outside the sample contribute nothing to this tree's
+        // statistics; zeroed gradients keep every partitioner code path
+        // unchanged. Deterministic per (seed, iteration, row).
+        pool.ParallelFor(
+            static_cast<int64_t>(gradients.size()),
+            [&](int64_t begin, int64_t end, int) {
+              for (int64_t r = begin; r < end; ++r) {
+                Rng rng(params.seed ^
+                        (0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(iter)) ^
+                        static_cast<uint64_t>(r) * 0xD1B54A32D192ED03ULL);
+                if (!rng.Bernoulli(params.subsample)) {
+                  gradients[static_cast<size_t>(r)] = GradientPair{};
+                }
+              }
+            });
+      }
+      if (stats != nullptr) stats->gradient_ns += watch.ElapsedNs();
+    }
+
+    if (col_sampling) {
+      Rng rng(params.seed + 0xC01u + static_cast<uint64_t>(iter));
+      column_mask.assign(matrix.num_features(), 0);
+      uint32_t kept = 0;
+      for (auto& bit : column_mask) {
+        bit = rng.Bernoulli(params.colsample_bytree) ? 1 : 0;
+        kept += bit;
+      }
+      if (kept == 0) column_mask[rng.NextBelow(column_mask.size())] = 1;
+      builder.SetColumnMask(&column_mask);
+    }
+
+    RegTree tree = builder.BuildTree(gradients, stats);
+
+    {
+      const Stopwatch watch;
+      builder.UpdateMargins(tree, &margins);
+      if (stats != nullptr) stats->update_ns += watch.ElapsedNs();
+    }
+
+    const double tree_seconds = tree_watch.ElapsedSec();
+    if (stats != nullptr) {
+      stats->tree_seconds.push_back(tree_seconds);
+      ++stats->trees;
+    }
+    model.AddTree(std::move(tree));
+    if (callback) {
+      callback(IterationInfo{iter, model.trees().back(), margins,
+                             tree_seconds});
+    }
+
+    if (eval != nullptr) {
+      const RegTree& last = model.trees().back();
+      pool.ParallelFor(
+          static_cast<int64_t>(eval_margins.size()),
+          [&](int64_t begin, int64_t end, int) {
+            for (int64_t r = begin; r < end; ++r) {
+              eval_margins[static_cast<size_t>(r)] +=
+                  last.PredictRaw(*eval->data, static_cast<uint32_t>(r));
+            }
+          });
+      const double metric = EvalMetric(params.objective, *objective,
+                                       eval->data->labels(), eval_margins);
+      eval->history.push_back(metric);
+      if (eval->best_iteration < 0 || metric < eval->best_metric) {
+        eval->best_iteration = iter;
+        eval->best_metric = metric;
+      }
+      if (eval->early_stopping_rounds > 0 &&
+          iter - eval->best_iteration >= eval->early_stopping_rounds) {
+        break;
+      }
+    }
+  }
+  builder.SetColumnMask(nullptr);
+
+  if (stats != nullptr) {
+    stats->wall_ns += total_watch.ElapsedNs();
+    stats->sync = pool.Snapshot() - sync_before;
+  }
+  return model;
+}
+
+GbdtTrainer::GbdtTrainer(TrainParams params) : params_(std::move(params)) {
+  params_.Validate();
+}
+
+GbdtModel GbdtTrainer::Train(const Dataset& dataset, TrainStats* stats,
+                             const IterCallback& callback, EvalSet* eval) {
+  const int threads = params_.num_threads > 0 ? params_.num_threads
+                                              : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  QuantileCuts cuts = QuantileCuts::Compute(dataset, params_.max_bins, &pool);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(dataset, std::move(cuts), &pool);
+  HarpTreeBuilder builder(matrix, params_, pool);
+  return RunBoosting(matrix, dataset.labels(), params_, pool, builder, stats,
+                     callback, eval);
+}
+
+GbdtModel GbdtTrainer::TrainBinned(const BinnedMatrix& matrix,
+                                   const std::vector<float>& labels,
+                                   TrainStats* stats,
+                                   const IterCallback& callback,
+                                   EvalSet* eval) {
+  const int threads = params_.num_threads > 0 ? params_.num_threads
+                                              : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  HarpTreeBuilder builder(matrix, params_, pool);
+  return RunBoosting(matrix, labels, params_, pool, builder, stats, callback,
+                     eval);
+}
+
+}  // namespace harp

@@ -1,0 +1,48 @@
+// Gradient-pair types.
+//
+// Per-row gradients are float32 (they are read billions of times and float
+// precision is ample for first/second-order gradients); histogram
+// accumulators are float64 pairs — 16 bytes per GHSum element, matching the
+// paper's memory-access arithmetic in Section III-B ("one read operation
+// and one write operation to GHSum, 16 Bytes in Double").
+#pragma once
+
+#include <cstdint>
+
+namespace harp {
+
+// Histogram accumulator element (one GHSum cell).
+struct GHPair {
+  double g = 0.0;
+  double h = 0.0;
+
+  GHPair& operator+=(const GHPair& other) {
+    g += other.g;
+    h += other.h;
+    return *this;
+  }
+
+  GHPair& operator-=(const GHPair& other) {
+    g -= other.g;
+    h -= other.h;
+    return *this;
+  }
+
+  friend GHPair operator+(GHPair a, const GHPair& b) { return a += b; }
+  friend GHPair operator-(GHPair a, const GHPair& b) { return a -= b; }
+
+  void Add(float gf, float hf) {
+    g += static_cast<double>(gf);
+    h += static_cast<double>(hf);
+  }
+
+  bool operator==(const GHPair& other) const = default;
+};
+
+// Per-row gradient storage.
+struct GradientPair {
+  float g = 0.0f;
+  float h = 0.0f;
+};
+
+}  // namespace harp

@@ -1,0 +1,77 @@
+#include "core/grow_policy.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harp {
+
+bool GrowQueue::Before(const Candidate& a, const Candidate& b) const {
+  if (policy_ == GrowPolicy::kDepthwise) {
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.node_id < b.node_id;
+  }
+  // Gain order; node-id tie-break keeps pops deterministic.
+  if (a.split.gain != b.split.gain) return a.split.gain > b.split.gain;
+  return a.node_id < b.node_id;
+}
+
+void GrowQueue::FixUp() {
+  // Sift the newly pushed element up.
+  size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Candidate GrowQueue::PopTop() {
+  HARP_CHECK(!heap_.empty());
+  Candidate top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  // Sift down.
+  size_t i = 0;
+  const size_t n = heap_.size();
+  for (;;) {
+    const size_t l = 2 * i + 1;
+    const size_t r = l + 1;
+    size_t best = i;
+    if (l < n && Before(heap_[l], heap_[best])) best = l;
+    if (r < n && Before(heap_[r], heap_[best])) best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+std::vector<Candidate> GrowQueue::PopBatch(int k, int max_batch) {
+  std::vector<Candidate> batch;
+  if (heap_.empty() || max_batch <= 0) return batch;
+
+  int budget = max_batch;
+  switch (policy_) {
+    case GrowPolicy::kLeafwise:
+      budget = std::min(budget, 1);
+      break;
+    case GrowPolicy::kTopK:
+      budget = std::min(budget, std::max(1, k));
+      break;
+    case GrowPolicy::kDepthwise:
+      break;  // bounded by the level size below
+  }
+
+  const int level = heap_.front().depth;
+  while (!heap_.empty() && static_cast<int>(batch.size()) < budget) {
+    if (policy_ == GrowPolicy::kDepthwise && heap_.front().depth != level) {
+      break;  // only drain one level per batch
+    }
+    batch.push_back(PopTop());
+  }
+  return batch;
+}
+
+}  // namespace harp

@@ -1,0 +1,107 @@
+// Block-wise BuildHist implementations (Section IV-A).
+//
+// Both builders fill per-node histograms for a *batch* of nodes; they
+// differ in how the <row, node, bin, feature> iteration space is cut into
+// tasks:
+//
+//   DP (data parallelism): rows of a node block are chunked into row
+//   blocks; each thread accumulates into a private replica of the node
+//   block's histograms, then replicas are reduced. Few redundant reads,
+//   but replica memory/zeroing/reduction grows with node_blk_size and the
+//   write region spans the whole feature space unless feature blocks tile
+//   the inner loop.
+//
+//   MP (model parallelism): tasks are <node_blk x feature_blk x bin_blk>
+//   cubes writing disjoint histogram regions of the *shared* histograms —
+//   no replicas, no reduction — at the cost of re-reading the node's rows
+//   once per feature block / bin range (redundant reads of MemBuf or the
+//   gradient array).
+//
+// Both honour Table IV's block parameters; standard designs fall out as
+// special cases (feature_blk=1,node_blk=1 = classic feature-wise MP;
+// feature_blk=0,node_blk=1,row blocks = XGB-Hist-style DP).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.h"
+#include "core/gh.h"
+#include "core/histogram.h"
+#include "core/params.h"
+#include "core/row_partitioner.h"
+#include "core/train_stats.h"
+#include "data/binned_matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+
+// Everything a builder needs for one tree. Non-owning.
+struct BuildContext {
+  const BinnedMatrix& matrix;
+  const TrainParams& params;
+  ThreadPool& pool;
+  RowPartitioner& partitioner;
+  HistogramPool& hists;
+};
+
+// Contiguous half-open ranges [first, second).
+using Range = std::pair<uint32_t, uint32_t>;
+
+// Feature ranges of at most `feature_blk_size` features (0 = one block).
+std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
+                                     int feature_blk_size);
+
+// Bin-id ranges of at most `bin_blk_size` bins covering [0, 256).
+// bin_blk_size >= 256 yields the single full range (blocking disabled).
+std::vector<Range> MakeBinRanges(int bin_blk_size);
+
+// Groups `nodes` into blocks of `node_blk_size`.
+std::vector<std::span<const int>> MakeNodeBlocks(std::span<const int> nodes,
+                                                 int node_blk_size);
+
+// Accumulates one row into `hist` over the features of `fb`, restricted to
+// bin ids in `bins` (pass {0, 256} for no filtering). The innermost kernel
+// of every trainer in this repo.
+inline void AccumulateRow(const uint8_t* row_bins, float g, float h,
+                          const BinnedMatrix& matrix, GHPair* hist,
+                          Range fb, Range bins) {
+  if (bins.first == 0 && bins.second >= 256) {
+    for (uint32_t f = fb.first; f < fb.second; ++f) {
+      hist[matrix.BinOffset(f) + row_bins[f]].Add(g, h);
+    }
+  } else {
+    for (uint32_t f = fb.first; f < fb.second; ++f) {
+      const uint8_t bin = row_bins[f];
+      if (bin >= bins.first && bin < bins.second) {
+        hist[matrix.BinOffset(f) + bin].Add(g, h);
+      }
+    }
+  }
+}
+
+// Data-parallel builder. Holds reusable replica scratch across batches.
+class HistBuilderDP {
+ public:
+  // Builds histograms for `nodes` (already acquired in ctx.hists).
+  // Returns the wall nanoseconds spent in the reduction step (reported
+  // separately in the Fig. 4 breakdown).
+  int64_t Build(const BuildContext& ctx, std::span<const int> nodes);
+
+ private:
+  AlignedVector<GHPair> replicas_;
+};
+
+// Model-parallel (block-wise) builder; writes shared histograms.
+class HistBuilderMP {
+ public:
+  void Build(const BuildContext& ctx, std::span<const int> nodes);
+};
+
+// Serial per-node build used by ASYNC node tasks (one thread builds the
+// whole node, tiled by feature blocks).
+void BuildHistSerial(const BuildContext& ctx, int node_id, GHPair* hist);
+
+}  // namespace harp

@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/hist_builder.h"
+
+namespace harp {
+
+std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
+                                     int feature_blk_size) {
+  std::vector<Range> blocks;
+  const uint32_t step = feature_blk_size <= 0
+                            ? num_features
+                            : static_cast<uint32_t>(feature_blk_size);
+  for (uint32_t begin = 0; begin < num_features; begin += step) {
+    blocks.emplace_back(begin, std::min(num_features, begin + step));
+  }
+  return blocks;
+}
+
+std::vector<Range> MakeBinRanges(int bin_blk_size) {
+  std::vector<Range> ranges;
+  if (bin_blk_size >= 256) {
+    ranges.emplace_back(0u, 256u);
+    return ranges;
+  }
+  const uint32_t step = static_cast<uint32_t>(std::max(1, bin_blk_size));
+  for (uint32_t begin = 0; begin < 256; begin += step) {
+    ranges.emplace_back(begin, std::min(256u, begin + step));
+  }
+  return ranges;
+}
+
+std::vector<std::span<const int>> MakeNodeBlocks(std::span<const int> nodes,
+                                                 int node_blk_size) {
+  std::vector<std::span<const int>> blocks;
+  const size_t step = static_cast<size_t>(std::max(1, node_blk_size));
+  for (size_t begin = 0; begin < nodes.size(); begin += step) {
+    blocks.push_back(nodes.subspan(begin,
+                                   std::min(step, nodes.size() - begin)));
+  }
+  return blocks;
+}
+
+int64_t HistBuilderDP::Build(const BuildContext& ctx,
+                             std::span<const int> nodes) {
+  const size_t total_bins = ctx.matrix.TotalBins();
+  const int threads = ctx.pool.num_threads();
+  const auto feature_blocks = MakeFeatureBlocks(
+      ctx.matrix.num_features(), ctx.params.feature_blk_size);
+  int64_t reduce_ns = 0;
+
+  // One "parallel for" per node block: node_blk_size trades fewer barriers
+  // against larger per-thread replicas (Section IV-D).
+  for (std::span<const int> block :
+       MakeNodeBlocks(nodes, ctx.params.node_blk_size)) {
+    const size_t block_nodes = block.size();
+
+    // Row-block task list: (node index in block, row range).
+    struct RowTask {
+      uint32_t local_node;
+      uint32_t begin;
+      uint32_t end;
+    };
+    int64_t total_rows = 0;
+    for (int node : block) total_rows += ctx.partitioner.NodeSize(node);
+    const int64_t auto_blk =
+        std::max<int64_t>(1, total_rows / std::max(1, threads));
+    const int64_t row_blk = ctx.params.row_blk_size > 0
+                                ? ctx.params.row_blk_size
+                                : auto_blk;
+    std::vector<RowTask> tasks;
+    for (size_t i = 0; i < block_nodes; ++i) {
+      const uint32_t n = ctx.partitioner.NodeSize(block[i]);
+      for (uint32_t begin = 0; begin < n;
+           begin += static_cast<uint32_t>(row_blk)) {
+        tasks.push_back(RowTask{
+            static_cast<uint32_t>(i), begin,
+            std::min(n, begin + static_cast<uint32_t>(row_blk))});
+      }
+    }
+
+    // Per-thread replicas covering the node block, zeroed. Replica layout:
+    // [thread][local_node][total_bins].
+    const size_t replica_stride = block_nodes * total_bins;
+    replicas_.assign(static_cast<size_t>(threads) * replica_stride,
+                     GHPair{});
+
+    std::atomic<int64_t> cursor{0};
+    ctx.pool.RunOnAllThreads([&](int thread_id) {
+      GHPair* replica =
+          replicas_.data() + static_cast<size_t>(thread_id) * replica_stride;
+      for (;;) {
+        const int64_t t = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (t >= static_cast<int64_t>(tasks.size())) break;
+        const RowTask& task = tasks[static_cast<size_t>(t)];
+        GHPair* node_hist = replica + task.local_node * total_bins;
+        // Feature-block tiling: re-reads the row block once per feature
+        // block but confines writes to the block's histogram region.
+        for (const Range& fb : feature_blocks) {
+          ctx.partitioner.ForEachRowRange(
+              block[task.local_node], task.begin, task.end,
+              [&](uint32_t rid, float g, float h) {
+                AccumulateRow(ctx.matrix.RowBins(rid), g, h, ctx.matrix,
+                              node_hist, fb, {0u, 256u});
+              });
+        }
+        ctx.pool.CountTask(thread_id);
+      }
+    });
+
+    // Deterministic reduction: slot-parallel, fixed thread order.
+    const Stopwatch reduce_watch;
+    std::vector<GHPair*> dst(block_nodes);
+    for (size_t i = 0; i < block_nodes; ++i) dst[i] = ctx.hists.Get(block[i]);
+    ctx.pool.ParallelFor(
+        static_cast<int64_t>(replica_stride),
+        [&](int64_t begin, int64_t end, int) {
+          for (int64_t s = begin; s < end; ++s) {
+            GHPair sum;
+            for (int t = 0; t < threads; ++t) {
+              sum += replicas_[static_cast<size_t>(t) * replica_stride +
+                               static_cast<size_t>(s)];
+            }
+            const size_t local_node = static_cast<size_t>(s) / total_bins;
+            const size_t slot = static_cast<size_t>(s) % total_bins;
+            dst[local_node][slot] += sum;
+          }
+        });
+    reduce_ns += reduce_watch.ElapsedNs();
+  }
+  return reduce_ns;
+}
+
+}  // namespace harp

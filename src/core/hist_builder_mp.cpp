@@ -1,0 +1,75 @@
+#include <algorithm>
+
+#include "common/logging.h"
+#include "core/hist_builder.h"
+
+namespace harp {
+
+void HistBuilderMP::Build(const BuildContext& ctx,
+                          std::span<const int> nodes) {
+  const auto feature_blocks = MakeFeatureBlocks(
+      ctx.matrix.num_features(), ctx.params.feature_blk_size);
+  const auto bin_ranges = MakeBinRanges(ctx.params.bin_blk_size);
+  const auto node_blocks = MakeNodeBlocks(nodes, ctx.params.node_blk_size);
+
+  // Task = one <node_blk x feature_blk x bin_blk> cube. Distinct tasks
+  // write disjoint regions of the shared histograms, so no replicas and no
+  // reduction are needed; the price is one re-read of the node's rows per
+  // (feature block, bin range).
+  struct Task {
+    uint32_t node_block;
+    uint32_t feature_block;
+    uint32_t bin_range;
+  };
+  std::vector<Task> tasks;
+  tasks.reserve(node_blocks.size() * feature_blocks.size() *
+                bin_ranges.size());
+  for (uint32_t nb = 0; nb < node_blocks.size(); ++nb) {
+    for (uint32_t fb = 0; fb < feature_blocks.size(); ++fb) {
+      for (uint32_t bb = 0; bb < bin_ranges.size(); ++bb) {
+        tasks.push_back(Task{nb, fb, bb});
+      }
+    }
+  }
+
+  // Histogram pointers resolved up front: Get() takes the pool lock, and
+  // resolving inside tasks would serialize them.
+  std::vector<GHPair*> hist_of(nodes.size());
+  std::vector<size_t> node_pos(static_cast<size_t>(
+      nodes.empty() ? 0 : 1 + *std::max_element(nodes.begin(), nodes.end())));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    hist_of[i] = ctx.hists.Get(nodes[i]);
+    node_pos[static_cast<size_t>(nodes[i])] = i;
+  }
+
+  ctx.pool.ParallelForDynamic(
+      static_cast<int64_t>(tasks.size()), 1,
+      [&](int64_t begin, int64_t end, int) {
+        for (int64_t t = begin; t < end; ++t) {
+          const Task& task = tasks[static_cast<size_t>(t)];
+          const Range fb = feature_blocks[task.feature_block];
+          const Range bins = bin_ranges[task.bin_range];
+          for (int node : node_blocks[task.node_block]) {
+            GHPair* hist = hist_of[node_pos[static_cast<size_t>(node)]];
+            ctx.partitioner.ForEachRow(
+                node, [&](uint32_t rid, float g, float h) {
+                  AccumulateRow(ctx.matrix.RowBins(rid), g, h, ctx.matrix,
+                                hist, fb, bins);
+                });
+          }
+        }
+      });
+}
+
+void BuildHistSerial(const BuildContext& ctx, int node_id, GHPair* hist) {
+  const auto feature_blocks = MakeFeatureBlocks(
+      ctx.matrix.num_features(), ctx.params.feature_blk_size);
+  for (const Range& fb : feature_blocks) {
+    ctx.partitioner.ForEachRow(node_id, [&](uint32_t rid, float g, float h) {
+      AccumulateRow(ctx.matrix.RowBins(rid), g, h, ctx.matrix, hist, fb,
+                    {0u, 256u});
+    });
+  }
+}
+
+}  // namespace harp

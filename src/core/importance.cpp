@@ -1,0 +1,54 @@
+#include "core/importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace harp {
+
+FeatureImportance ComputeImportance(const GbdtModel& model,
+                                    uint32_t num_features) {
+  FeatureImportance importance;
+  importance.total_gain.assign(num_features, 0.0);
+  importance.total_cover.assign(num_features, 0.0);
+  importance.split_count.assign(num_features, 0);
+  for (const RegTree& tree : model.trees()) {
+    for (const TreeNode& node : tree.nodes()) {
+      if (node.IsLeaf()) continue;
+      HARP_CHECK_LT(node.split_feature, num_features);
+      importance.total_gain[node.split_feature] += node.gain;
+      importance.total_cover[node.split_feature] += node.sum.h;
+      ++importance.split_count[node.split_feature];
+    }
+  }
+  return importance;
+}
+
+std::vector<uint32_t> TopFeaturesByGain(const FeatureImportance& importance,
+                                        size_t k) {
+  std::vector<uint32_t> order(importance.num_features());
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (importance.total_gain[a] != importance.total_gain[b]) {
+      return importance.total_gain[a] > importance.total_gain[b];
+    }
+    return importance.split_count[a] > importance.split_count[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+std::string FormatImportance(const FeatureImportance& importance, size_t k) {
+  std::string out = StrFormat("%8s %12s %12s %8s\n", "feature", "gain",
+                              "cover", "splits");
+  for (uint32_t f : TopFeaturesByGain(importance, k)) {
+    out += StrFormat("%8u %12.4f %12.1f %8lld\n", f,
+                     importance.total_gain[f], importance.total_cover[f],
+                     static_cast<long long>(importance.split_count[f]));
+  }
+  return out;
+}
+
+}  // namespace harp

@@ -1,0 +1,34 @@
+// Feature importance from a trained ensemble.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+
+namespace harp {
+
+struct FeatureImportance {
+  // Indexed by feature id.
+  std::vector<double> total_gain;   // sum of split gains using the feature
+  std::vector<double> total_cover;  // sum of hessian mass at those splits
+  std::vector<int64_t> split_count;
+
+  uint32_t num_features() const {
+    return static_cast<uint32_t>(total_gain.size());
+  }
+};
+
+// Aggregates gain/cover/count over every internal node of every tree.
+FeatureImportance ComputeImportance(const GbdtModel& model,
+                                    uint32_t num_features);
+
+// Feature ids sorted by descending total gain (count-tie-broken, stable).
+std::vector<uint32_t> TopFeaturesByGain(const FeatureImportance& importance,
+                                        size_t k);
+
+// Human-readable table of the top-k features.
+std::string FormatImportance(const FeatureImportance& importance, size_t k);
+
+}  // namespace harp

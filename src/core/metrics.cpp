@@ -1,0 +1,84 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace harp {
+
+double Auc(const std::vector<float>& labels,
+           const std::vector<double>& scores) {
+  HARP_CHECK_EQ(labels.size(), scores.size());
+  const size_t n = labels.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] < scores[b];
+  });
+
+  // Rank-sum (Mann-Whitney U) with midranks for ties.
+  double positives = 0.0;
+  double negatives = 0.0;
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    // Average rank of the tie group (1-based ranks).
+    const double mid_rank =
+        (static_cast<double>(i + 1) + static_cast<double>(j)) * 0.5;
+    for (size_t k = i; k < j; ++k) {
+      if (labels[order[k]] > 0.5f) {
+        positives += 1.0;
+        rank_sum_pos += mid_rank;
+      } else {
+        negatives += 1.0;
+      }
+    }
+    i = j;
+  }
+  if (positives == 0.0 || negatives == 0.0) return 0.5;
+  const double u = rank_sum_pos - positives * (positives + 1.0) * 0.5;
+  return u / (positives * negatives);
+}
+
+double LogLoss(const std::vector<float>& labels,
+               const std::vector<double>& probabilities) {
+  HARP_CHECK_EQ(labels.size(), probabilities.size());
+  HARP_CHECK(!labels.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double p = std::clamp(probabilities[i], 1e-15, 1.0 - 1e-15);
+    sum += labels[i] > 0.5f ? -std::log(p) : -std::log(1.0 - p);
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+double Rmse(const std::vector<float>& labels,
+            const std::vector<double>& predictions) {
+  HARP_CHECK_EQ(labels.size(), predictions.size());
+  HARP_CHECK(!labels.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double d = predictions[i] - static_cast<double>(labels[i]);
+    sum += d * d;
+  }
+  return std::sqrt(sum / static_cast<double>(labels.size()));
+}
+
+double ErrorRate(const std::vector<float>& labels,
+                 const std::vector<double>& probabilities) {
+  HARP_CHECK_EQ(labels.size(), probabilities.size());
+  HARP_CHECK(!labels.empty());
+  size_t wrong = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const bool predicted = probabilities[i] >= 0.5;
+    const bool actual = labels[i] > 0.5f;
+    if (predicted != actual) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(labels.size());
+}
+
+}  // namespace harp

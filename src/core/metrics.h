@@ -1,0 +1,25 @@
+// Evaluation metrics. AUC is the paper's accuracy metric (Section V-A4).
+#pragma once
+
+#include <vector>
+
+namespace harp {
+
+// Area under the ROC curve. `scores` may be margins or probabilities (any
+// monotone transform gives the same AUC). Ties contribute 1/2. Returns 0.5
+// when either class is absent.
+double Auc(const std::vector<float>& labels, const std::vector<double>& scores);
+
+// Mean negative log-likelihood of binary labels given probabilities.
+double LogLoss(const std::vector<float>& labels,
+               const std::vector<double>& probabilities);
+
+// Root mean squared error.
+double Rmse(const std::vector<float>& labels,
+            const std::vector<double>& predictions);
+
+// Fraction misclassified at a 0.5 probability threshold.
+double ErrorRate(const std::vector<float>& labels,
+                 const std::vector<double>& probabilities);
+
+}  // namespace harp

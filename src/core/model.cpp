@@ -1,0 +1,105 @@
+#include "core/model.h"
+
+#include "common/logging.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+
+double GbdtModel::PredictMarginRow(const Dataset& dataset, uint32_t row,
+                                   size_t num_trees) const {
+  const size_t limit =
+      num_trees == 0 ? trees_.size() : std::min(num_trees, trees_.size());
+  double margin = base_margin_;
+  for (size_t t = 0; t < limit; ++t) {
+    margin += trees_[t].PredictRaw(dataset, row);
+  }
+  return margin;
+}
+
+std::vector<double> GbdtModel::PredictMargins(const Dataset& dataset,
+                                              ThreadPool* pool,
+                                              size_t num_trees) const {
+  std::vector<double> margins(dataset.num_rows());
+  auto kernel = [&](int64_t begin, int64_t end, int) {
+    for (int64_t r = begin; r < end; ++r) {
+      margins[static_cast<size_t>(r)] =
+          PredictMarginRow(dataset, static_cast<uint32_t>(r), num_trees);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(dataset.num_rows(), kernel);
+  } else {
+    kernel(0, dataset.num_rows(), 0);
+  }
+  return margins;
+}
+
+std::vector<double> GbdtModel::Predict(const Dataset& dataset,
+                                       ThreadPool* pool,
+                                       size_t num_trees) const {
+  std::vector<double> out = PredictMargins(dataset, pool, num_trees);
+  const auto objective = Objective::Create(objective_);
+  for (double& v : out) v = objective->Transform(v);
+  return out;
+}
+
+std::vector<double> GbdtModel::PredictMarginsBinned(const BinnedMatrix& matrix,
+                                                    ThreadPool* pool,
+                                                    size_t num_trees) const {
+  const size_t limit =
+      num_trees == 0 ? trees_.size() : std::min(num_trees, trees_.size());
+  std::vector<double> margins(matrix.num_rows());
+  auto kernel = [&](int64_t begin, int64_t end, int) {
+    for (int64_t r = begin; r < end; ++r) {
+      const uint8_t* row = matrix.RowBins(static_cast<uint32_t>(r));
+      double margin = base_margin_;
+      for (size_t t = 0; t < limit; ++t) {
+        margin += trees_[t].PredictBinned(row);
+      }
+      margins[static_cast<size_t>(r)] = margin;
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(matrix.num_rows(), kernel);
+  } else {
+    kernel(0, matrix.num_rows(), 0);
+  }
+  return margins;
+}
+
+BinnedMatrix GbdtModel::BinDataset(const Dataset& dataset,
+                                   ThreadPool* pool) const {
+  return BinnedMatrix::Build(dataset, cuts_, pool);
+}
+
+std::vector<int> GbdtModel::PredictLeafIndices(const BinnedMatrix& matrix,
+                                               size_t tree_index,
+                                               ThreadPool* pool) const {
+  HARP_CHECK_LT(tree_index, trees_.size());
+  const RegTree& tree = trees_[tree_index];
+  std::vector<int> leaves(matrix.num_rows());
+  auto kernel = [&](int64_t begin, int64_t end, int) {
+    for (int64_t r = begin; r < end; ++r) {
+      leaves[static_cast<size_t>(r)] = tree.PredictLeafBinned(
+          matrix.RowBins(static_cast<uint32_t>(r)));
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(matrix.num_rows(), kernel);
+  } else {
+    kernel(0, matrix.num_rows(), 0);
+  }
+  return leaves;
+}
+
+double GbdtModel::Transform(double margin) const {
+  return Objective::Create(objective_)->Transform(margin);
+}
+
+int64_t GbdtModel::TotalNodes() const {
+  int64_t total = 0;
+  for (const RegTree& tree : trees_) total += tree.num_nodes();
+  return total;
+}
+
+}  // namespace harp

@@ -1,0 +1,88 @@
+// Trained model: tree ensemble + the metadata needed to predict on raw
+// feature values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/objective.h"
+#include "core/params.h"
+#include "core/tree.h"
+#include "data/binned_matrix.h"
+#include "data/dataset.h"
+#include "data/quantile.h"
+
+namespace harp {
+
+class ThreadPool;
+
+class GbdtModel {
+ public:
+  GbdtModel() = default;
+  GbdtModel(ObjectiveKind objective, double base_margin, QuantileCuts cuts)
+      : objective_(objective),
+        base_margin_(base_margin),
+        cuts_(std::move(cuts)) {}
+
+  void AddTree(RegTree tree) { trees_.push_back(std::move(tree)); }
+
+  size_t NumTrees() const { return trees_.size(); }
+  const RegTree& tree(size_t i) const { return trees_[i]; }
+  const std::vector<RegTree>& trees() const { return trees_; }
+  ObjectiveKind objective() const { return objective_; }
+  double base_margin() const { return base_margin_; }
+  const QuantileCuts& cuts() const { return cuts_; }
+
+  // Raw margin of one row of `dataset`, using the first `num_trees` trees
+  // (0 = all). Missing values follow each split's default direction.
+  double PredictMarginRow(const Dataset& dataset, uint32_t row,
+                          size_t num_trees = 0) const;
+
+  // Margins for every row (parallel when a pool is given).
+  std::vector<double> PredictMargins(const Dataset& dataset,
+                                     ThreadPool* pool = nullptr,
+                                     size_t num_trees = 0) const;
+
+  // User-facing predictions: probabilities for logistic, values for
+  // squared error.
+  std::vector<double> Predict(const Dataset& dataset,
+                              ThreadPool* pool = nullptr,
+                              size_t num_trees = 0) const;
+
+  // Fast path: margins for a matrix binned with THIS model's cuts (bin
+  // comparisons instead of float comparisons; no per-node value lookups).
+  // Use BinDataset() to produce a compatible matrix.
+  std::vector<double> PredictMarginsBinned(const BinnedMatrix& matrix,
+                                           ThreadPool* pool = nullptr,
+                                           size_t num_trees = 0) const;
+
+  // Bins new raw data with the model's training-time cuts.
+  BinnedMatrix BinDataset(const Dataset& dataset,
+                          ThreadPool* pool = nullptr) const;
+
+  // Leaf index reached in tree `tree_index` for every binned row
+  // (embedding extraction, debugging).
+  std::vector<int> PredictLeafIndices(const BinnedMatrix& matrix,
+                                      size_t tree_index,
+                                      ThreadPool* pool = nullptr) const;
+
+  // Margin transform for a single value.
+  double Transform(double margin) const;
+
+  // Total node count across trees (model-size reporting).
+  int64_t TotalNodes() const;
+
+  // Mutable access for model IO.
+  std::vector<RegTree>& mutable_trees() { return trees_; }
+  void set_objective(ObjectiveKind kind) { objective_ = kind; }
+  void set_base_margin(double margin) { base_margin_ = margin; }
+  void set_cuts(QuantileCuts cuts) { cuts_ = std::move(cuts); }
+
+ private:
+  std::vector<RegTree> trees_;
+  ObjectiveKind objective_ = ObjectiveKind::kLogistic;
+  double base_margin_ = 0.0;
+  QuantileCuts cuts_;
+};
+
+}  // namespace harp

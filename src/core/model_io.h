@@ -1,0 +1,24 @@
+// Model serialization: a line-oriented text format with hex floats, so
+// save -> load -> predict is bit-exact.
+#pragma once
+
+#include <string>
+
+#include "core/model.h"
+
+namespace harp {
+
+// Serializes the model (trees, cuts, objective, base margin).
+std::string SerializeModel(const GbdtModel& model);
+
+// Parses a serialized model; returns false with *error set on malformed
+// input.
+bool DeserializeModel(const std::string& text, GbdtModel* out,
+                      std::string* error);
+
+// File wrappers.
+bool SaveModel(const std::string& path, const GbdtModel& model,
+               std::string* error);
+bool LoadModel(const std::string& path, GbdtModel* out, std::string* error);
+
+}  // namespace harp

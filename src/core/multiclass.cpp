@@ -1,0 +1,184 @@
+#include "core/multiclass.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "core/model_io.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+
+std::vector<double> MulticlassModel::PredictProbs(const Dataset& dataset,
+                                                  ThreadPool* pool) const {
+  const int k = num_classes();
+  HARP_CHECK_GE(k, 2);
+  const uint32_t rows = dataset.num_rows();
+  std::vector<double> probs(static_cast<size_t>(rows) * k);
+
+  // Per-class sigmoid scores first (each model walk is independent).
+  for (int c = 0; c < k; ++c) {
+    const std::vector<double> margins =
+        per_class_[static_cast<size_t>(c)].PredictMargins(dataset, pool);
+    for (uint32_t r = 0; r < rows; ++r) {
+      probs[static_cast<size_t>(r) * k + static_cast<size_t>(c)] =
+          1.0 / (1.0 + std::exp(-margins[r]));
+    }
+  }
+  // Normalize rows to a distribution.
+  for (uint32_t r = 0; r < rows; ++r) {
+    double* row = probs.data() + static_cast<size_t>(r) * k;
+    double sum = 0.0;
+    for (int c = 0; c < k; ++c) sum += row[c];
+    if (sum <= 0.0) sum = 1.0;
+    for (int c = 0; c < k; ++c) row[c] /= sum;
+  }
+  return probs;
+}
+
+std::vector<int> MulticlassModel::PredictClasses(const Dataset& dataset,
+                                                 ThreadPool* pool) const {
+  const std::vector<double> probs = PredictProbs(dataset, pool);
+  const int k = num_classes();
+  std::vector<int> classes(dataset.num_rows());
+  for (uint32_t r = 0; r < dataset.num_rows(); ++r) {
+    const double* row = probs.data() + static_cast<size_t>(r) * k;
+    classes[r] = static_cast<int>(
+        std::max_element(row, row + k) - row);
+  }
+  return classes;
+}
+
+MulticlassTrainer::MulticlassTrainer(TrainParams params)
+    : params_(std::move(params)) {
+  HARP_CHECK(params_.objective == ObjectiveKind::kLogistic)
+      << "one-vs-rest uses the logistic objective per class";
+  params_.Validate();
+}
+
+MulticlassModel MulticlassTrainer::Train(const Dataset& dataset,
+                                         TrainStats* stats) {
+  int num_classes = 0;
+  for (float y : dataset.labels()) {
+    HARP_CHECK_GE(y, 0.0f);
+    HARP_CHECK_EQ(static_cast<float>(static_cast<int>(y)), y)
+        << "labels must be integers";
+    num_classes = std::max(num_classes, static_cast<int>(y) + 1);
+  }
+  HARP_CHECK_GE(num_classes, 2) << "need at least two classes";
+
+  const int threads = params_.num_threads > 0 ? params_.num_threads
+                                              : ThreadPool::DefaultThreads();
+  ThreadPool pool(threads);
+  const BinnedMatrix matrix = BinnedMatrix::Build(
+      dataset, QuantileCuts::Compute(dataset, params_.max_bins, &pool),
+      &pool);
+
+  std::vector<GbdtModel> per_class;
+  per_class.reserve(static_cast<size_t>(num_classes));
+  std::vector<float> binary(dataset.num_rows());
+  for (int c = 0; c < num_classes; ++c) {
+    for (uint32_t r = 0; r < dataset.num_rows(); ++r) {
+      binary[r] = static_cast<int>(dataset.labels()[r]) == c ? 1.0f : 0.0f;
+    }
+    HarpTreeBuilder builder(matrix, params_, pool);
+    per_class.push_back(
+        RunBoosting(matrix, binary, params_, pool, builder, stats));
+  }
+  return MulticlassModel(std::move(per_class));
+}
+
+double MulticlassAccuracy(const std::vector<float>& labels,
+                          const std::vector<int>& predicted) {
+  HARP_CHECK_EQ(labels.size(), predicted.size());
+  HARP_CHECK(!labels.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (static_cast<int>(labels[i]) == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double MulticlassLogLoss(const std::vector<float>& labels,
+                         const std::vector<double>& probs, int num_classes) {
+  HARP_CHECK_EQ(probs.size(), labels.size() * static_cast<size_t>(num_classes));
+  HARP_CHECK(!labels.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double p = std::clamp(
+        probs[i * static_cast<size_t>(num_classes) +
+              static_cast<size_t>(labels[i])],
+        1e-15, 1.0);
+    sum += -std::log(p);
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+bool SaveMulticlassModel(const std::string& path,
+                         const MulticlassModel& model, std::string* error) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  file << "harpgbdt-multiclass v1 " << model.num_classes() << "\n";
+  for (int c = 0; c < model.num_classes(); ++c) {
+    const std::string text = SerializeModel(model.class_model(c));
+    file << "class " << c << " bytes " << text.size() << "\n" << text;
+  }
+  if (!file.good()) {
+    *error = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+bool LoadMulticlassModel(const std::string& path, MulticlassModel* out,
+                         std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string header;
+  std::getline(file, header);
+  const auto head_parts = SplitWhitespace(header);
+  int64_t num_classes = 0;
+  if (head_parts.size() != 3 || head_parts[0] != "harpgbdt-multiclass" ||
+      head_parts[1] != "v1" || !ParseInt(head_parts[2], &num_classes) ||
+      num_classes < 2) {
+    *error = "bad multiclass header";
+    return false;
+  }
+  std::vector<GbdtModel> per_class;
+  for (int64_t c = 0; c < num_classes; ++c) {
+    std::string class_line;
+    std::getline(file, class_line);
+    const auto parts = SplitWhitespace(class_line);
+    int64_t index = 0;
+    int64_t bytes = 0;
+    if (parts.size() != 4 || parts[0] != "class" ||
+        !ParseInt(parts[1], &index) || index != c ||
+        parts[2] != "bytes" || !ParseInt(parts[3], &bytes) || bytes <= 0) {
+      *error = StrFormat("bad class header for class %lld",
+                         static_cast<long long>(c));
+      return false;
+    }
+    std::string text(static_cast<size_t>(bytes), '\0');
+    file.read(text.data(), bytes);
+    if (!file.good()) {
+      *error = "truncated multiclass model";
+      return false;
+    }
+    GbdtModel model;
+    if (!DeserializeModel(text, &model, error)) return false;
+    per_class.push_back(std::move(model));
+  }
+  *out = MulticlassModel(std::move(per_class));
+  return true;
+}
+
+}  // namespace harp

@@ -1,0 +1,74 @@
+// Multiclass classification via one-vs-rest binary ensembles.
+//
+// The paper's system (like XGBoost's multi:softmax at heart) trains one
+// tree ensemble per class on shared binned data. Binning is done once;
+// each class reuses the matrix, so the parallel-efficiency machinery is
+// exercised identically to the binary case.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/gbdt.h"
+#include "core/model.h"
+#include "core/params.h"
+
+namespace harp {
+
+class MulticlassModel {
+ public:
+  MulticlassModel() = default;
+  explicit MulticlassModel(std::vector<GbdtModel> per_class)
+      : per_class_(std::move(per_class)) {}
+
+  int num_classes() const { return static_cast<int>(per_class_.size()); }
+  const GbdtModel& class_model(int c) const {
+    return per_class_[static_cast<size_t>(c)];
+  }
+
+  // Row-major N x num_classes probabilities (per-class sigmoid scores
+  // normalized to sum to 1).
+  std::vector<double> PredictProbs(const Dataset& dataset,
+                                   ThreadPool* pool = nullptr) const;
+
+  // Argmax class per row.
+  std::vector<int> PredictClasses(const Dataset& dataset,
+                                  ThreadPool* pool = nullptr) const;
+
+  std::vector<GbdtModel>& mutable_per_class() { return per_class_; }
+
+ private:
+  std::vector<GbdtModel> per_class_;
+};
+
+class MulticlassTrainer {
+ public:
+  // params.objective must be kLogistic (per-class binary loss).
+  explicit MulticlassTrainer(TrainParams params);
+
+  // Labels must be integers 0..num_classes-1 (num_classes inferred as
+  // max label + 1; must be >= 2). Bins once, trains one ensemble per
+  // class.
+  MulticlassModel Train(const Dataset& dataset,
+                        TrainStats* stats = nullptr);
+
+ private:
+  TrainParams params_;
+};
+
+// Fraction of rows whose argmax class matches the integer label.
+double MulticlassAccuracy(const std::vector<float>& labels,
+                          const std::vector<int>& predicted);
+
+// Mean negative log of the true class's normalized probability.
+double MulticlassLogLoss(const std::vector<float>& labels,
+                         const std::vector<double>& probs, int num_classes);
+
+// File persistence: concatenated per-class models with a small header.
+bool SaveMulticlassModel(const std::string& path,
+                         const MulticlassModel& model, std::string* error);
+bool LoadMulticlassModel(const std::string& path, MulticlassModel* out,
+                         std::string* error);
+
+}  // namespace harp

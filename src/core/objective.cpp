@@ -1,0 +1,80 @@
+#include "core/objective.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// Binary logistic regression ("logistic regression loss for all the binary
+// classification tasks", Section V-A4). g = p - y, h = p (1 - p).
+class LogisticObjective final : public Objective {
+ public:
+  GradientPair RowGradient(float label, double margin) const override {
+    const double p = Sigmoid(margin);
+    return GradientPair{static_cast<float>(p - label),
+                        static_cast<float>(std::max(p * (1.0 - p), 1e-16))};
+  }
+
+  double Transform(double margin) const override { return Sigmoid(margin); }
+
+  double InitialMargin(double base_score) const override {
+    return std::log(base_score / (1.0 - base_score));
+  }
+
+  ObjectiveKind kind() const override { return ObjectiveKind::kLogistic; }
+};
+
+// Squared error: g = margin - y, h = 1.
+class SquaredErrorObjective final : public Objective {
+ public:
+  GradientPair RowGradient(float label, double margin) const override {
+    return GradientPair{static_cast<float>(margin - label), 1.0f};
+  }
+
+  double Transform(double margin) const override { return margin; }
+
+  double InitialMargin(double base_score) const override {
+    return base_score;
+  }
+
+  ObjectiveKind kind() const override { return ObjectiveKind::kSquaredError; }
+};
+
+}  // namespace
+
+void Objective::ComputeGradients(const std::vector<float>& labels,
+                                 const std::vector<double>& margins,
+                                 std::vector<GradientPair>* out,
+                                 ThreadPool* pool) const {
+  HARP_CHECK_EQ(labels.size(), margins.size());
+  out->resize(labels.size());
+  auto kernel = [&](int64_t begin, int64_t end, int) {
+    for (int64_t i = begin; i < end; ++i) {
+      (*out)[static_cast<size_t>(i)] = RowGradient(
+          labels[static_cast<size_t>(i)], margins[static_cast<size_t>(i)]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<int64_t>(labels.size()), kernel);
+  } else {
+    kernel(0, static_cast<int64_t>(labels.size()), 0);
+  }
+}
+
+std::unique_ptr<Objective> Objective::Create(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kLogistic:
+      return std::make_unique<LogisticObjective>();
+    case ObjectiveKind::kSquaredError:
+      return std::make_unique<SquaredErrorObjective>();
+  }
+  HARP_CHECK(false) << "unknown objective";
+  return nullptr;
+}
+
+}  // namespace harp

@@ -1,0 +1,42 @@
+// Loss functions: gradients/hessians of Eq. 1 and prediction transforms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/gh.h"
+#include "core/params.h"
+
+namespace harp {
+
+class ThreadPool;
+
+class Objective {
+ public:
+  virtual ~Objective() = default;
+
+  // First/second-order gradients of the loss at the current margins.
+  // margins are raw scores (pre-transform); labels/margins/out have equal
+  // length. Parallelized over rows when a pool is given.
+  void ComputeGradients(const std::vector<float>& labels,
+                        const std::vector<double>& margins,
+                        std::vector<GradientPair>* out,
+                        ThreadPool* pool = nullptr) const;
+
+  // Gradient of one row (the ComputeGradients kernel).
+  virtual GradientPair RowGradient(float label, double margin) const = 0;
+
+  // Margin -> user-facing prediction (sigmoid for logistic, identity for
+  // squared error).
+  virtual double Transform(double margin) const = 0;
+
+  // Initial margin corresponding to base_score.
+  virtual double InitialMargin(double base_score) const = 0;
+
+  virtual ObjectiveKind kind() const = 0;
+
+  static std::unique_ptr<Objective> Create(ObjectiveKind kind);
+};
+
+}  // namespace harp

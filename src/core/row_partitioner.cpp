@@ -1,0 +1,236 @@
+#include "core/row_partitioner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+// Predicate shared by all partition paths: does this row go left?
+inline bool GoesLeft(const BinnedMatrix& matrix, uint32_t rid,
+                     uint32_t feature, uint32_t split_bin,
+                     bool default_left) {
+  const uint8_t bin = matrix.RowBins(rid)[feature];
+  return (bin == 0) ? default_left : (bin <= split_bin);
+}
+
+}  // namespace
+
+void RowPartitioner::Reset(const std::vector<GradientPair>& gradients,
+                           int max_nodes, ThreadPool* pool) {
+  HARP_CHECK_EQ(gradients.size(), static_cast<size_t>(num_rows_));
+  HARP_CHECK_GE(max_nodes, 1);
+  gradients_ = &gradients;
+  max_nodes_ = max_nodes;
+  entries_.clear();
+  row_ids_.clear();
+  if (use_membuf_) {
+    entries_.resize(static_cast<size_t>(max_nodes));
+    auto& root = entries_[0];
+    root.resize(num_rows_);
+    auto fill = [&](int64_t begin, int64_t end, int) {
+      for (int64_t r = begin; r < end; ++r) {
+        const auto i = static_cast<size_t>(r);
+        root[i] = MemBufEntry{static_cast<uint32_t>(r), gradients[i].g,
+                              gradients[i].h};
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(num_rows_, fill);
+    } else {
+      fill(0, num_rows_, 0);
+    }
+  } else {
+    row_ids_.resize(static_cast<size_t>(max_nodes));
+    auto& root = row_ids_[0];
+    root.resize(num_rows_);
+    for (uint32_t r = 0; r < num_rows_; ++r) root[r] = r;
+  }
+}
+
+void RowPartitioner::CheckNode(int node_id) const {
+  HARP_CHECK_GE(node_id, 0);
+  HARP_CHECK_LT(node_id, max_nodes_);
+}
+
+uint32_t RowPartitioner::NodeSize(int node_id) const {
+  CheckNode(node_id);
+  const size_t idx = static_cast<size_t>(node_id);
+  return static_cast<uint32_t>(use_membuf_ ? entries_[idx].size()
+                                           : row_ids_[idx].size());
+}
+
+std::span<const uint32_t> RowPartitioner::NodeRowIds(int node_id) const {
+  CheckNode(node_id);
+  HARP_CHECK(!use_membuf_);
+  return row_ids_[static_cast<size_t>(node_id)];
+}
+
+std::span<const MemBufEntry> RowPartitioner::NodeEntries(int node_id) const {
+  CheckNode(node_id);
+  HARP_CHECK(use_membuf_);
+  return entries_[static_cast<size_t>(node_id)];
+}
+
+GHPair RowPartitioner::NodeSum(int node_id, ThreadPool* pool) const {
+  CheckNode(node_id);
+  const uint32_t n = NodeSize(node_id);
+  if (pool == nullptr || n < 4096) {
+    GHPair sum;
+    ForEachRow(node_id, [&](uint32_t, float g, float h) { sum.Add(g, h); });
+    return sum;
+  }
+  std::vector<GHPair> partial(static_cast<size_t>(pool->num_threads()) * 8);
+  pool->ParallelFor(n, [&](int64_t begin, int64_t end, int thread_id) {
+    GHPair local;
+    ForEachRowRange(node_id, static_cast<uint32_t>(begin),
+                    static_cast<uint32_t>(end),
+                    [&](uint32_t, float g, float h) { local.Add(g, h); });
+    partial[static_cast<size_t>(thread_id) * 8] = local;
+  });
+  GHPair sum;
+  for (int t = 0; t < pool->num_threads(); ++t) {
+    sum += partial[static_cast<size_t>(t) * 8];
+  }
+  return sum;
+}
+
+namespace {
+
+// Stable partition of one node's list into left/right child lists.
+// Template over the element type (MemBufEntry or uint32_t) with an id
+// extractor so both layouts share one implementation.
+template <typename Elem, typename GetRid>
+void PartitionSerial(const std::vector<Elem>& parent,
+                     const BinnedMatrix& matrix, uint32_t feature,
+                     uint32_t split_bin, bool default_left, GetRid get_rid,
+                     std::vector<Elem>* left, std::vector<Elem>* right) {
+  for (const Elem& e : parent) {
+    if (GoesLeft(matrix, get_rid(e), feature, split_bin, default_left)) {
+      left->push_back(e);
+    } else {
+      right->push_back(e);
+    }
+  }
+}
+
+template <typename Elem, typename GetRid>
+void PartitionParallel(const std::vector<Elem>& parent,
+                       const BinnedMatrix& matrix, uint32_t feature,
+                       uint32_t split_bin, bool default_left, GetRid get_rid,
+                       std::vector<Elem>* left, std::vector<Elem>* right,
+                       ThreadPool* pool) {
+  const int64_t n = static_cast<int64_t>(parent.size());
+  const int chunks = pool->num_threads();
+  const int64_t chunk = (n + chunks - 1) / chunks;
+
+  // Pass 1: each chunk partitions into private buffers (stable within the
+  // chunk); pass 2 concatenates in chunk order (stable overall).
+  std::vector<std::vector<Elem>> left_parts(static_cast<size_t>(chunks));
+  std::vector<std::vector<Elem>> right_parts(static_cast<size_t>(chunks));
+  pool->RunOnAllThreads([&](int thread_id) {
+    const int64_t begin = static_cast<int64_t>(thread_id) * chunk;
+    const int64_t end = std::min<int64_t>(n, begin + chunk);
+    if (begin >= end) return;
+    auto& lp = left_parts[static_cast<size_t>(thread_id)];
+    auto& rp = right_parts[static_cast<size_t>(thread_id)];
+    for (int64_t i = begin; i < end; ++i) {
+      const Elem& e = parent[static_cast<size_t>(i)];
+      if (GoesLeft(matrix, get_rid(e), feature, split_bin, default_left)) {
+        lp.push_back(e);
+      } else {
+        rp.push_back(e);
+      }
+    }
+  });
+
+  size_t left_total = 0;
+  size_t right_total = 0;
+  for (int c = 0; c < chunks; ++c) {
+    left_total += left_parts[static_cast<size_t>(c)].size();
+    right_total += right_parts[static_cast<size_t>(c)].size();
+  }
+  left->resize(left_total);
+  right->resize(right_total);
+
+  std::vector<size_t> left_offset(static_cast<size_t>(chunks) + 1, 0);
+  std::vector<size_t> right_offset(static_cast<size_t>(chunks) + 1, 0);
+  for (int c = 0; c < chunks; ++c) {
+    left_offset[static_cast<size_t>(c) + 1] =
+        left_offset[static_cast<size_t>(c)] +
+        left_parts[static_cast<size_t>(c)].size();
+    right_offset[static_cast<size_t>(c) + 1] =
+        right_offset[static_cast<size_t>(c)] +
+        right_parts[static_cast<size_t>(c)].size();
+  }
+  pool->RunOnAllThreads([&](int thread_id) {
+    const size_t c = static_cast<size_t>(thread_id);
+    std::copy(left_parts[c].begin(), left_parts[c].end(),
+              left->begin() + static_cast<int64_t>(left_offset[c]));
+    std::copy(right_parts[c].begin(), right_parts[c].end(),
+              right->begin() + static_cast<int64_t>(right_offset[c]));
+  });
+}
+
+}  // namespace
+
+void RowPartitioner::ApplySplit(int node_id, int left_id, int right_id,
+                                const BinnedMatrix& matrix, uint32_t feature,
+                                uint32_t split_bin, bool default_left,
+                                ThreadPool* pool) {
+  CheckNode(node_id);
+  CheckNode(left_id);
+  CheckNode(right_id);
+  HARP_CHECK_GE(split_bin, 1u);
+
+  // Small nodes are not worth a parallel region even when a pool is given.
+  const bool parallel = pool != nullptr && NodeSize(node_id) >= 8192;
+
+  if (use_membuf_) {
+    auto& parent = entries_[static_cast<size_t>(node_id)];
+    auto& left = entries_[static_cast<size_t>(left_id)];
+    auto& right = entries_[static_cast<size_t>(right_id)];
+    HARP_CHECK(left.empty() && right.empty());
+    auto get_rid = [](const MemBufEntry& e) { return e.rid; };
+    if (parallel) {
+      PartitionParallel(parent, matrix, feature, split_bin, default_left,
+                        get_rid, &left, &right, pool);
+    } else {
+      left.reserve(parent.size() / 2);
+      right.reserve(parent.size() / 2);
+      PartitionSerial(parent, matrix, feature, split_bin, default_left,
+                      get_rid, &left, &right);
+    }
+    HARP_CHECK_EQ(left.size() + right.size(), parent.size());
+    std::vector<MemBufEntry>().swap(parent);  // free parent storage
+  } else {
+    auto& parent = row_ids_[static_cast<size_t>(node_id)];
+    auto& left = row_ids_[static_cast<size_t>(left_id)];
+    auto& right = row_ids_[static_cast<size_t>(right_id)];
+    HARP_CHECK(left.empty() && right.empty());
+    auto get_rid = [](uint32_t rid) { return rid; };
+    if (parallel) {
+      PartitionParallel(parent, matrix, feature, split_bin, default_left,
+                        get_rid, &left, &right, pool);
+    } else {
+      left.reserve(parent.size() / 2);
+      right.reserve(parent.size() / 2);
+      PartitionSerial(parent, matrix, feature, split_bin, default_left,
+                      get_rid, &left, &right);
+    }
+    HARP_CHECK_EQ(left.size() + right.size(), parent.size());
+    std::vector<uint32_t>().swap(parent);
+  }
+}
+
+void RowPartitioner::AddToMargins(int node_id, double value,
+                                  std::vector<double>* margins) const {
+  CheckNode(node_id);
+  ForEachRow(node_id, [&](uint32_t rid, float, float) {
+    (*margins)[rid] += value;
+  });
+}
+
+}  // namespace harp

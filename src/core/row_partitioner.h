@@ -1,0 +1,123 @@
+// Row-to-node membership (the NodeMap of Fig. 5) with the MemBuf
+// optimization of Fig. 7.
+//
+// Each tree node owns the list of training rows it contains. With MemBuf
+// enabled (Section IV-E) the list stores (rowid, g, h) triples, so
+// BuildHist streams gradients sequentially instead of gathering them from
+// the global gradient array through non-contiguous row ids; with MemBuf
+// disabled it stores row ids only, reproducing the random-gather behaviour
+// (the Table V "+MemBuf" ablation toggles exactly this).
+//
+// ApplySplit partitions a node's list into its two children. The partition
+// is *stable* (row order preserved) and deterministic regardless of thread
+// count, which is what makes DP/MP/SYNC builds reproduce identical trees.
+//
+// Concurrency contract: Reset() preallocates per-node slots for every node
+// id below its max_nodes bound, so ASYNC workers may call ApplySplit /
+// ForEachRow on *disjoint* nodes concurrently without any reallocation of
+// shared state.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/gh.h"
+#include "data/binned_matrix.h"
+
+namespace harp {
+
+class ThreadPool;
+
+// One MemBuf element: 12 bytes.
+struct MemBufEntry {
+  uint32_t rid = 0;
+  float g = 0.0f;
+  float h = 0.0f;
+};
+
+class RowPartitioner {
+ public:
+  // use_membuf selects the (rowid, g, h) layout; otherwise gradients are
+  // fetched from the `gradients` array passed to Reset.
+  RowPartitioner(uint32_t num_rows, bool use_membuf)
+      : num_rows_(num_rows), use_membuf_(use_membuf) {}
+
+  // Starts a new tree: node 0 (the root) owns every row, and storage slots
+  // exist for node ids < max_nodes (a tree with L leaves has 2L-1 nodes).
+  // The gradients vector must stay valid until the next Reset.
+  void Reset(const std::vector<GradientPair>& gradients, int max_nodes,
+             ThreadPool* pool = nullptr);
+
+  bool use_membuf() const { return use_membuf_; }
+  uint32_t num_rows() const { return num_rows_; }
+  int max_nodes() const { return max_nodes_; }
+
+  uint32_t NodeSize(int node_id) const;
+
+  // Row ids of a node (only valid when MemBuf is off).
+  std::span<const uint32_t> NodeRowIds(int node_id) const;
+  // MemBuf entries of a node (only valid when MemBuf is on).
+  std::span<const MemBufEntry> NodeEntries(int node_id) const;
+
+  // Invokes fn(rid, g, h) for every row of the node, in stored order.
+  template <typename Fn>
+  void ForEachRow(int node_id, Fn&& fn) const {
+    ForEachRowRange(node_id, 0, NodeSize(node_id), fn);
+  }
+
+  // Like ForEachRow but over the subrange [begin, end) of the node's list
+  // (row-block tasks in the DP builder).
+  template <typename Fn>
+  void ForEachRowRange(int node_id, uint32_t begin, uint32_t end,
+                       Fn&& fn) const {
+    const size_t idx = static_cast<size_t>(node_id);
+    if (use_membuf_) {
+      const MemBufEntry* entries = entries_[idx].data();
+      for (uint32_t i = begin; i < end; ++i) {
+        const MemBufEntry& e = entries[i];
+        fn(e.rid, e.g, e.h);
+      }
+    } else {
+      const uint32_t* ids = row_ids_[idx].data();
+      const GradientPair* grads = gradients_->data();
+      for (uint32_t i = begin; i < end; ++i) {
+        const uint32_t rid = ids[i];
+        fn(rid, grads[rid].g, grads[rid].h);
+      }
+    }
+  }
+
+  // Gradient sum of a node's rows. Parallel when a pool is given.
+  GHPair NodeSum(int node_id, ThreadPool* pool = nullptr) const;
+
+  // Splits `node_id`'s rows between `left_id` and `right_id` using the
+  // split predicate (bin 0 -> default side; else bin <= split_bin left).
+  // The parent's storage is freed. Parallel (stable) when a pool is given;
+  // serial otherwise. Distinct nodes may be split concurrently (serial
+  // variant only).
+  void ApplySplit(int node_id, int left_id, int right_id,
+                  const BinnedMatrix& matrix, uint32_t feature,
+                  uint32_t split_bin, bool default_left,
+                  ThreadPool* pool = nullptr);
+
+  // margins[rid] += value for every row of the node (leaf-value scatter at
+  // the end of a tree). Distinct nodes may run concurrently.
+  void AddToMargins(int node_id, double value,
+                    std::vector<double>* margins) const;
+
+ private:
+  void CheckNode(int node_id) const;
+
+  uint32_t num_rows_;
+  bool use_membuf_;
+  int max_nodes_ = 0;
+  const std::vector<GradientPair>* gradients_ = nullptr;
+
+  // Indexed by node id; sized to max_nodes_ at Reset (never reallocated
+  // while a tree is being built). Exactly one is populated per layout.
+  std::vector<std::vector<MemBufEntry>> entries_;
+  std::vector<std::vector<uint32_t>> row_ids_;
+};
+
+}  // namespace harp

@@ -1,0 +1,39 @@
+// Split candidate descriptor and deterministic comparison.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "core/gh.h"
+
+namespace harp {
+
+struct SplitInfo {
+  // Loss reduction of Eq. 3 (already minus gamma); <= 0 means "do not
+  // split". Initialized invalid.
+  double gain = -std::numeric_limits<double>::infinity();
+  uint32_t feature = 0;
+  // Rows with bin in [1, split_bin] go left; bin must be >= 1.
+  uint32_t bin = 0;
+  // Direction for missing values (bin 0).
+  bool default_left = false;
+  // Gradient sums of the would-be children (missing bucket included on the
+  // default side). Used to seed child candidates without a re-scan.
+  GHPair left_sum;
+  GHPair right_sum;
+
+  bool IsValid() const { return gain > 0.0; }
+
+  // Strict-weak deterministic ordering: higher gain wins; ties broken by
+  // lower feature, then lower bin, then missing-right before missing-left.
+  // Determinism here is what makes DP/MP/SYNC produce identical trees no
+  // matter how FindSplit work is partitioned across threads.
+  bool BetterThan(const SplitInfo& other) const {
+    if (gain != other.gain) return gain > other.gain;
+    if (feature != other.feature) return feature < other.feature;
+    if (bin != other.bin) return bin < other.bin;
+    return !default_left && other.default_left;
+  }
+};
+
+}  // namespace harp

@@ -1,0 +1,60 @@
+#include "core/split_evaluator.h"
+
+namespace harp {
+
+SplitInfo SplitEvaluator::FindBestSplit(const BinnedMatrix& matrix,
+                                        const GHPair* hist,
+                                        const GHPair& node_sum,
+                                        uint32_t feature_begin,
+                                        uint32_t feature_end,
+                                        const uint8_t* column_mask) const {
+  SplitInfo best;
+  for (uint32_t f = feature_begin; f < feature_end; ++f) {
+    if (column_mask != nullptr && column_mask[f] == 0) continue;
+    const uint32_t offset = matrix.BinOffset(f);
+    const uint32_t num_bins = matrix.NumBins(f);  // includes missing bin 0
+    if (num_bins < 3) continue;  // need at least two value bins to split
+    const GHPair missing = hist[offset];
+
+    // Present-values total for this feature. Using node_sum - missing
+    // would be wrong: rows missing in OTHER features still count here, so
+    // accumulate the present bins directly.
+    GHPair present_total;
+    for (uint32_t b = 1; b < num_bins; ++b) present_total += hist[offset + b];
+
+    GHPair left_present;
+    for (uint32_t b = 1; b + 1 < num_bins; ++b) {
+      left_present += hist[offset + b];
+      const GHPair right_present = present_total - left_present;
+
+      // Missing goes right (default_left = false).
+      {
+        const GHPair left = left_present;
+        const GHPair right = node_sum - left;
+        if (SatisfiesChildWeight(left) && SatisfiesChildWeight(right)) {
+          const double gain = SplitGain(node_sum, left, right);
+          SplitInfo candidate{gain, f, b, /*default_left=*/false, left, right};
+          if (candidate.IsValid() && candidate.BetterThan(best)) {
+            best = candidate;
+          }
+        }
+      }
+      // Missing goes left (default_left = true). Skip when there are no
+      // missing rows in this node: it would duplicate the case above.
+      if (missing.g != 0.0 || missing.h != 0.0) {
+        const GHPair right = right_present;
+        const GHPair left = node_sum - right;
+        if (SatisfiesChildWeight(left) && SatisfiesChildWeight(right)) {
+          const double gain = SplitGain(node_sum, left, right);
+          SplitInfo candidate{gain, f, b, /*default_left=*/true, left, right};
+          if (candidate.IsValid() && candidate.BetterThan(best)) {
+            best = candidate;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace harp

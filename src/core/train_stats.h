@@ -1,0 +1,56 @@
+// Per-training instrumentation.
+//
+// Fills three reporting roles:
+//   - Fig. 4-style phase breakdown (BuildHist / FindSplit / ApplySplit,
+//     plus the DP reduce);
+//   - Table I / Table VI-style profiling (utilization, barrier overhead,
+//     spin overhead) via the embedded SyncSnapshot delta;
+//   - memory-behaviour proxies replacing VTune's hardware counters:
+//     ns per histogram update and the configured write-region size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parallel/sync_stats.h"
+
+namespace harp {
+
+struct TrainStats {
+  // Phase wall times, summed over trees (orchestration-level timestamps).
+  // For ASYNC the phases overlap across threads, so build/find/apply hold
+  // summed per-thread task time instead (documented where reported).
+  int64_t build_hist_ns = 0;
+  int64_t reduce_ns = 0;      // DP model-replica reduction
+  int64_t find_split_ns = 0;
+  int64_t apply_split_ns = 0;
+  int64_t gradient_ns = 0;    // per-iteration gradient computation
+  int64_t update_ns = 0;      // margin updates after each tree
+  int64_t wall_ns = 0;        // total training wall time
+
+  int trees = 0;
+  int64_t nodes_split = 0;
+  int64_t leaves = 0;
+  int max_tree_depth = 0;
+
+  // Memory-behaviour proxies.
+  int64_t hist_updates = 0;       // number of (row, feature) increments
+  size_t hist_peak_bytes = 0;     // peak live histogram memory
+  size_t write_region_bytes = 0;  // 16B x bins in one task's write window
+
+  // Synchronization counters accumulated over the measured interval.
+  SyncSnapshot sync;
+
+  // Wall seconds of each tree (convergence-vs-time benches).
+  std::vector<double> tree_seconds;
+
+  double SecondsPerTree() const;
+  // ns per histogram update: latency proxy for the paper's "Average
+  // Latency (cycles)" column (monotone in the same memory behaviour).
+  double NsPerHistUpdate() const;
+
+  std::string Report() const;
+};
+
+}  // namespace harp

@@ -1,0 +1,362 @@
+#include "core/tree_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace harp {
+
+void ScatterLeafValues(const RegTree& tree, const RowPartitioner& partitioner,
+                       ThreadPool& pool, std::vector<double>* margins) {
+  std::vector<int> leaf_ids;
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    if (tree.node(id).IsLeaf()) leaf_ids.push_back(id);
+  }
+  pool.ParallelForDynamic(
+      static_cast<int64_t>(leaf_ids.size()), 1,
+      [&](int64_t begin, int64_t end, int) {
+        for (int64_t i = begin; i < end; ++i) {
+          const int leaf = leaf_ids[static_cast<size_t>(i)];
+          partitioner.AddToMargins(leaf, tree.node(leaf).leaf_value, margins);
+        }
+      });
+}
+
+HarpTreeBuilder::HarpTreeBuilder(const BinnedMatrix& matrix,
+                                 const TrainParams& params, ThreadPool& pool)
+    : matrix_(matrix),
+      params_(params.Validate()),
+      pool_(pool),
+      evaluator_(params),
+      hists_(matrix.TotalBins()),
+      partitioner_(matrix.num_rows(), params.use_membuf),
+      use_subtraction_(params.use_hist_subtraction &&
+                       params.mode != ParallelMode::kASYNC) {
+  if (params.use_hist_subtraction && params.mode == ParallelMode::kASYNC) {
+    HARP_LOG(Warning) << "histogram subtraction is not supported in ASYNC "
+                         "mode (node tasks build children directly); "
+                         "ignoring use_hist_subtraction";
+  }
+}
+
+ParallelMode HarpTreeBuilder::ChooseMode(size_t batch_nodes,
+                                         int64_t batch_rows) const {
+  switch (params_.mode) {
+    case ParallelMode::kDP:
+      return ParallelMode::kDP;
+    case ParallelMode::kMP:
+      return ParallelMode::kMP;
+    case ParallelMode::kASYNC:
+      // Only the ramp-up phase reaches here; the paper's ASYNC is
+      // (X, node parallelism, X) with DP as the X phase.
+      return ParallelMode::kDP;
+    case ParallelMode::kSYNC:
+      break;
+  }
+  // Phase mixing by a per-node cost model. DP's fixed overhead per node is
+  // the replica traffic (zero + reduce): threads x total_bins histogram
+  // slots. Its useful work per node is the row scan: avg_rows x M updates.
+  // Early in the tree (few big nodes) the scan dominates and DP's
+  // conflict-free row blocks win; late in the tree (many tiny nodes) the
+  // replica traffic dominates and MP's shared-histogram blocks win. This
+  // realizes Table II's mixed schedule with a machine-independent switch.
+  if (batch_nodes < 2) return ParallelMode::kDP;
+  const int64_t avg_rows =
+      batch_rows / static_cast<int64_t>(std::max<size_t>(1, batch_nodes));
+  const int64_t scan_per_node =
+      avg_rows * static_cast<int64_t>(matrix_.num_features());
+  const int64_t replica_per_node =
+      static_cast<int64_t>(pool_.num_threads()) *
+      static_cast<int64_t>(matrix_.TotalBins());
+  return scan_per_node >= replica_per_node ? ParallelMode::kDP
+                                           : ParallelMode::kMP;
+}
+
+std::vector<int> HarpTreeBuilder::ApplySplitBatch(
+    RegTree& tree, std::span<const Candidate> batch) {
+  std::vector<int> children;
+  children.reserve(batch.size() * 2);
+  for (const Candidate& cand : batch) {
+    const float cut =
+        matrix_.cuts().CutFor(cand.split.feature, cand.split.bin);
+    const auto [left, right] = tree.ApplySplit(cand.node_id, cand.split, cut);
+    children.push_back(left);
+    children.push_back(right);
+  }
+
+  // Row partitioning: one big node gets an internally parallel partition;
+  // several nodes are partitioned concurrently (serial each).
+  if (batch.size() == 1) {
+    const Candidate& cand = batch[0];
+    partitioner_.ApplySplit(cand.node_id, children[0], children[1], matrix_,
+                            cand.split.feature, cand.split.bin,
+                            cand.split.default_left, &pool_);
+  } else {
+    pool_.ParallelForDynamic(
+        static_cast<int64_t>(batch.size()), 1,
+        [&](int64_t begin, int64_t end, int) {
+          for (int64_t i = begin; i < end; ++i) {
+            const Candidate& cand = batch[static_cast<size_t>(i)];
+            partitioner_.ApplySplit(
+                cand.node_id, children[static_cast<size_t>(2 * i)],
+                children[static_cast<size_t>(2 * i + 1)], matrix_,
+                cand.split.feature, cand.split.bin, cand.split.default_left,
+                nullptr);
+          }
+        });
+  }
+  for (int child : children) {
+    tree.mutable_node(child).num_rows = partitioner_.NodeSize(child);
+  }
+  return children;
+}
+
+std::vector<Candidate> HarpTreeBuilder::FindSplitsBatch(
+    const RegTree& tree, std::span<const int> nodes) {
+  const uint32_t num_features = matrix_.num_features();
+  // FindSplit parallel grid: nodes x feature chunks. When feature blocks
+  // are configured reuse them; otherwise chunk so every thread has work
+  // even for small batches.
+  int fb_size = params_.feature_blk_size;
+  if (fb_size <= 0) {
+    fb_size = static_cast<int>(std::max<uint32_t>(
+        1, num_features / static_cast<uint32_t>(
+                              std::max(1, pool_.num_threads()))));
+  }
+  const auto fblocks = MakeFeatureBlocks(num_features, fb_size);
+  const size_t grid = nodes.size() * fblocks.size();
+
+  std::vector<SplitInfo> partial(grid);
+  std::vector<const GHPair*> hist_of(nodes.size());
+  std::vector<GHPair> sums(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    hist_of[i] = hists_.Get(nodes[i]);
+    sums[i] = tree.node(nodes[i]).sum;
+  }
+
+  pool_.ParallelForDynamic(
+      static_cast<int64_t>(grid), 1, [&](int64_t begin, int64_t end, int) {
+        for (int64_t g = begin; g < end; ++g) {
+          const size_t node_idx = static_cast<size_t>(g) / fblocks.size();
+          const size_t fb_idx = static_cast<size_t>(g) % fblocks.size();
+          const Range fb = fblocks[fb_idx];
+          partial[static_cast<size_t>(g)] = evaluator_.FindBestSplit(
+              matrix_, hist_of[node_idx], sums[node_idx], fb.first,
+              fb.second,
+              column_mask_ != nullptr ? column_mask_->data() : nullptr);
+        }
+      });
+
+  std::vector<Candidate> result(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    SplitInfo best;
+    for (size_t fb = 0; fb < fblocks.size(); ++fb) {
+      const SplitInfo& s = partial[i * fblocks.size() + fb];
+      if (s.BetterThan(best)) best = s;
+    }
+    result[i] = Candidate{nodes[i], tree.node(nodes[i]).depth, best};
+  }
+  return result;
+}
+
+std::vector<Candidate> HarpTreeBuilder::BuildAndFind(
+    RegTree& tree, std::span<const Candidate> batch,
+    std::span<const int> children, TrainStats* stats) {
+  const size_t total_bins = matrix_.TotalBins();
+  const BuildContext ctx = Context();
+
+  // Decide which children get a direct build. With subtraction, only the
+  // smaller sibling is scanned; the larger one is parent - sibling.
+  std::vector<int> build_list;
+  struct SubtractJob {
+    int child;
+    int sibling;
+    int parent;
+  };
+  std::vector<SubtractJob> subtract_list;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const int left = children[2 * i];
+    const int right = children[2 * i + 1];
+    if (!use_subtraction_) {
+      build_list.push_back(left);
+      build_list.push_back(right);
+      continue;
+    }
+    const bool left_smaller =
+        tree.node(left).num_rows <= tree.node(right).num_rows;
+    const int small = left_smaller ? left : right;
+    const int large = left_smaller ? right : left;
+    build_list.push_back(small);
+    subtract_list.push_back(SubtractJob{large, small, batch[i].node_id});
+  }
+
+  for (int child : children) hists_.Acquire(child);
+
+  {
+    const Stopwatch watch;
+    int64_t build_rows = 0;
+    for (int node : build_list) build_rows += partitioner_.NodeSize(node);
+    const ParallelMode mode =
+        ChooseMode(build_list.size(), build_rows);
+    if (mode == ParallelMode::kDP) {
+      reduce_ns_ += dp_.Build(ctx, build_list);
+    } else {
+      mp_.Build(ctx, build_list);
+    }
+    hist_updates_ +=
+        build_rows * static_cast<int64_t>(matrix_.num_features());
+
+    if (!subtract_list.empty()) {
+      pool_.ParallelForDynamic(
+          static_cast<int64_t>(subtract_list.size()), 1,
+          [&](int64_t begin, int64_t end, int) {
+            for (int64_t i = begin; i < end; ++i) {
+              const SubtractJob& job = subtract_list[static_cast<size_t>(i)];
+              SubtractHistogram(hists_.Get(job.child),
+                                hists_.Get(job.parent),
+                                hists_.Get(job.sibling), total_bins);
+            }
+          });
+      // Parent histograms have served their purpose.
+      for (const Candidate& cand : batch) hists_.Release(cand.node_id);
+    }
+    build_ns_ += watch.ElapsedNs();
+  }
+
+  const Stopwatch find_watch;
+  std::vector<Candidate> found = FindSplitsBatch(tree, children);
+  find_ns_ += find_watch.ElapsedNs();
+  (void)stats;
+  return found;
+}
+
+void HarpTreeBuilder::SyncGrow(RegTree& tree, GrowQueue& queue,
+                               int64_t& leaves, TrainStats* stats,
+                               const std::function<bool()>& stop) {
+  const int64_t max_leaves = params_.MaxLeaves();
+  const int max_depth = params_.MaxDepth();
+
+  while (!queue.Empty() && leaves < max_leaves && !stop()) {
+    const int64_t remaining = max_leaves - leaves;
+    const std::vector<Candidate> batch = queue.PopBatch(
+        params_.EffectiveTopK(),
+        static_cast<int>(std::min<int64_t>(remaining, 1 << 20)));
+    if (batch.empty()) break;
+
+    const Stopwatch apply_watch;
+    const std::vector<int> children = ApplySplitBatch(tree, batch);
+    apply_ns_ += apply_watch.ElapsedNs();
+    leaves += static_cast<int64_t>(batch.size());
+    if (stats != nullptr) {
+      stats->nodes_split += static_cast<int64_t>(batch.size());
+    }
+
+    std::vector<Candidate> found = BuildAndFind(tree, batch, children, stats);
+
+    for (size_t i = 0; i < found.size(); ++i) {
+      const Candidate& cand = found[i];
+      const bool eligible =
+          cand.split.IsValid() && cand.depth < max_depth;
+      if (eligible) {
+        queue.Push(cand);
+        // Without subtraction the histogram is only needed for FindSplit.
+        if (!use_subtraction_) hists_.Release(cand.node_id);
+      } else {
+        hists_.Release(cand.node_id);
+      }
+    }
+  }
+}
+
+void HarpTreeBuilder::FinalizeLeaves(RegTree& tree) const {
+  for (int id = 0; id < tree.num_nodes(); ++id) {
+    TreeNode& node = tree.mutable_node(id);
+    if (node.IsLeaf()) node.leaf_value = evaluator_.LeafValue(node.sum);
+  }
+}
+
+RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
+                                   TrainStats* stats) {
+  build_ns_ = reduce_ns_ = find_ns_ = apply_ns_ = 0;
+  hist_updates_ = 0;
+
+  const int64_t max_leaves = params_.MaxLeaves();
+  const int max_nodes = static_cast<int>(2 * max_leaves);
+  partitioner_.Reset(gradients, max_nodes, &pool_);
+  hists_.ReleaseAll();
+
+  RegTree tree;
+  tree.mutable_nodes().reserve(static_cast<size_t>(max_nodes));
+  TreeNode& root = tree.mutable_node(0);
+  root.sum = partitioner_.NodeSum(0, &pool_);
+  root.num_rows = partitioner_.num_rows();
+
+  // Root histogram + split.
+  hists_.Acquire(0);
+  {
+    const Stopwatch watch;
+    const BuildContext ctx = Context();
+    const int root_nodes[] = {0};
+    if (ChooseMode(1, root.num_rows) == ParallelMode::kDP) {
+      reduce_ns_ += dp_.Build(ctx, root_nodes);
+    } else {
+      mp_.Build(ctx, root_nodes);
+    }
+    hist_updates_ += static_cast<int64_t>(root.num_rows) *
+                     static_cast<int64_t>(matrix_.num_features());
+    build_ns_ += watch.ElapsedNs();
+  }
+
+  GrowQueue queue(params_.grow_policy);
+  int64_t leaves = 1;
+  {
+    const Stopwatch find_watch;
+    const int root_nodes[] = {0};
+    std::vector<Candidate> root_cand = FindSplitsBatch(tree, root_nodes);
+    find_ns_ += find_watch.ElapsedNs();
+    const bool eligible = root_cand[0].split.IsValid() && max_leaves > 1 &&
+                          params_.MaxDepth() > 0;
+    if (eligible) {
+      queue.Push(root_cand[0]);
+      if (!use_subtraction_) hists_.Release(0);
+    } else {
+      hists_.Release(0);
+    }
+  }
+
+  if (params_.mode == ParallelMode::kASYNC) {
+    AsyncGrow(tree, queue, leaves, stats);
+  } else {
+    SyncGrow(tree, queue, leaves, stats, [] { return false; });
+  }
+
+  FinalizeLeaves(tree);
+
+  if (stats != nullptr) {
+    // Approximate GHSum write window of one histogram task (Section IV-E:
+    // 16 x bin_blk x feature_blk x node_blk bytes).
+    const size_t fblocks =
+        MakeFeatureBlocks(matrix_.num_features(), params_.feature_blk_size)
+            .size();
+    const size_t bins_per_block = matrix_.TotalBins() / std::max<size_t>(1, fblocks);
+    const size_t node_span =
+        params_.mode == ParallelMode::kMP
+            ? static_cast<size_t>(params_.node_blk_size)
+            : 1;
+    stats->write_region_bytes =
+        sizeof(GHPair) * bins_per_block * node_span;
+    stats->build_hist_ns += build_ns_;
+    stats->reduce_ns += reduce_ns_;
+    stats->find_split_ns += find_ns_;
+    stats->apply_split_ns += apply_ns_;
+    stats->hist_updates += hist_updates_;
+    stats->leaves += leaves;
+    stats->max_tree_depth = std::max(stats->max_tree_depth, tree.MaxDepth());
+    stats->hist_peak_bytes = std::max(stats->hist_peak_bytes,
+                                      hists_.PeakBytes());
+  }
+  return tree;
+}
+
+}  // namespace harp

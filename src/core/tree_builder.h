@@ -1,0 +1,135 @@
+// Tree construction: Algorithm 1 with TopK growth (Section IV-B) and the
+// four parallelism modes of Table II.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/grow_policy.h"
+#include "core/hist_builder.h"
+#include "core/histogram.h"
+#include "core/params.h"
+#include "core/row_partitioner.h"
+#include "core/split_evaluator.h"
+#include "core/train_stats.h"
+#include "core/tree.h"
+#include "data/binned_matrix.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+
+// Interface shared by HarpGBDT and the reimplemented baselines so one
+// boosting driver (RunBoosting in gbdt.h) trains with any of them.
+class TreeBuilderBase {
+ public:
+  virtual ~TreeBuilderBase() = default;
+
+  // Builds one tree for the given per-row gradients. Leaf values in the
+  // returned tree are already scaled by the learning rate.
+  virtual RegTree BuildTree(const std::vector<GradientPair>& gradients,
+                            TrainStats* stats) = 0;
+
+  // Adds the freshly built tree's leaf values to the training margins,
+  // using whatever row-membership state the builder kept from BuildTree.
+  virtual void UpdateMargins(const RegTree& tree,
+                             std::vector<double>* margins) = 0;
+
+  // Restricts split search to features with a non-zero mask byte for
+  // subsequent BuildTree calls (per-tree column sampling); nullptr clears
+  // the restriction. Builders without sampling support may ignore it.
+  virtual void SetColumnMask(const std::vector<uint8_t>* mask) {
+    (void)mask;
+  }
+};
+
+// Margin update for builders that keep a RowPartitioner: scatters each
+// leaf's value to its rows (leaves own disjoint rows, so they run
+// concurrently).
+void ScatterLeafValues(const RegTree& tree, const RowPartitioner& partitioner,
+                       ThreadPool& pool, std::vector<double>* margins);
+
+// HarpGBDT's builder: block-wise DP/MP, SYNC phase mixing, ASYNC node
+// parallelism, MemBuf, optional histogram subtraction.
+class HarpTreeBuilder final : public TreeBuilderBase {
+ public:
+  HarpTreeBuilder(const BinnedMatrix& matrix, const TrainParams& params,
+                  ThreadPool& pool);
+
+  RegTree BuildTree(const std::vector<GradientPair>& gradients,
+                    TrainStats* stats) override;
+
+  void UpdateMargins(const RegTree& tree,
+                     std::vector<double>* margins) override {
+    ScatterLeafValues(tree, partitioner_, pool_, margins);
+  }
+
+  void SetColumnMask(const std::vector<uint8_t>* mask) override {
+    column_mask_ = mask;
+  }
+
+  // Row membership of the most recently built tree (tests, diagnostics).
+  const RowPartitioner& partitioner() const { return partitioner_; }
+
+ private:
+  BuildContext Context() {
+    return BuildContext{matrix_, params_, pool_, partitioner_, hists_};
+  }
+
+  // Picks DP or MP for one batch. For SYNC this implements the (DP, MP,
+  // DP) phase schedule of Table II: DP while there are fewer candidates
+  // than threads (beginning), DP again when nodes have shrunk below a
+  // task-granularity threshold (end), MP in between.
+  ParallelMode ChooseMode(size_t batch_nodes, int64_t batch_rows) const;
+
+  // Batch-synchronous growth loop; stops early when `stop` returns true
+  // (used by ASYNC's DP ramp-up phase). Returns via out-params so the
+  // async phase can continue from the same state.
+  void SyncGrow(RegTree& tree, GrowQueue& queue, int64_t& leaves,
+                TrainStats* stats, const std::function<bool()>& stop);
+
+  // Node-parallel growth (Section IV-D); defined in async_builder.cpp.
+  void AsyncGrow(RegTree& tree, GrowQueue& queue, int64_t& leaves,
+                 TrainStats* stats);
+
+  // Applies the batch's splits to tree + partitioner; returns children ids
+  // (pairs in batch order). Updates child num_rows.
+  std::vector<int> ApplySplitBatch(RegTree& tree,
+                                   std::span<const Candidate> batch);
+
+  // Builds histograms for `children` (with parent subtraction when
+  // enabled), then finds their best splits. Returns one Candidate per
+  // child (possibly invalid). Manages histogram lifetimes.
+  std::vector<Candidate> BuildAndFind(RegTree& tree,
+                                      std::span<const Candidate> batch,
+                                      std::span<const int> children,
+                                      TrainStats* stats);
+
+  // FindSplit for a set of nodes whose histograms are live.
+  std::vector<Candidate> FindSplitsBatch(const RegTree& tree,
+                                         std::span<const int> nodes);
+
+  // Sets leaf_value on every leaf from its gradient sum.
+  void FinalizeLeaves(RegTree& tree) const;
+
+  const BinnedMatrix& matrix_;
+  const TrainParams& params_;
+  ThreadPool& pool_;
+  SplitEvaluator evaluator_;
+  HistogramPool hists_;
+  RowPartitioner partitioner_;
+  HistBuilderDP dp_;
+  HistBuilderMP mp_;
+  bool use_subtraction_;  // forced off for ASYNC (see .cpp)
+  const std::vector<uint8_t>* column_mask_ = nullptr;
+
+  // Phase accumulators for the current BuildTree call.
+  int64_t build_ns_ = 0;
+  int64_t reduce_ns_ = 0;
+  int64_t find_ns_ = 0;
+  int64_t apply_ns_ = 0;
+  int64_t hist_updates_ = 0;
+};
+
+}  // namespace harp

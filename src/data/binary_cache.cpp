@@ -1,0 +1,126 @@
+#include "data/binary_cache.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+namespace harp {
+namespace {
+
+constexpr uint64_t kMagic = 0x48415250474231ULL;  // "HARPGB1"
+
+template <typename T>
+bool WriteVector(std::ofstream& out, const std::vector<T>& v) {
+  const uint64_t size = v.size();
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  if (size > 0) {
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(size * sizeof(T)));
+  }
+  return out.good();
+}
+
+template <typename T>
+bool ReadVector(std::ifstream& in, std::vector<T>* v) {
+  uint64_t size = 0;
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in.good()) return false;
+  // 1 billion elements is far beyond any dataset this repo generates;
+  // treat it as corruption rather than attempting the allocation.
+  if (size > (1ULL << 30)) return false;
+  v->resize(size);
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(v->data()),
+            static_cast<std::streamsize>(size * sizeof(T)));
+  }
+  return in.good();
+}
+
+}  // namespace
+
+bool WriteDatasetCache(const std::string& path, const Dataset& dataset,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      *error = "cannot open " + tmp;
+      return false;
+    }
+    const uint64_t magic = kMagic;
+    const uint32_t rows = dataset.num_rows();
+    const uint32_t features = dataset.num_features();
+    const uint8_t layout =
+        dataset.layout() == Dataset::Layout::kDense ? 0 : 1;
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+    out.write(reinterpret_cast<const char*>(&features), sizeof(features));
+    out.write(reinterpret_cast<const char*>(&layout), sizeof(layout));
+    bool ok = WriteVector(out, dataset.labels());
+    if (layout == 0) {
+      ok = ok && WriteVector(out, dataset.dense_values());
+    } else {
+      ok = ok && WriteVector(out, dataset.row_ptr());
+      ok = ok && WriteVector(out, dataset.entries());
+    }
+    if (!ok) {
+      *error = "write failed for " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "rename failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+bool ReadDatasetCache(const std::string& path, Dataset* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  uint64_t magic = 0;
+  uint32_t rows = 0;
+  uint32_t features = 0;
+  uint8_t layout = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&features), sizeof(features));
+  in.read(reinterpret_cast<char*>(&layout), sizeof(layout));
+  if (!in.good() || magic != kMagic) {
+    *error = "bad header in " + path;
+    return false;
+  }
+  std::vector<float> labels;
+  if (!ReadVector(in, &labels) || labels.size() != rows) {
+    *error = "bad labels in " + path;
+    return false;
+  }
+  if (layout == 0) {
+    std::vector<float> values;
+    if (!ReadVector(in, &values) ||
+        values.size() != static_cast<size_t>(rows) * features) {
+      *error = "bad values in " + path;
+      return false;
+    }
+    *out = Dataset::FromDense(rows, features, std::move(values),
+                              std::move(labels));
+  } else {
+    std::vector<uint32_t> row_ptr;
+    std::vector<Entry> entries;
+    if (!ReadVector(in, &row_ptr) || row_ptr.size() != rows + 1 ||
+        !ReadVector(in, &entries) || entries.size() != row_ptr.back()) {
+      *error = "bad CSR data in " + path;
+      return false;
+    }
+    *out = Dataset::FromCsr(rows, features, std::move(row_ptr),
+                            std::move(entries), std::move(labels));
+  }
+  return true;
+}
+
+}  // namespace harp

@@ -1,0 +1,25 @@
+// Binary dataset cache.
+//
+// Benchmarks regenerate the same synthetic datasets many times; caching
+// the generated Dataset to disk makes re-runs start in milliseconds
+// ("training time ... excludes the time spent on data loading and one-time
+// initialization", Section V-A4).
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace harp {
+
+// Writes `dataset` to `path` (atomic: tmp file + rename). Returns false on
+// IO failure with a message in *error.
+bool WriteDatasetCache(const std::string& path, const Dataset& dataset,
+                       std::string* error);
+
+// Loads a dataset previously written by WriteDatasetCache. Returns false
+// on missing/corrupt files (callers then regenerate).
+bool ReadDatasetCache(const std::string& path, Dataset* out,
+                      std::string* error);
+
+}  // namespace harp

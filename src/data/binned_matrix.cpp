@@ -1,0 +1,66 @@
+#include "data/binned_matrix.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+
+BinnedMatrix BinnedMatrix::Build(const Dataset& dataset, QuantileCuts cuts,
+                                 ThreadPool* pool) {
+  HARP_CHECK_EQ(dataset.num_features(), cuts.num_features());
+  BinnedMatrix matrix;
+  matrix.num_rows_ = dataset.num_rows();
+  matrix.num_features_ = dataset.num_features();
+  matrix.cuts_ = std::move(cuts);
+
+  matrix.bin_offsets_.resize(matrix.num_features_ + 1, 0);
+  for (uint32_t f = 0; f < matrix.num_features_; ++f) {
+    matrix.bin_offsets_[f + 1] =
+        matrix.bin_offsets_[f] + matrix.cuts_.NumBins(f);
+  }
+
+  // Bin 0 (missing) is the fill value; present entries overwrite it.
+  matrix.bins_.assign(
+      static_cast<size_t>(matrix.num_rows_) * matrix.num_features_, 0);
+
+  auto bin_rows = [&](int64_t begin, int64_t end, int) {
+    for (int64_t r = begin; r < end; ++r) {
+      uint8_t* row_bins =
+          matrix.bins_.data() + static_cast<size_t>(r) * matrix.num_features_;
+      dataset.ForEachInRow(static_cast<uint32_t>(r), [&](uint32_t f, float v) {
+        const uint32_t bin = matrix.cuts_.BinFor(f, v);
+        HARP_CHECK_LT(bin, matrix.cuts_.NumBins(f));
+        row_bins[f] = static_cast<uint8_t>(bin);
+      });
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(matrix.num_rows_, bin_rows);
+  } else {
+    bin_rows(0, matrix.num_rows_, 0);
+  }
+  return matrix;
+}
+
+void BinnedMatrix::EnsureColumnMajor(ThreadPool* pool) {
+  if (HasColumnMajor()) return;
+  col_bins_.resize(bins_.size());
+  auto transpose = [&](int64_t begin, int64_t end, int) {
+    for (int64_t f = begin; f < end; ++f) {
+      uint8_t* col = col_bins_.data() + static_cast<size_t>(f) * num_rows_;
+      for (uint32_t r = 0; r < num_rows_; ++r) {
+        col[r] = bins_[static_cast<size_t>(r) * num_features_ +
+                       static_cast<size_t>(f)];
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForDynamic(num_features_, 4, transpose);
+  } else {
+    transpose(0, num_features_, 0);
+  }
+}
+
+}  // namespace harp

@@ -1,0 +1,86 @@
+#include "data/csv_reader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace harp {
+
+bool ParseCsv(const std::string& content, const CsvOptions& options,
+              Dataset* out, std::string* error) {
+  std::vector<float> values;
+  std::vector<float> labels;
+  int num_columns = -1;
+
+  std::istringstream stream(content);
+  std::string line;
+  int line_number = 0;
+  bool skipped_header = !options.has_header;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (!skipped_header) {
+      skipped_header = true;
+      continue;
+    }
+    const auto fields = Split(trimmed, options.delimiter);
+    if (num_columns < 0) {
+      num_columns = static_cast<int>(fields.size());
+      if (options.label_column >= num_columns) {
+        *error = StrFormat("label column %d out of range (%d columns)",
+                           options.label_column, num_columns);
+        return false;
+      }
+    } else if (static_cast<int>(fields.size()) != num_columns) {
+      *error = StrFormat("line %d: expected %d fields, got %zu", line_number,
+                         num_columns, fields.size());
+      return false;
+    }
+    for (int c = 0; c < num_columns; ++c) {
+      const std::string_view field = Trim(fields[static_cast<size_t>(c)]);
+      double parsed = 0.0;
+      if (c == options.label_column) {
+        if (!ParseDouble(field, &parsed)) {
+          *error = StrFormat("line %d: bad label '%.*s'", line_number,
+                             static_cast<int>(field.size()), field.data());
+          return false;
+        }
+        labels.push_back(static_cast<float>(parsed));
+      } else if (field.empty() || field == "NA" || field == "nan") {
+        values.push_back(kMissingValue);
+      } else if (ParseDouble(field, &parsed)) {
+        values.push_back(static_cast<float>(parsed));
+      } else {
+        *error = StrFormat("line %d: bad value '%.*s'", line_number,
+                           static_cast<int>(field.size()), field.data());
+        return false;
+      }
+    }
+  }
+  if (labels.empty()) {
+    *error = "no data rows";
+    return false;
+  }
+  const uint32_t num_rows = static_cast<uint32_t>(labels.size());
+  const uint32_t num_features = static_cast<uint32_t>(num_columns - 1);
+  *out = Dataset::FromDense(num_rows, num_features, std::move(values),
+                            std::move(labels));
+  return true;
+}
+
+bool ReadCsv(const std::string& path, const CsvOptions& options, Dataset* out,
+             std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), options, out, error);
+}
+
+}  // namespace harp

@@ -1,0 +1,27 @@
+// CSV loader: one row per line, label in a configurable column, empty
+// fields = missing. Used by the examples so real downloaded datasets
+// (e.g. the actual HIGGS csv) can be trained on directly.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace harp {
+
+struct CsvOptions {
+  char delimiter = ',';
+  int label_column = 0;   // column index holding the label
+  bool has_header = false;
+};
+
+// Loads `path`; CHECK-fails on unreadable files, returns false only for
+// structurally malformed content (inconsistent column counts, bad floats).
+bool ReadCsv(const std::string& path, const CsvOptions& options,
+             Dataset* out, std::string* error);
+
+// Parses CSV content from a string (testing / in-memory data).
+bool ParseCsv(const std::string& content, const CsvOptions& options,
+              Dataset* out, std::string* error);
+
+}  // namespace harp

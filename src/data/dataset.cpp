@@ -1,0 +1,123 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace harp {
+
+Dataset Dataset::FromDense(uint32_t num_rows, uint32_t num_features,
+                           std::vector<float> values,
+                           std::vector<float> labels) {
+  HARP_CHECK_EQ(values.size(),
+                static_cast<size_t>(num_rows) * num_features);
+  HARP_CHECK_EQ(labels.size(), static_cast<size_t>(num_rows));
+  Dataset ds;
+  ds.num_rows_ = num_rows;
+  ds.num_features_ = num_features;
+  ds.layout_ = Layout::kDense;
+  ds.dense_ = std::move(values);
+  ds.labels_ = std::move(labels);
+  return ds;
+}
+
+Dataset Dataset::FromCsr(uint32_t num_rows, uint32_t num_features,
+                         std::vector<uint32_t> row_ptr,
+                         std::vector<Entry> entries,
+                         std::vector<float> labels) {
+  HARP_CHECK_EQ(row_ptr.size(), static_cast<size_t>(num_rows) + 1);
+  HARP_CHECK_EQ(row_ptr.back(), entries.size());
+  HARP_CHECK_EQ(labels.size(), static_cast<size_t>(num_rows));
+  for (uint32_t r = 0; r < num_rows; ++r) {
+    for (uint32_t i = row_ptr[r]; i + 1 < row_ptr[r + 1]; ++i) {
+      HARP_CHECK_LT(entries[i].feature, entries[i + 1].feature);
+    }
+    if (row_ptr[r] < row_ptr[r + 1]) {
+      HARP_CHECK_LT(entries[row_ptr[r + 1] - 1].feature, num_features);
+    }
+  }
+  Dataset ds;
+  ds.num_rows_ = num_rows;
+  ds.num_features_ = num_features;
+  ds.layout_ = Layout::kSparse;
+  ds.row_ptr_ = std::move(row_ptr);
+  ds.entries_ = std::move(entries);
+  ds.labels_ = std::move(labels);
+  return ds;
+}
+
+float Dataset::At(uint32_t row, uint32_t feature) const {
+  HARP_CHECK_LT(row, num_rows_);
+  HARP_CHECK_LT(feature, num_features_);
+  if (layout_ == Layout::kDense) {
+    return dense_[static_cast<size_t>(row) * num_features_ + feature];
+  }
+  const Entry* begin = entries_.data() + row_ptr_[row];
+  const Entry* end = entries_.data() + row_ptr_[row + 1];
+  const Entry* it = std::lower_bound(
+      begin, end, feature,
+      [](const Entry& e, uint32_t f) { return e.feature < f; });
+  if (it != end && it->feature == feature) return it->value;
+  return kMissingValue;
+}
+
+uint64_t Dataset::NumPresent() const {
+  if (layout_ == Layout::kSparse) return entries_.size();
+  uint64_t present = 0;
+  for (float v : dense_) {
+    if (!IsMissing(v)) ++present;
+  }
+  return present;
+}
+
+double Dataset::Sparseness() const {
+  const double total =
+      static_cast<double>(num_rows_) * static_cast<double>(num_features_);
+  if (total == 0.0) return 0.0;
+  return static_cast<double>(NumPresent()) / total;
+}
+
+Dataset Dataset::Slice(uint32_t begin_row, uint32_t end_row) const {
+  HARP_CHECK_LE(begin_row, end_row);
+  HARP_CHECK_LE(end_row, num_rows_);
+  const uint32_t n = end_row - begin_row;
+  std::vector<float> labels(labels_.begin() + begin_row,
+                            labels_.begin() + end_row);
+  if (layout_ == Layout::kDense) {
+    std::vector<float> values(
+        dense_.begin() + static_cast<size_t>(begin_row) * num_features_,
+        dense_.begin() + static_cast<size_t>(end_row) * num_features_);
+    return FromDense(n, num_features_, std::move(values), std::move(labels));
+  }
+  std::vector<uint32_t> row_ptr(n + 1);
+  const uint32_t base = row_ptr_[begin_row];
+  for (uint32_t r = 0; r <= n; ++r) {
+    row_ptr[r] = row_ptr_[begin_row + r] - base;
+  }
+  std::vector<Entry> entries(entries_.begin() + base,
+                             entries_.begin() + row_ptr_[end_row]);
+  return FromCsr(n, num_features_, std::move(row_ptr), std::move(entries),
+                 std::move(labels));
+}
+
+Dataset Dataset::ConcatRows(const Dataset& other) const {
+  HARP_CHECK_EQ(num_features_, other.num_features_);
+  HARP_CHECK(layout_ == other.layout_);
+  Dataset ds = *this;
+  ds.num_rows_ = num_rows_ + other.num_rows_;
+  ds.labels_.insert(ds.labels_.end(), other.labels_.begin(),
+                    other.labels_.end());
+  if (layout_ == Layout::kDense) {
+    ds.dense_.insert(ds.dense_.end(), other.dense_.begin(),
+                     other.dense_.end());
+  } else {
+    const uint32_t base = ds.row_ptr_.back();
+    ds.row_ptr_.pop_back();
+    for (uint32_t v : other.row_ptr_) ds.row_ptr_.push_back(base + v);
+    ds.entries_.insert(ds.entries_.end(), other.entries_.begin(),
+                       other.entries_.end());
+  }
+  return ds;
+}
+
+}  // namespace harp

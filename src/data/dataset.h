@@ -1,0 +1,104 @@
+// Raw (pre-binning) dataset representation.
+//
+// Feature values are float32 with quiet-NaN marking missing entries
+// (sparseness S in the paper's Table III is the fraction of *present*
+// entries). Two storage layouts are supported behind one iteration API:
+// dense row-major for mostly-full matrices (HIGGS, AIRLINE, CRITEO shapes)
+// and CSR for matrices with many absent entries (the YFCC shape, S = 0.31).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace harp {
+
+inline constexpr float kMissingValue = std::numeric_limits<float>::quiet_NaN();
+
+inline bool IsMissing(float value) { return std::isnan(value); }
+
+// One present entry of a sparse row.
+struct Entry {
+  uint32_t feature;
+  float value;
+};
+
+class Dataset {
+ public:
+  enum class Layout { kDense, kSparse };
+
+  Dataset() = default;
+
+  // Dense constructor: `values` is row-major num_rows x num_features with
+  // NaN for missing entries.
+  static Dataset FromDense(uint32_t num_rows, uint32_t num_features,
+                           std::vector<float> values,
+                           std::vector<float> labels);
+
+  // Sparse (CSR) constructor: row_ptr has num_rows + 1 entries; entries
+  // within a row must have strictly increasing feature ids.
+  static Dataset FromCsr(uint32_t num_rows, uint32_t num_features,
+                         std::vector<uint32_t> row_ptr,
+                         std::vector<Entry> entries,
+                         std::vector<float> labels);
+
+  uint32_t num_rows() const { return num_rows_; }
+  uint32_t num_features() const { return num_features_; }
+  Layout layout() const { return layout_; }
+
+  const std::vector<float>& labels() const { return labels_; }
+  std::vector<float>& mutable_labels() { return labels_; }
+
+  // Value at (row, feature); NaN when missing. O(1) dense,
+  // O(log nnz(row)) sparse.
+  float At(uint32_t row, uint32_t feature) const;
+
+  // Number of present (non-missing) entries.
+  uint64_t NumPresent() const;
+
+  // Sparseness S = #present / (N x M), as defined in Table III.
+  double Sparseness() const;
+
+  // Calls fn(feature, value) for each *present* entry of `row`, in
+  // increasing feature order.
+  template <typename Fn>
+  void ForEachInRow(uint32_t row, Fn&& fn) const {
+    if (layout_ == Layout::kDense) {
+      const float* row_values =
+          dense_.data() + static_cast<size_t>(row) * num_features_;
+      for (uint32_t f = 0; f < num_features_; ++f) {
+        if (!IsMissing(row_values[f])) fn(f, row_values[f]);
+      }
+    } else {
+      for (uint32_t i = row_ptr_[row]; i < row_ptr_[row + 1]; ++i) {
+        fn(entries_[i].feature, entries_[i].value);
+      }
+    }
+  }
+
+  // Selects a row subset (used by the benchmark harness for train/test
+  // splits and by weak-scaling dataset duplication).
+  Dataset Slice(uint32_t begin_row, uint32_t end_row) const;
+
+  // Concatenates rows of `other` (must have the same feature count) onto a
+  // copy of this dataset. Used for weak-scaling duplication (Fig. 13b).
+  Dataset ConcatRows(const Dataset& other) const;
+
+  // Direct access for the binary cache and tests.
+  const std::vector<float>& dense_values() const { return dense_; }
+  const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  uint32_t num_rows_ = 0;
+  uint32_t num_features_ = 0;
+  Layout layout_ = Layout::kDense;
+  std::vector<float> dense_;       // dense layout
+  std::vector<uint32_t> row_ptr_;  // sparse layout
+  std::vector<Entry> entries_;     // sparse layout
+  std::vector<float> labels_;
+};
+
+}  // namespace harp

@@ -1,0 +1,41 @@
+#include "data/dataset_stats.h"
+
+#include "common/stats.h"
+#include "common/string_util.h"
+
+namespace harp {
+
+DatasetShape ComputeShape(const std::string& name, const Dataset& dataset,
+                          const BinnedMatrix& matrix) {
+  DatasetShape shape;
+  shape.name = name;
+  shape.rows = dataset.num_rows();
+  shape.features = dataset.num_features();
+  shape.sparseness = dataset.Sparseness();
+
+  RunningStats bins;
+  for (uint32_t f = 0; f < matrix.num_features(); ++f) {
+    // Count value bins only (excluding the reserved missing bin) to match
+    // the paper's "number of bins" distribution.
+    bins.Add(static_cast<double>(matrix.NumBins(f) - 1));
+  }
+  shape.bin_cv = bins.CV();
+  shape.mean_bins = bins.Mean();
+  shape.total_bins = matrix.TotalBins();
+  shape.binned_bytes = matrix.MemoryBytes();
+  return shape;
+}
+
+std::string ShapeHeader() {
+  return StrFormat("%-10s %10s %6s %6s %6s %8s %10s", "dataset", "N", "M",
+                   "S", "CV", "bins", "size");
+}
+
+std::string FormatShapeRow(const DatasetShape& shape) {
+  return StrFormat("%-10s %10u %6u %6.2f %6.2f %8.1f %10s",
+                   shape.name.c_str(), shape.rows, shape.features,
+                   shape.sparseness, shape.bin_cv, shape.mean_bins,
+                   HumanBytes(static_cast<double>(shape.binned_bytes)).c_str());
+}
+
+}  // namespace harp

@@ -1,0 +1,30 @@
+// Dataset shape statistics (the columns of the paper's Table III).
+#pragma once
+
+#include <string>
+
+#include "data/binned_matrix.h"
+#include "data/dataset.h"
+
+namespace harp {
+
+struct DatasetShape {
+  std::string name;
+  uint32_t rows = 0;
+  uint32_t features = 0;
+  double sparseness = 0.0;   // S = #present / (N x M)
+  double bin_cv = 0.0;       // CV of per-feature bin counts
+  double mean_bins = 0.0;
+  uint32_t total_bins = 0;
+  size_t binned_bytes = 0;
+};
+
+// Computes Table III statistics for a dataset and its binned form.
+DatasetShape ComputeShape(const std::string& name, const Dataset& dataset,
+                          const BinnedMatrix& matrix);
+
+// One formatted row: "name  N  M  S  CV  bins  size".
+std::string FormatShapeRow(const DatasetShape& shape);
+std::string ShapeHeader();
+
+}  // namespace harp

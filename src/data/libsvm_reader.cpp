@@ -1,0 +1,94 @@
+#include "data/libsvm_reader.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace harp {
+
+bool ParseLibsvm(const std::string& content, const LibsvmOptions& options,
+                 Dataset* out, std::string* error) {
+  std::vector<uint32_t> row_ptr{0};
+  std::vector<Entry> entries;
+  std::vector<float> labels;
+  uint32_t max_feature = 0;
+
+  std::istringstream stream(content);
+  std::string line;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    const auto tokens = SplitWhitespace(Trim(line));
+    if (tokens.empty()) continue;
+    double label = 0.0;
+    if (!ParseDouble(tokens[0], &label)) {
+      *error = StrFormat("line %d: bad label", line_number);
+      return false;
+    }
+    labels.push_back(static_cast<float>(label));
+    uint32_t prev_feature = 0;
+    bool first = true;
+    for (size_t t = 1; t < tokens.size(); ++t) {
+      const auto parts = Split(tokens[t], ':');
+      int64_t index = 0;
+      double value = 0.0;
+      if (parts.size() != 2 || !ParseInt(parts[0], &index) ||
+          !ParseDouble(parts[1], &value)) {
+        *error = StrFormat("line %d: bad entry '%.*s'", line_number,
+                           static_cast<int>(tokens[t].size()),
+                           tokens[t].data());
+        return false;
+      }
+      if (!options.zero_based) --index;
+      if (index < 0) {
+        *error = StrFormat("line %d: feature index below base", line_number);
+        return false;
+      }
+      const uint32_t feature = static_cast<uint32_t>(index);
+      if (!first && feature <= prev_feature) {
+        *error = StrFormat("line %d: indices must be strictly increasing",
+                           line_number);
+        return false;
+      }
+      first = false;
+      prev_feature = feature;
+      max_feature = std::max(max_feature, feature);
+      entries.push_back(Entry{feature, static_cast<float>(value)});
+    }
+    row_ptr.push_back(static_cast<uint32_t>(entries.size()));
+  }
+  if (labels.empty()) {
+    *error = "no data rows";
+    return false;
+  }
+  uint32_t num_features =
+      entries.empty() ? 1 : max_feature + 1;
+  if (options.num_features > 0) {
+    if (options.num_features < num_features) {
+      *error = StrFormat("num_features=%u but saw index %u",
+                         options.num_features, max_feature);
+      return false;
+    }
+    num_features = options.num_features;
+  }
+  const uint32_t num_rows = static_cast<uint32_t>(labels.size());
+  *out = Dataset::FromCsr(num_rows, num_features, std::move(row_ptr),
+                          std::move(entries), std::move(labels));
+  return true;
+}
+
+bool ReadLibsvm(const std::string& path, const LibsvmOptions& options,
+                Dataset* out, std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ParseLibsvm(buffer.str(), options, out, error);
+}
+
+}  // namespace harp

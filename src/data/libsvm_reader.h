@@ -1,0 +1,23 @@
+// LIBSVM sparse-format loader: "label idx:value idx:value ...", indices
+// 1-based by default. Absent features are missing; output is CSR.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace harp {
+
+struct LibsvmOptions {
+  bool zero_based = false;  // feature indices start at 0 instead of 1
+  // When > 0, forces the feature count (otherwise inferred as max index+1).
+  uint32_t num_features = 0;
+};
+
+bool ReadLibsvm(const std::string& path, const LibsvmOptions& options,
+                Dataset* out, std::string* error);
+
+bool ParseLibsvm(const std::string& content, const LibsvmOptions& options,
+                 Dataset* out, std::string* error);
+
+}  // namespace harp

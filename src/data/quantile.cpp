@@ -1,0 +1,190 @@
+#include "data/quantile.h"
+
+#include "data/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+// Cuts for one feature given its sorted present values.
+void CutsForFeature(std::vector<float>& values, int max_cuts,
+                    std::vector<float>* out) {
+  out->clear();
+  if (values.empty()) return;
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  const size_t distinct = values.size();
+
+  if (distinct <= static_cast<size_t>(max_cuts)) {
+    // One bin per distinct value; cut between adjacent values so binning is
+    // exact. The last cut sits above the maximum so every value maps.
+    out->reserve(distinct);
+    for (size_t i = 0; i + 1 < distinct; ++i) {
+      const float mid =
+          values[i] + (values[i + 1] - values[i]) * 0.5f;
+      // Guard degenerate midpoints from float rounding on close values.
+      out->push_back(mid > values[i] ? mid : values[i]);
+    }
+    out->push_back(values.back());
+    return;
+  }
+
+  // More distinct values than cuts: evenly spaced quantiles of the
+  // distinct-value sequence. Using distinct values (not raw multiplicity)
+  // matches the reuse of XGBoost's sketch at our data scale and keeps the
+  // result deterministic.
+  out->reserve(static_cast<size_t>(max_cuts));
+  for (int c = 1; c < max_cuts; ++c) {
+    const size_t idx = static_cast<size_t>(
+        static_cast<double>(c) * static_cast<double>(distinct) / max_cuts);
+    out->push_back(values[std::min(idx, distinct - 1)]);
+  }
+  // The final cut is always the maximum so every value maps; dedupe keeps
+  // the cut count at most max_cuts.
+  out->push_back(values.back());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace
+
+QuantileCuts QuantileCuts::Compute(const Dataset& dataset, int max_bins,
+                                   ThreadPool* pool) {
+  HARP_CHECK_GE(max_bins, 2);
+  HARP_CHECK_LE(max_bins, 256);
+  const uint32_t num_features = dataset.num_features();
+  const int max_cuts = max_bins - 1;
+
+  // Gather per-feature value lists (one pass over the data).
+  std::vector<std::vector<float>> feature_values(num_features);
+  for (uint32_t r = 0; r < dataset.num_rows(); ++r) {
+    dataset.ForEachInRow(r, [&](uint32_t f, float v) {
+      feature_values[f].push_back(v);
+    });
+  }
+
+  std::vector<std::vector<float>> feature_cuts(num_features);
+  auto compute_range = [&](int64_t begin, int64_t end, int) {
+    for (int64_t f = begin; f < end; ++f) {
+      CutsForFeature(feature_values[static_cast<size_t>(f)], max_cuts,
+                     &feature_cuts[static_cast<size_t>(f)]);
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForDynamic(num_features, 8, compute_range);
+  } else {
+    compute_range(0, num_features, 0);
+  }
+
+  QuantileCuts cuts;
+  cuts.max_bins_ = max_bins;
+  cuts.cut_ptr_.resize(num_features + 1, 0);
+  for (uint32_t f = 0; f < num_features; ++f) {
+    cuts.cut_ptr_[f + 1] =
+        cuts.cut_ptr_[f] + static_cast<uint32_t>(feature_cuts[f].size());
+  }
+  cuts.cuts_.reserve(cuts.cut_ptr_.back());
+  for (uint32_t f = 0; f < num_features; ++f) {
+    cuts.cuts_.insert(cuts.cuts_.end(), feature_cuts[f].begin(),
+                      feature_cuts[f].end());
+  }
+  return cuts;
+}
+
+QuantileCuts QuantileCuts::ComputeSketch(const Dataset& dataset,
+                                         int max_bins, double eps,
+                                         ThreadPool* pool) {
+  HARP_CHECK_GE(max_bins, 2);
+  HARP_CHECK_LE(max_bins, 256);
+  const uint32_t num_features = dataset.num_features();
+  const uint32_t num_rows = dataset.num_rows();
+  const int max_cuts = max_bins - 1;
+  if (eps <= 0.0) eps = 1.0 / (8.0 * max_bins);
+
+  const int threads = pool != nullptr ? pool->num_threads() : 1;
+  // per_thread[t][f]: sketch of feature f over thread t's row chunk.
+  std::vector<std::vector<GkSketch>> per_thread(
+      static_cast<size_t>(threads),
+      std::vector<GkSketch>(num_features, GkSketch(eps)));
+
+  auto feed = [&](int64_t begin, int64_t end, int thread_id) {
+    auto& sketches = per_thread[static_cast<size_t>(thread_id)];
+    for (int64_t r = begin; r < end; ++r) {
+      dataset.ForEachInRow(static_cast<uint32_t>(r),
+                           [&](uint32_t f, float v) { sketches[f].Add(v); });
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_rows, feed);
+  } else {
+    feed(0, num_rows, 0);
+  }
+
+  // One-level merge per feature, then even-quantile cuts.
+  std::vector<std::vector<float>> feature_cuts(num_features);
+  auto finalize = [&](int64_t begin, int64_t end, int) {
+    for (int64_t f = begin; f < end; ++f) {
+      GkSketch& merged = per_thread[0][static_cast<size_t>(f)];
+      for (int t = 1; t < threads; ++t) {
+        merged.Merge(per_thread[static_cast<size_t>(t)][static_cast<size_t>(f)]);
+      }
+      if (merged.count() > 0) {
+        feature_cuts[static_cast<size_t>(f)] =
+            merged.EvenQuantiles(max_cuts);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForDynamic(num_features, 8, finalize);
+  } else {
+    finalize(0, num_features, 0);
+  }
+
+  QuantileCuts cuts;
+  cuts.max_bins_ = max_bins;
+  cuts.cut_ptr_.resize(num_features + 1, 0);
+  for (uint32_t f = 0; f < num_features; ++f) {
+    cuts.cut_ptr_[f + 1] =
+        cuts.cut_ptr_[f] + static_cast<uint32_t>(feature_cuts[f].size());
+  }
+  cuts.cuts_.reserve(cuts.cut_ptr_.back());
+  for (uint32_t f = 0; f < num_features; ++f) {
+    cuts.cuts_.insert(cuts.cuts_.end(), feature_cuts[f].begin(),
+                      feature_cuts[f].end());
+  }
+  return cuts;
+}
+
+uint32_t QuantileCuts::BinFor(uint32_t feature, float value) const {
+  if (IsMissing(value)) return 0;
+  const float* begin = cuts_.data() + cut_ptr_[feature];
+  const float* end = cuts_.data() + cut_ptr_[feature + 1];
+  if (begin == end) return 0;  // feature never present at training time
+  const float* it = std::lower_bound(begin, end, value);
+  if (it == end) --it;  // clamp values above the last cut
+  return static_cast<uint32_t>(it - begin) + 1;
+}
+
+float QuantileCuts::CutFor(uint32_t feature, uint32_t bin) const {
+  HARP_CHECK_GE(bin, 1u);
+  HARP_CHECK_LE(bin, NumCuts(feature));
+  return cuts_[cut_ptr_[feature] + bin - 1];
+}
+
+QuantileCuts QuantileCuts::FromRaw(std::vector<float> cuts,
+                                   std::vector<uint32_t> cut_ptr,
+                                   int max_bins) {
+  HARP_CHECK(!cut_ptr.empty());
+  HARP_CHECK_EQ(cut_ptr.back(), cuts.size());
+  QuantileCuts result;
+  result.cuts_ = std::move(cuts);
+  result.cut_ptr_ = std::move(cut_ptr);
+  result.max_bins_ = max_bins;
+  return result;
+}
+
+}  // namespace harp

@@ -1,0 +1,71 @@
+// Per-feature quantile cut computation ("histogram initialization").
+//
+// The paper reuses XGBoost's histogram initialization; this is our
+// equivalent. Each feature's present values are reduced to at most
+// (max_bins - 1) cut points placed at evenly spaced quantiles of the
+// distinct values, so features with few distinct values get exactly one bin
+// per value. Bin 0 is reserved for missing entries; value bins are
+// 1..num_cuts. A value x falls into the first bin whose cut is >= x
+// (cuts are upper bounds, inclusive).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace harp {
+
+class ThreadPool;
+
+class QuantileCuts {
+ public:
+  // max_bins counts the missing bin, i.e. at most (max_bins - 1) cuts per
+  // feature; max_bins <= 256 so bin ids fit in one byte (Section IV-E).
+  static QuantileCuts Compute(const Dataset& dataset, int max_bins,
+                              ThreadPool* pool = nullptr);
+
+  // Streaming variant using Greenwald-Khanna sketches (per-thread sketches
+  // merged per feature): O(M x 1/eps) memory instead of materializing all
+  // values. Cut placement is eps-approximate, and — unlike Compute — it
+  // depends on the thread count (chunk boundaries feed different
+  // sketches). eps <= 0 picks 1 / (8 x max_bins).
+  static QuantileCuts ComputeSketch(const Dataset& dataset, int max_bins,
+                                    double eps = 0.0,
+                                    ThreadPool* pool = nullptr);
+
+  uint32_t num_features() const {
+    return static_cast<uint32_t>(cut_ptr_.size()) - 1;
+  }
+  int max_bins() const { return max_bins_; }
+
+  // Number of cuts for `feature` (its value bins are 1..NumCuts).
+  uint32_t NumCuts(uint32_t feature) const {
+    return cut_ptr_[feature + 1] - cut_ptr_[feature];
+  }
+
+  // Total bins for `feature`, including the missing bin 0.
+  uint32_t NumBins(uint32_t feature) const { return NumCuts(feature) + 1; }
+
+  // Bin id for a raw value: 0 for missing, otherwise in [1, NumCuts].
+  // Values above the last cut clamp into the last bin.
+  uint32_t BinFor(uint32_t feature, float value) const;
+
+  // Upper-bound cut value of `bin` (1-based) for `feature`: every row
+  // routed left by "bin <= split_bin" satisfies value <= CutFor(split_bin).
+  float CutFor(uint32_t feature, uint32_t bin) const;
+
+  const std::vector<float>& cuts() const { return cuts_; }
+  const std::vector<uint32_t>& cut_ptr() const { return cut_ptr_; }
+
+  // For model IO / binary cache.
+  static QuantileCuts FromRaw(std::vector<float> cuts,
+                              std::vector<uint32_t> cut_ptr, int max_bins);
+
+ private:
+  std::vector<float> cuts_;      // concatenated per-feature cut values
+  std::vector<uint32_t> cut_ptr_;  // size num_features + 1
+  int max_bins_ = 256;
+};
+
+}  // namespace harp

@@ -1,0 +1,113 @@
+#include "data/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace harp {
+
+GkSketch::GkSketch(double eps) : eps_(eps) {
+  HARP_CHECK_GT(eps, 0.0);
+  HARP_CHECK_LT(eps, 0.5);
+}
+
+void GkSketch::Add(float value) {
+  ++count_;
+
+  // Position of the first tuple with tuple.value >= value.
+  const auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, float v) { return t.value < v; });
+
+  Tuple inserted{value, 1, 0};
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insertion: the new tuple's uncertainty is bounded by the
+    // capacity of its position, floor(2 eps n) - 1.
+    const int64_t cap =
+        static_cast<int64_t>(std::floor(2.0 * eps_ * count_)) - 1;
+    inserted.delta = std::max<int64_t>(0, cap);
+  }
+  tuples_.insert(it, inserted);
+
+  if (++inserts_since_compress_ >=
+      std::max<int64_t>(1, static_cast<int64_t>(1.0 / (2.0 * eps_)))) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GkSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const int64_t threshold =
+      static_cast<int64_t>(std::floor(2.0 * eps_ * count_));
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  kept.push_back(tuples_.front());
+  // Walk right to left conceptually: a tuple may be absorbed into its
+  // successor when their combined band fits the threshold. Implemented
+  // left to right by accumulating g into the next survivor.
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    const Tuple& current = tuples_[i];
+    const Tuple& next = tuples_[i + 1];
+    if (current.g + next.g + next.delta <= threshold) {
+      // Absorb current into next (defer: bump next's g in place).
+      tuples_[i + 1].g += current.g;
+    } else {
+      kept.push_back(current);
+    }
+  }
+  kept.push_back(tuples_.back());
+  tuples_ = std::move(kept);
+}
+
+void GkSketch::Merge(const GkSketch& other) {
+  if (other.tuples_.empty()) return;
+  // Standard mergeable-summary construction: merge-sort the tuple lists,
+  // keeping each tuple's (g, delta); the result's error is eps_a + eps_b.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  std::merge(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+             other.tuples_.end(), std::back_inserter(merged),
+             [](const Tuple& a, const Tuple& b) { return a.value < b.value; });
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  Compress();
+}
+
+float GkSketch::Query(double quantile) const {
+  HARP_CHECK(!tuples_.empty()) << "query on an empty sketch";
+  const double clamped = std::clamp(quantile, 0.0, 1.0);
+  const int64_t target =
+      static_cast<int64_t>(std::ceil(clamped * static_cast<double>(count_)));
+  const int64_t slack =
+      static_cast<int64_t>(std::ceil(eps_ * static_cast<double>(count_)));
+
+  // Largest value whose maximum possible rank stays within target + slack:
+  // its true rank is then within eps*n of the target.
+  int64_t rank_min = 0;
+  float result = tuples_.front().value;
+  for (const Tuple& t : tuples_) {
+    rank_min += t.g;
+    if (rank_min + t.delta <= target + slack) {
+      result = t.value;
+    } else {
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<float> GkSketch::EvenQuantiles(int k) const {
+  std::vector<float> cuts;
+  if (tuples_.empty() || k <= 0) return cuts;
+  cuts.reserve(static_cast<size_t>(k));
+  for (int i = 1; i < k; ++i) {
+    cuts.push_back(Query(static_cast<double>(i) / k));
+  }
+  cuts.push_back(tuples_.back().value);  // cover the maximum
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+  return cuts;
+}
+
+}  // namespace harp

@@ -1,0 +1,54 @@
+// Greenwald-Khanna epsilon-approximate quantile sketch.
+//
+// The sort-based QuantileCuts::Compute is exact but materializes every
+// feature's values; production histogram initialization (what the paper
+// reuses from XGBoost) streams the data through per-thread sketches and
+// merges them. This is that component: GK tuples (value, g, delta) with
+// periodic compression, guaranteeing rank error <= eps * n per sketch and
+// eps_a + eps_b after a merge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harp {
+
+class GkSketch {
+ public:
+  // eps: maximum rank error as a fraction of the stream length.
+  explicit GkSketch(double eps);
+
+  void Add(float value);
+
+  // Folds `other` into this sketch. The merged rank error is the sum of
+  // the two sketches' errors, so merge trees should stay shallow (one
+  // level of thread-local sketches -> one global sketch).
+  void Merge(const GkSketch& other);
+
+  // Value whose rank is within eps*n of quantile*n. quantile in [0, 1].
+  float Query(double quantile) const;
+
+  // k cut candidates at evenly spaced quantiles (deduplicated, ascending).
+  std::vector<float> EvenQuantiles(int k) const;
+
+  int64_t count() const { return count_; }
+  size_t TupleCount() const { return tuples_.size(); }
+  double eps() const { return eps_; }
+
+ private:
+  struct Tuple {
+    float value;
+    int64_t g;      // rank_min(i) - rank_min(i-1)
+    int64_t delta;  // rank_max(i) - rank_min(i)
+  };
+
+  void Compress();
+
+  double eps_;
+  int64_t count_ = 0;
+  int64_t inserts_since_compress_ = 0;
+  std::vector<Tuple> tuples_;  // ascending by value
+};
+
+}  // namespace harp

@@ -1,0 +1,132 @@
+#include "distributed/communicator.h"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace harp {
+
+SimulatedCluster::SimulatedCluster(int world_size) : world_(world_size) {
+  HARP_CHECK_GE(world_size, 1);
+  rendezvous_.buffers.assign(static_cast<size_t>(world_size), nullptr);
+}
+
+void SimulatedCluster::Run(const std::function<void(Communicator&)>& fn) {
+  total_stats_ = CommStats{};
+  std::vector<Communicator> comms;
+  comms.reserve(static_cast<size_t>(world_));
+  for (int rank = 0; rank < world_; ++rank) {
+    comms.push_back(Communicator(this, rank, world_));
+  }
+
+  std::exception_ptr first_exception;
+  std::mutex exception_mutex;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(world_));
+  for (int rank = 0; rank < world_; ++rank) {
+    workers.emplace_back([&, rank] {
+      try {
+        fn(comms[static_cast<size_t>(rank)]);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(exception_mutex);
+        if (!first_exception) first_exception = std::current_exception();
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  for (const Communicator& comm : comms) {
+    total_stats_.allreduce_calls += comm.stats_.allreduce_calls;
+    total_stats_.allreduce_bytes += comm.stats_.allreduce_bytes;
+    total_stats_.broadcast_calls += comm.stats_.broadcast_calls;
+    total_stats_.barriers += comm.stats_.barriers;
+  }
+  if (first_exception) std::rethrow_exception(first_exception);
+}
+
+template <typename T>
+void Communicator::AllreduceImpl(T* data, size_t count) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_bytes +=
+      static_cast<int64_t>(count * sizeof(T)) * (world_ - 1);
+  if (world_ == 1) return;
+
+  auto& r = cluster_->rendezvous_;
+  std::unique_lock<std::mutex> lock(r.mutex);
+  const uint64_t generation = r.generation;
+  r.buffers[static_cast<size_t>(rank_)] = data;
+  if (++r.arrived == world_) {
+    // Last arrival reduces every rank's buffer into rank 0's in rank
+    // order (bitwise-deterministic), then replicates the result. All of
+    // this happens under the lock, so waiters see finished buffers.
+    T* dst = static_cast<T*>(r.buffers[0]);
+    for (int t = 1; t < world_; ++t) {
+      const T* src = static_cast<const T*>(r.buffers[static_cast<size_t>(t)]);
+      for (size_t i = 0; i < count; ++i) dst[i] += src[i];
+    }
+    for (int t = 1; t < world_; ++t) {
+      T* out = static_cast<T*>(r.buffers[static_cast<size_t>(t)]);
+      std::copy(dst, dst + count, out);
+    }
+    r.arrived = 0;
+    ++r.generation;
+    r.cv.notify_all();
+  } else {
+    r.cv.wait(lock, [&] { return r.generation != generation; });
+  }
+}
+
+void Communicator::AllreduceSum(GHPair* data, size_t count) {
+  AllreduceImpl(data, count);
+}
+void Communicator::AllreduceSum(double* data, size_t count) {
+  AllreduceImpl(data, count);
+}
+void Communicator::AllreduceSum(int64_t* data, size_t count) {
+  AllreduceImpl(data, count);
+}
+
+void Communicator::Broadcast(void* data, size_t bytes, int root) {
+  ++stats_.broadcast_calls;
+  if (world_ == 1) return;
+  HARP_CHECK_GE(root, 0);
+  HARP_CHECK_LT(root, world_);
+
+  auto& r = cluster_->rendezvous_;
+  std::unique_lock<std::mutex> lock(r.mutex);
+  const uint64_t generation = r.generation;
+  r.buffers[static_cast<size_t>(rank_)] = data;
+  if (++r.arrived == world_) {
+    const char* src =
+        static_cast<const char*>(r.buffers[static_cast<size_t>(root)]);
+    for (int t = 0; t < world_; ++t) {
+      if (t == root) continue;
+      char* dst = static_cast<char*>(r.buffers[static_cast<size_t>(t)]);
+      std::copy(src, src + bytes, dst);
+    }
+    r.arrived = 0;
+    ++r.generation;
+    r.cv.notify_all();
+  } else {
+    r.cv.wait(lock, [&] { return r.generation != generation; });
+  }
+}
+
+void Communicator::Barrier() {
+  ++stats_.barriers;
+  if (world_ == 1) return;
+  auto& r = cluster_->rendezvous_;
+  std::unique_lock<std::mutex> lock(r.mutex);
+  const uint64_t generation = r.generation;
+  if (++r.arrived == world_) {
+    r.arrived = 0;
+    ++r.generation;
+    r.cv.notify_all();
+  } else {
+    r.cv.wait(lock, [&] { return r.generation != generation; });
+  }
+}
+
+}  // namespace harp

@@ -1,0 +1,100 @@
+// In-process simulation of a collective-communication layer.
+//
+// The paper's stated future work is distributed HarpGBDT: "Both XGBoost
+// and LightGBM build distributed GBDT upon a collective communication
+// layer" (Section VI). We do not have a cluster, so per the substitution
+// policy we build the closest synthetic equivalent: W worker threads, each
+// owning a row shard, synchronizing through rendezvous-based collectives
+// (allreduce / broadcast / barrier) with deterministic rank-ordered
+// reduction. The exercised code path — local histograms, allreduce,
+// replicated split decisions — is exactly the histogram-aggregation
+// algorithm of distributed XGBoost, and communication volume is counted
+// so the cost model is measurable.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/gh.h"
+
+namespace harp {
+
+struct CommStats {
+  int64_t allreduce_calls = 0;
+  int64_t allreduce_bytes = 0;  // payload size x (world - 1), per call
+  int64_t broadcast_calls = 0;
+  int64_t barriers = 0;
+};
+
+class SimulatedCluster;
+
+// Per-worker handle; valid only inside SimulatedCluster::Run.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int world_size() const { return world_; }
+
+  // Element-wise sum of every rank's `data` (all ranks receive the
+  // result). Reduction is performed in rank order by one thread, so the
+  // result is bitwise identical on every rank and across runs.
+  void AllreduceSum(GHPair* data, size_t count);
+  void AllreduceSum(double* data, size_t count);
+  void AllreduceSum(int64_t* data, size_t count);
+
+  // Copies `bytes` of root's buffer into every other rank's buffer.
+  void Broadcast(void* data, size_t bytes, int root);
+
+  void Barrier();
+
+  // This rank's accumulated communication counters.
+  const CommStats& stats() const { return stats_; }
+
+ private:
+  friend class SimulatedCluster;
+  Communicator(SimulatedCluster* cluster, int rank, int world)
+      : cluster_(cluster), rank_(rank), world_(world) {}
+
+  template <typename T>
+  void AllreduceImpl(T* data, size_t count);
+
+  SimulatedCluster* cluster_;
+  int rank_;
+  int world_;
+  CommStats stats_;
+};
+
+class SimulatedCluster {
+ public:
+  explicit SimulatedCluster(int world_size);
+
+  // Runs fn on world_size threads, each with its own Communicator.
+  // Exceptions from workers are rethrown (first wins).
+  void Run(const std::function<void(Communicator&)>& fn);
+
+  // Sum of all ranks' counters from the last Run.
+  CommStats TotalStats() const { return total_stats_; }
+
+ private:
+  friend class Communicator;
+
+  // Two-phase rendezvous shared by all collectives: phase 1 collects
+  // every rank's buffer pointer, the last arrival performs the operation,
+  // phase 2 releases everyone after they have consumed the result.
+  struct Rendezvous {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int arrived = 0;
+    int departed = 0;
+    uint64_t generation = 0;
+    std::vector<void*> buffers;
+  };
+
+  const int world_;
+  Rendezvous rendezvous_;
+  CommStats total_stats_;
+};
+
+}  // namespace harp

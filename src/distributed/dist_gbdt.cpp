@@ -1,0 +1,213 @@
+#include "distributed/dist_gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/grow_policy.h"
+#include "core/hist_builder.h"
+#include "core/histogram.h"
+#include "core/objective.h"
+#include "core/row_partitioner.h"
+#include "core/split_evaluator.h"
+
+namespace harp {
+namespace {
+
+// One worker's training state and loop. Determinism argument: every
+// worker sees identical global histograms (rank-ordered reduction),
+// identical node sums, and runs the identical FindSplit / queue logic, so
+// trees, margins-per-shard and models evolve in lockstep without any
+// decision broadcast.
+class Worker {
+ public:
+  Worker(Communicator& comm, const Dataset& shard, const QuantileCuts& cuts,
+         const TrainParams& params)
+      : comm_(comm),
+        shard_(shard),
+        params_(params),
+        matrix_(BinnedMatrix::Build(shard, cuts)),
+        evaluator_(params),
+        hists_(matrix_.TotalBins()),
+        partitioner_(matrix_.num_rows(), params.use_membuf) {}
+
+  GbdtModel Run() {
+    const auto objective = Objective::Create(params_.objective);
+    const double base_margin = objective->InitialMargin(params_.base_score);
+    GbdtModel model(params_.objective, base_margin, matrix_.cuts());
+    std::vector<double> margins(shard_.num_rows(), base_margin);
+    std::vector<GradientPair> gradients;
+
+    for (int iter = 0; iter < params_.num_trees; ++iter) {
+      objective->ComputeGradients(shard_.labels(), margins, &gradients);
+      RegTree tree = BuildTree(gradients);
+      // Leaf scatter on the local shard.
+      for (int id = 0; id < tree.num_nodes(); ++id) {
+        if (tree.node(id).IsLeaf()) {
+          partitioner_.AddToMargins(id, tree.node(id).leaf_value, &margins);
+        }
+      }
+      model.AddTree(std::move(tree));
+    }
+    return model;
+  }
+
+ private:
+  // Builds global histograms for `nodes`: local serial build, then one
+  // allreduce over the concatenated buffers.
+  void BuildGlobalHists(const std::vector<int>& nodes,
+                        std::vector<GHPair>* scratch) {
+    const size_t total_bins = matrix_.TotalBins();
+    scratch->assign(nodes.size() * total_bins, GHPair{});
+    const BuildContext ctx{matrix_, params_, *null_pool_, partitioner_,
+                           hists_};
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      BuildHistSerial(ctx, nodes[i], scratch->data() + i * total_bins);
+    }
+    comm_.AllreduceSum(scratch->data(), scratch->size());
+  }
+
+  Candidate FindSplitFor(int node_id, int depth, const GHPair& sum,
+                         const GHPair* hist) {
+    Candidate cand;
+    cand.node_id = node_id;
+    cand.depth = depth;
+    cand.split = evaluator_.FindBestSplit(matrix_, hist, sum, 0,
+                                          matrix_.num_features());
+    return cand;
+  }
+
+  RegTree BuildTree(const std::vector<GradientPair>& gradients) {
+    const int64_t max_leaves = params_.MaxLeaves();
+    const int max_depth = params_.MaxDepth();
+    const int max_nodes = static_cast<int>(2 * max_leaves);
+    partitioner_.Reset(gradients, max_nodes);
+
+    RegTree tree;
+    tree.mutable_nodes().reserve(static_cast<size_t>(max_nodes));
+    // Global root sum.
+    GHPair root_sum = partitioner_.NodeSum(0);
+    comm_.AllreduceSum(&root_sum, 1);
+    int64_t global_rows = partitioner_.num_rows();
+    comm_.AllreduceSum(&global_rows, 1);
+    tree.mutable_node(0).sum = root_sum;
+    tree.mutable_node(0).num_rows = static_cast<uint32_t>(global_rows);
+
+    std::vector<GHPair> scratch;
+    GrowQueue queue(params_.grow_policy);
+    {
+      BuildGlobalHists({0}, &scratch);
+      const Candidate root = FindSplitFor(0, 0, root_sum, scratch.data());
+      if (root.split.IsValid() && max_leaves > 1 && max_depth > 0) {
+        queue.Push(root);
+      }
+    }
+
+    int64_t leaves = 1;
+    const size_t total_bins = matrix_.TotalBins();
+    while (!queue.Empty() && leaves < max_leaves) {
+      const std::vector<Candidate> batch = queue.PopBatch(
+          params_.EffectiveTopK(),
+          static_cast<int>(std::min<int64_t>(max_leaves - leaves, 1 << 20)));
+      if (batch.empty()) break;
+
+      // Apply splits on the local shard; gather children and their GLOBAL
+      // row counts (one int64 allreduce for the batch).
+      std::vector<int> children;
+      std::vector<int64_t> child_rows;
+      for (const Candidate& cand : batch) {
+        const float cut =
+            matrix_.cuts().CutFor(cand.split.feature, cand.split.bin);
+        const auto [left, right] =
+            tree.ApplySplit(cand.node_id, cand.split, cut);
+        partitioner_.ApplySplit(cand.node_id, left, right, matrix_,
+                                cand.split.feature, cand.split.bin,
+                                cand.split.default_left);
+        children.push_back(left);
+        children.push_back(right);
+        child_rows.push_back(partitioner_.NodeSize(left));
+        child_rows.push_back(partitioner_.NodeSize(right));
+      }
+      comm_.AllreduceSum(child_rows.data(), child_rows.size());
+      for (size_t i = 0; i < children.size(); ++i) {
+        tree.mutable_node(children[i]).num_rows =
+            static_cast<uint32_t>(child_rows[i]);
+      }
+      leaves += static_cast<int64_t>(batch.size());
+
+      BuildGlobalHists(children, &scratch);
+      for (size_t i = 0; i < children.size(); ++i) {
+        const int child = children[i];
+        const Candidate cand =
+            FindSplitFor(child, tree.node(child).depth,
+                         tree.node(child).sum,
+                         scratch.data() + i * total_bins);
+        if (cand.split.IsValid() && cand.depth < max_depth) {
+          queue.Push(cand);
+        }
+      }
+    }
+
+    for (int id = 0; id < tree.num_nodes(); ++id) {
+      TreeNode& node = tree.mutable_node(id);
+      if (node.IsLeaf()) node.leaf_value = evaluator_.LeafValue(node.sum);
+    }
+    return tree;
+  }
+
+  Communicator& comm_;
+  const Dataset& shard_;
+  const TrainParams& params_;
+  BinnedMatrix matrix_;
+  SplitEvaluator evaluator_;
+  HistogramPool hists_;
+  RowPartitioner partitioner_;
+  // BuildContext wants a pool reference; the per-worker path is serial,
+  // so a 1-thread pool shared by this worker suffices.
+  std::unique_ptr<ThreadPool> null_pool_ = std::make_unique<ThreadPool>(1);
+};
+
+}  // namespace
+
+DistributedResult DistributedGbdt::Train(const Dataset& dataset, int workers,
+                                         const TrainParams& params) {
+  params.Validate();
+  HARP_CHECK_GE(workers, 1);
+  HARP_CHECK_LE(static_cast<uint32_t>(workers), dataset.num_rows());
+
+  // Global quantile cuts, computed once (a real deployment would merge
+  // distributed sketches; see GkSketch::Merge).
+  QuantileCuts cuts = QuantileCuts::Compute(dataset, params.max_bins);
+
+  // Contiguous row shards.
+  std::vector<Dataset> shards;
+  shards.reserve(static_cast<size_t>(workers));
+  const uint32_t rows = dataset.num_rows();
+  for (int w = 0; w < workers; ++w) {
+    const uint32_t begin =
+        static_cast<uint32_t>(static_cast<uint64_t>(rows) * w / workers);
+    const uint32_t end = static_cast<uint32_t>(
+        static_cast<uint64_t>(rows) * (w + 1) / workers);
+    shards.push_back(dataset.Slice(begin, end));
+  }
+
+  DistributedResult result;
+  result.workers = workers;
+  std::vector<GbdtModel> models(static_cast<size_t>(workers));
+
+  const Stopwatch watch;
+  SimulatedCluster cluster(workers);
+  cluster.Run([&](Communicator& comm) {
+    Worker worker(comm, shards[static_cast<size_t>(comm.rank())], cuts,
+                  params);
+    models[static_cast<size_t>(comm.rank())] = worker.Run();
+  });
+  result.seconds = watch.ElapsedSec();
+  result.comm = cluster.TotalStats();
+  result.model = std::move(models[0]);
+  return result;
+}
+
+}  // namespace harp

@@ -1,0 +1,35 @@
+// Distributed GBDT training (simulated cluster).
+//
+// Histogram-aggregation data parallelism, the design distributed XGBoost
+// and LightGBM use and the paper names as future work: rows are sharded
+// across W workers; every worker builds local histograms for the current
+// candidate batch, one allreduce produces the global histograms, and each
+// worker then makes the identical (deterministic) split decision — no
+// split broadcast needed. The returned model is bitwise identical on every
+// worker.
+#pragma once
+
+#include "core/gbdt.h"
+#include "distributed/communicator.h"
+
+namespace harp {
+
+struct DistributedResult {
+  GbdtModel model;   // rank 0's copy (all ranks build the same model)
+  CommStats comm;    // aggregated communication counters
+  int workers = 1;
+  double seconds = 0.0;
+};
+
+class DistributedGbdt {
+ public:
+  // Shards `dataset` by contiguous row ranges over `workers` simulated
+  // workers and trains params.num_trees trees. Within each worker the
+  // computation is serial (the workers are the parallelism). Growth
+  // policies and regularization behave exactly as in GbdtTrainer; the
+  // mode/block parameters are not used (no intra-worker threading).
+  static DistributedResult Train(const Dataset& dataset, int workers,
+                                 const TrainParams& params);
+};
+
+}  // namespace harp

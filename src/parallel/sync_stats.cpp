@@ -1,0 +1,35 @@
+#include "parallel/sync_stats.h"
+
+namespace harp {
+
+double SyncSnapshot::Utilization(int64_t wall_ns) const {
+  if (wall_ns <= 0 || threads <= 0) return 0.0;
+  return static_cast<double>(busy_ns) /
+         (static_cast<double>(wall_ns) * static_cast<double>(threads));
+}
+
+double SyncSnapshot::BarrierOverhead() const {
+  const int64_t active = busy_ns + barrier_wait_ns;
+  if (active <= 0) return 0.0;
+  return static_cast<double>(barrier_wait_ns) / static_cast<double>(active);
+}
+
+double SyncSnapshot::SpinOverhead() const {
+  const int64_t active = busy_ns + spin_wait_ns;
+  if (active <= 0) return 0.0;
+  return static_cast<double>(spin_wait_ns) / static_cast<double>(active);
+}
+
+SyncSnapshot SyncSnapshot::operator-(const SyncSnapshot& earlier) const {
+  SyncSnapshot d = *this;
+  d.parallel_regions -= earlier.parallel_regions;
+  d.busy_ns -= earlier.busy_ns;
+  d.barrier_wait_ns -= earlier.barrier_wait_ns;
+  d.tasks -= earlier.tasks;
+  d.spin_acquires -= earlier.spin_acquires;
+  d.spin_contended -= earlier.spin_contended;
+  d.spin_wait_ns -= earlier.spin_wait_ns;
+  return d;
+}
+
+}  // namespace harp

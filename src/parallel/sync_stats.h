@@ -1,0 +1,63 @@
+// Synchronization accounting for the thread runtime.
+//
+// The paper quantifies parallel inefficiency with VTune's "CPU utilization"
+// and "OpenMP barrier overhead" counters (Tables I and VI). Our runtime
+// measures the same two quantities directly:
+//   utilization      = sum(per-thread busy time) / (wall time x threads)
+//   barrier overhead = sum(barrier wait) / sum(busy + barrier wait)
+// plus spin-lock contention for the ASYNC mode. Counters are recorded in
+// per-thread cache-line-padded slots and aggregated on demand, so the
+// accounting itself does not perturb the measurement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace harp {
+
+// One worker's accumulated times. Padded: adjacent workers' counters must
+// not share a cache line.
+struct alignas(64) WorkerCounters {
+  int64_t busy_ns = 0;          // executing user work
+  int64_t barrier_wait_ns = 0;  // finished own share, waiting for peers
+  int64_t tasks = 0;            // dynamic chunks / node tasks executed
+
+  void Reset() { busy_ns = 0; barrier_wait_ns = 0; tasks = 0; }
+};
+
+// Aggregated view across all workers of a pool (plus spin-lock totals).
+struct SyncSnapshot {
+  int threads = 1;
+  int64_t parallel_regions = 0;  // each region ends in exactly one barrier
+  int64_t busy_ns = 0;
+  int64_t barrier_wait_ns = 0;
+  int64_t tasks = 0;
+  int64_t spin_acquires = 0;
+  int64_t spin_contended = 0;
+  int64_t spin_wait_ns = 0;
+
+  // Fraction of available CPU time spent doing user work (VTune's
+  // "Average CPU Utilization" analogue). wall_ns is the enclosing
+  // measurement interval.
+  double Utilization(int64_t wall_ns) const;
+
+  // Fraction of active time lost waiting at region-end barriers (VTune's
+  // "OpenMP Barrier Overhead" analogue).
+  double BarrierOverhead() const;
+
+  // Fraction of active time lost spinning on shared-structure locks
+  // (relevant for ASYNC mode).
+  double SpinOverhead() const;
+
+  // Difference of two snapshots taken around a measured interval.
+  SyncSnapshot operator-(const SyncSnapshot& earlier) const;
+};
+
+// Counters for one SpinMutex (or a family sharing one accounting bucket).
+struct SpinCounters {
+  int64_t acquires = 0;
+  int64_t contended = 0;
+  int64_t wait_ns = 0;
+};
+
+}  // namespace harp

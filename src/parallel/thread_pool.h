@@ -1,0 +1,117 @@
+// Persistent instrumented thread pool.
+//
+// This is the repo's stand-in for the OpenMP runtime the paper profiles.
+// Owning the runtime gives us two things the reproduction needs:
+//   1. OpenMP semantics made explicit — every parallel region ends in a
+//      counted barrier whose per-thread wait time is measured exactly,
+//      which is how the Table I / Table VI "barrier overhead" rows are
+//      regenerated without VTune.
+//   2. A region primitive (RunOnAllThreads) on which the ASYNC builder can
+//      run a whole tree with a single barrier at the end, exactly the
+//      "schedule all computation of one node as a single task" design of
+//      Section IV-D.
+//
+// Parallel regions must not be nested: a thread inside RunOnAllThreads /
+// ParallelFor must not start another region on the same pool (checked).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parallel/sync_stats.h"
+
+namespace harp {
+
+class ThreadPool {
+ public:
+  // Body of a parallel-for: processes [begin, end) on thread `thread_id`.
+  using RangeFn = std::function<void(int64_t begin, int64_t end, int thread_id)>;
+
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Runs fn(thread_id) on every thread (the caller participates as thread
+  // 0); returns after all threads finish. Counts as one parallel region /
+  // one barrier. Exceptions thrown by fn are rethrown here (first wins).
+  void RunOnAllThreads(const std::function<void(int)>& fn);
+
+  // Splits [0, n) into num_threads contiguous chunks (OpenMP static
+  // schedule). Threads with no work still participate in the barrier.
+  void ParallelFor(int64_t n, const RangeFn& fn);
+
+  // Work is grabbed in `chunk`-sized pieces via an atomic cursor (OpenMP
+  // dynamic schedule). Load-imbalanced loops should prefer this.
+  void ParallelForDynamic(int64_t n, int64_t chunk, const RangeFn& fn);
+
+  // Runs a set of heterogeneous tasks with dynamic scheduling.
+  void RunTasks(const std::vector<std::function<void()>>& tasks);
+
+  // Aggregated synchronization counters since construction / ResetStats().
+  SyncSnapshot Snapshot() const;
+  void ResetStats();
+
+  // Folds spin-lock counters (e.g. from the ASYNC builder's queue lock)
+  // into this pool's snapshot so one report covers both kinds of waiting.
+  void AddSpinCounters(const SpinCounters& counters);
+
+  // Records dynamic task executions attributed to thread `thread_id` while
+  // inside a region (used by builders that do their own task accounting).
+  void CountTask(int thread_id) { ++counters_[thread_id].tasks; }
+
+  // Reclassifies `ns` of thread `thread_id`'s region time from busy to
+  // barrier wait. The ASYNC builder uses this for worker starvation (spins
+  // on an empty queue while peers finish): it is wait, not work, and must
+  // not inflate the utilization metric.
+  void ReclassifyBusyAsWait(int thread_id, int64_t ns) {
+    auto& c = counters_[static_cast<size_t>(thread_id)];
+    c.busy_ns -= ns;
+    c.barrier_wait_ns += ns;
+  }
+
+  // Default thread count: HARP_BENCH_THREADS env var if set, otherwise
+  // hardware_concurrency (min 1).
+  static int DefaultThreads();
+
+ private:
+  void WorkerLoop(int worker_id);
+  // Executes the current region's function as `thread_id`, recording busy
+  // time and the finish timestamp used for barrier-wait accounting.
+  void RunRegionBody(int thread_id);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  // Region hand-off state (guarded by mutex_ / signalled by wake_cv_).
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  uint64_t epoch_ = 0;        // incremented once per region
+  int remaining_ = 0;         // threads yet to finish the current region
+  bool shutdown_ = false;
+  const std::function<void(int)>* region_fn_ = nullptr;
+  bool in_region_ = false;    // nesting guard
+
+  // Per-thread accounting (cache-line padded; index = thread id).
+  std::vector<WorkerCounters> counters_;
+  std::vector<int64_t> finish_ts_;  // per-thread region finish timestamps
+  int64_t region_end_ts_ = 0;       // when the last thread finished
+
+  std::exception_ptr first_exception_;
+  std::mutex exception_mutex_;
+
+  int64_t parallel_regions_ = 0;
+  SpinCounters extra_spin_;
+  mutable std::mutex stats_mutex_;
+};
+
+}  // namespace harp

@@ -1,0 +1,15 @@
+#include "parallel/work_queue.h"
+
+namespace harp {
+
+void WorkTracker::WaitQuiescent() const {
+  int spins = 0;
+  while (!Quiescent()) {
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace harp

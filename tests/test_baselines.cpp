@@ -1,0 +1,175 @@
+// Baseline trainers (XGB-Hist, LightGBM-like, XGB-Approx) must implement
+// the SAME learning algorithm with different parallelization — so with
+// deterministic tie-breaking they must produce trees IDENTICAL to the
+// HarpGBDT reference under the matching growth policy. This cross-checks
+// all four tree builders against each other.
+#include <gtest/gtest.h>
+
+#include "baselines/lightgbm_like.h"
+#include "baselines/xgb_approx.h"
+#include "baselines/xgb_hist.h"
+#include "core/gbdt.h"
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+using harp::testing::TreesEqual;
+
+struct Fixture {
+  Dataset train;
+  BinnedMatrix matrix;
+};
+
+Fixture MakeFixture(uint32_t rows = 2000, uint64_t seed = 601) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.features = 10;
+  spec.density = 0.85;
+  spec.mean_distinct = 30;
+  spec.margin_scale = 2.5;
+  spec.seed = seed;
+  Dataset train = GenerateSynthetic(spec);
+  BinnedMatrix matrix =
+      BinnedMatrix::Build(train, QuantileCuts::Compute(train, 32));
+  matrix.EnsureColumnMajor();
+  return Fixture{std::move(train), std::move(matrix)};
+}
+
+TrainParams Params(GrowPolicy policy, int trees = 4, int tree_size = 4) {
+  TrainParams p;
+  p.num_trees = trees;
+  p.tree_size = tree_size;
+  p.grow_policy = policy;
+  p.num_threads = 2;
+  p.min_child_weight = 0.5;
+  return p;
+}
+
+GbdtModel HarpReference(Fixture& fx, const TrainParams& params) {
+  TrainParams p = params;
+  p.mode = ParallelMode::kDP;
+  p.grow_policy = params.grow_policy;
+  GbdtTrainer trainer(p);
+  return trainer.TrainBinned(fx.matrix, fx.train.labels());
+}
+
+TEST(XgbHist, LeafwiseMatchesHarpReference) {
+  Fixture fx = MakeFixture();
+  const TrainParams p = Params(GrowPolicy::kLeafwise);
+  const GbdtModel expected = HarpReference(fx, p);
+  baselines::XgbHistTrainer baseline(p);
+  const GbdtModel actual = baseline.TrainBinned(fx.matrix, fx.train.labels());
+  ASSERT_EQ(expected.NumTrees(), actual.NumTrees());
+  for (size_t t = 0; t < expected.NumTrees(); ++t) {
+    EXPECT_TRUE(TreesEqual(expected.tree(t), actual.tree(t))) << "tree " << t;
+  }
+}
+
+TEST(XgbHist, DepthwiseMatchesHarpReference) {
+  Fixture fx = MakeFixture(1500, 603);
+  const TrainParams p = Params(GrowPolicy::kDepthwise);
+  const GbdtModel expected = HarpReference(fx, p);
+  baselines::XgbHistTrainer baseline(p);
+  const GbdtModel actual = baseline.TrainBinned(fx.matrix, fx.train.labels());
+  for (size_t t = 0; t < expected.NumTrees(); ++t) {
+    EXPECT_TRUE(TreesEqual(expected.tree(t), actual.tree(t))) << "tree " << t;
+  }
+}
+
+TEST(LightGbm, MatchesHarpLeafwiseReference) {
+  Fixture fx = MakeFixture(1800, 605);
+  const TrainParams p = Params(GrowPolicy::kLeafwise);
+  const GbdtModel expected = HarpReference(fx, p);
+  baselines::LightGbmTrainer baseline(p);
+  const GbdtModel actual = baseline.TrainBinned(fx.matrix, fx.train.labels());
+  for (size_t t = 0; t < expected.NumTrees(); ++t) {
+    EXPECT_TRUE(TreesEqual(expected.tree(t), actual.tree(t))) << "tree " << t;
+  }
+}
+
+TEST(XgbApprox, MatchesHarpDepthwiseReference) {
+  Fixture fx = MakeFixture(1600, 607);
+  const TrainParams p = Params(GrowPolicy::kDepthwise);
+  const GbdtModel expected = HarpReference(fx, p);
+  baselines::XgbApproxTrainer baseline(p);
+  const GbdtModel actual = baseline.TrainBinned(fx.matrix, fx.train.labels());
+  for (size_t t = 0; t < expected.NumTrees(); ++t) {
+    EXPECT_TRUE(TreesEqual(expected.tree(t), actual.tree(t))) << "tree " << t;
+  }
+}
+
+TEST(Baselines, AllLearnTheData) {
+  Fixture fx = MakeFixture(2500, 609);
+  const std::vector<float>& labels = fx.train.labels();
+
+  baselines::XgbHistTrainer xgb_leaf(Params(GrowPolicy::kLeafwise, 12));
+  baselines::XgbHistTrainer xgb_depth(Params(GrowPolicy::kDepthwise, 12));
+  baselines::LightGbmTrainer lgbm(Params(GrowPolicy::kLeafwise, 12));
+  baselines::XgbApproxTrainer approx(Params(GrowPolicy::kDepthwise, 12));
+
+  for (const GbdtModel& model :
+       {xgb_leaf.TrainBinned(fx.matrix, labels),
+        xgb_depth.TrainBinned(fx.matrix, labels),
+        lgbm.TrainBinned(fx.matrix, labels),
+        approx.TrainBinned(fx.matrix, labels)}) {
+    const double auc = Auc(labels, model.Predict(fx.train));
+    EXPECT_GT(auc, 0.85);
+  }
+}
+
+TEST(Baselines, ThreadCountDoesNotChangeTrees) {
+  Fixture fx = MakeFixture(1200, 611);
+  TrainParams p = Params(GrowPolicy::kLeafwise, 3);
+  p.num_threads = 1;
+  baselines::XgbHistTrainer t1(p);
+  const GbdtModel a = t1.TrainBinned(fx.matrix, fx.train.labels());
+  p.num_threads = 4;
+  baselines::XgbHistTrainer t4(p);
+  const GbdtModel b = t4.TrainBinned(fx.matrix, fx.train.labels());
+  for (size_t t = 0; t < a.NumTrees(); ++t) {
+    EXPECT_TRUE(TreesEqual(a.tree(t), b.tree(t)));
+  }
+}
+
+TEST(Baselines, XgbHistCountsLeafProportionalRegions) {
+  // The leaf-by-leaf design's signature: parallel regions grow with the
+  // number of leaves (the paper's O(2^D) synchronization argument).
+  Fixture fx = MakeFixture(2000, 613);
+  auto regions_for = [&](int tree_size) {
+    TrainParams p = Params(GrowPolicy::kLeafwise, 1, tree_size);
+    TrainStats stats;
+    baselines::XgbHistTrainer trainer(p);
+    trainer.TrainBinned(fx.matrix, fx.train.labels(), &stats);
+    return std::make_pair(stats.sync.parallel_regions, stats.leaves);
+  };
+  const auto [regions_small, leaves_small] = regions_for(3);
+  const auto [regions_large, leaves_large] = regions_for(6);
+  ASSERT_GT(leaves_large, leaves_small);
+  EXPECT_GT(regions_large, regions_small * 3);
+}
+
+TEST(Baselines, XgbApproxRejectsLeafwise) {
+  Fixture fx = MakeFixture(300, 615);
+  TrainParams p = Params(GrowPolicy::kLeafwise, 1);
+  baselines::XgbApproxTrainer trainer(p);
+  EXPECT_DEATH(trainer.TrainBinned(fx.matrix, fx.train.labels()),
+               "depthwise only");
+}
+
+TEST(Baselines, LightGbmRequiresColumnMajor) {
+  SyntheticSpec spec;
+  spec.rows = 100;
+  spec.features = 4;
+  const Dataset ds = GenerateSynthetic(spec);
+  BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  ThreadPool pool(1);
+  const TrainParams p = Params(GrowPolicy::kLeafwise, 1);
+  EXPECT_DEATH(baselines::LightGbmBuilder(matrix, p, pool), "column-major");
+}
+
+}  // namespace
+}  // namespace harp

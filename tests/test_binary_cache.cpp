@@ -1,0 +1,117 @@
+// Tests for the binary dataset cache.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/binary_cache.h"
+#include "data/synthetic.h"
+
+namespace harp {
+namespace {
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  ASSERT_EQ(a.layout(), b.layout());
+  EXPECT_EQ(a.labels(), b.labels());
+  for (uint32_t r = 0; r < a.num_rows(); ++r) {
+    for (uint32_t f = 0; f < a.num_features(); ++f) {
+      const float x = a.At(r, f);
+      const float y = b.At(r, f);
+      ASSERT_TRUE((IsMissing(x) && IsMissing(y)) || x == y)
+          << "mismatch at " << r << "," << f;
+    }
+  }
+}
+
+TEST(BinaryCache, DenseRoundtrip) {
+  SyntheticSpec spec;
+  spec.rows = 500;
+  spec.features = 12;
+  spec.density = 0.9;
+  const Dataset original = GenerateSynthetic(spec);
+
+  const std::string path = "/tmp/harp_cache_dense.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+  Dataset loaded;
+  ASSERT_TRUE(ReadDatasetCache(path, &loaded, &error)) << error;
+  ExpectDatasetsEqual(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, SparseRoundtrip) {
+  SyntheticSpec spec;
+  spec.rows = 400;
+  spec.features = 40;
+  spec.density = 0.2;
+  spec.sparse_storage = true;
+  const Dataset original = GenerateSynthetic(spec);
+  ASSERT_EQ(original.layout(), Dataset::Layout::kSparse);
+
+  const std::string path = "/tmp/harp_cache_sparse.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+  Dataset loaded;
+  ASSERT_TRUE(ReadDatasetCache(path, &loaded, &error)) << error;
+  ExpectDatasetsEqual(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, MissingFileFails) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ReadDatasetCache("/tmp/does_not_exist_harp.bin", &ds, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(BinaryCache, CorruptHeaderRejected) {
+  const std::string path = "/tmp/harp_cache_corrupt.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a harp cache file at all";
+  }
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ReadDatasetCache(path, &ds, &error));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, TruncatedFileRejected) {
+  SyntheticSpec spec;
+  spec.rows = 200;
+  spec.features = 8;
+  const Dataset original = GenerateSynthetic(spec);
+  const std::string path = "/tmp/harp_cache_trunc.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+
+  // Truncate to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size() / 2));
+  }
+  Dataset ds;
+  EXPECT_FALSE(ReadDatasetCache(path, &ds, &error));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, UnwritablePathFails) {
+  SyntheticSpec spec;
+  spec.rows = 10;
+  spec.features = 2;
+  const Dataset ds = GenerateSynthetic(spec);
+  std::string error;
+  EXPECT_FALSE(
+      WriteDatasetCache("/nonexistent_dir/x.bin", ds, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,282 @@
+// Unit tests for src/common: stats, string utilities, env config, RNG.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <set>
+
+#include "common/aligned.h"
+#include "common/env.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace harp {
+namespace {
+
+// ---------- RunningStats ----------
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.Count(), 0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.CV(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_EQ(s.Count(), 8);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_NEAR(s.Stddev(), 2.0, 1e-12);  // classic population-stddev example
+  EXPECT_NEAR(s.CV(), 0.4, 1e-12);
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Variance(), 0.0);
+}
+
+TEST(RunningStats, ConstantSequenceCVZero) {
+  RunningStats s;
+  for (int i = 0; i < 100; ++i) s.Add(3.0);
+  EXPECT_NEAR(s.CV(), 0.0, 1e-12);
+}
+
+// ---------- Percentile / means ----------
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.5);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+TEST(GeometricMeanTest, Basic) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({3.0, 3.0, 3.0}), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(GeometricMean({}), 0.0);
+}
+
+// ---------- string_util ----------
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, SingleField) {
+  const auto parts = Split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  const auto parts = SplitWhitespace("  a \t b\n c  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, EmptyInput) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("\r\n\t"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(ParseDoubleTest, Valid) {
+  double v = 0.0;
+  EXPECT_TRUE(ParseDouble("3.5", &v));
+  EXPECT_DOUBLE_EQ(v, 3.5);
+  EXPECT_TRUE(ParseDouble("-1e3", &v));
+  EXPECT_DOUBLE_EQ(v, -1000.0);
+  // Hex floats roundtrip (model IO relies on this).
+  EXPECT_TRUE(ParseDouble("0x1.8p+1", &v));
+  EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  double v = 7.0;
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+  EXPECT_DOUBLE_EQ(v, 7.0);  // untouched on failure
+}
+
+TEST(ParseIntTest, ValidAndInvalid) {
+  int64_t v = 0;
+  EXPECT_TRUE(ParseInt("-42", &v));
+  EXPECT_EQ(v, -42);
+  EXPECT_FALSE(ParseInt("4.2", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+  EXPECT_FALSE(ParseInt("12a", &v));
+}
+
+TEST(StrFormatTest, Formats) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(HumanUnits, Duration) {
+  EXPECT_EQ(HumanDuration(2.5), "2.500s");
+  EXPECT_EQ(HumanDuration(0.0025), "2.50ms");
+  EXPECT_EQ(HumanDuration(2.5e-6), "2.5us");
+  EXPECT_EQ(HumanDuration(25e-9), "25.0ns");
+}
+
+TEST(HumanUnits, Bytes) {
+  EXPECT_EQ(HumanBytes(512), "512B");
+  EXPECT_EQ(HumanBytes(2048), "2.0KB");
+  EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.5MB");
+}
+
+// ---------- env ----------
+
+TEST(Env, IntFallbackAndParse) {
+  ::unsetenv("HARP_TEST_ENV_INT");
+  EXPECT_EQ(GetEnvInt("HARP_TEST_ENV_INT", 5), 5);
+  ::setenv("HARP_TEST_ENV_INT", "12", 1);
+  EXPECT_EQ(GetEnvInt("HARP_TEST_ENV_INT", 5), 12);
+  ::setenv("HARP_TEST_ENV_INT", "junk", 1);
+  EXPECT_EQ(GetEnvInt("HARP_TEST_ENV_INT", 5), 5);
+  ::unsetenv("HARP_TEST_ENV_INT");
+}
+
+TEST(Env, DoubleAndString) {
+  ::setenv("HARP_TEST_ENV_D", "0.25", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("HARP_TEST_ENV_D", 1.0), 0.25);
+  ::unsetenv("HARP_TEST_ENV_D");
+  EXPECT_DOUBLE_EQ(GetEnvDouble("HARP_TEST_ENV_D", 1.0), 1.0);
+  EXPECT_EQ(GetEnvString("HARP_TEST_ENV_S", "dflt"), "dflt");
+  ::setenv("HARP_TEST_ENV_S", "val", 1);
+  EXPECT_EQ(GetEnvString("HARP_TEST_ENV_S", "dflt"), "val");
+  ::unsetenv("HARP_TEST_ENV_S");
+}
+
+// ---------- random ----------
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowBoundsAndCoverage) {
+  Rng rng(11);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Normal());
+  EXPECT_NEAR(s.Mean(), 0.0, 0.02);
+  EXPECT_NEAR(s.Stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(19);
+  RunningStats s;
+  for (int i = 0; i < 50000; ++i) s.Add(rng.Exponential(2.0));
+  EXPECT_NEAR(s.Mean(), 0.5, 0.02);
+}
+
+// ---------- aligned ----------
+
+TEST(Aligned, VectorIsCacheLineAligned) {
+  AlignedVector<double> v(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(Aligned, SurvivesGrowth) {
+  AlignedVector<int> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+// ---------- timer ----------
+
+TEST(Timer, AccumulatesMonotonically) {
+  AccumTimer t;
+  t.Start();
+  t.Stop();
+  const int64_t first = t.TotalNs();
+  EXPECT_GE(first, 0);
+  t.AddNs(1000);
+  EXPECT_EQ(t.TotalNs(), first + 1000);
+  EXPECT_EQ(t.Count(), 2);
+  t.Reset();
+  EXPECT_EQ(t.TotalNs(), 0);
+}
+
+TEST(Timer, ScopedTimerAdds) {
+  AccumTimer t;
+  { ScopedTimer scope(t); }
+  EXPECT_GE(t.TotalNs(), 0);
+  EXPECT_EQ(t.Count(), 1);
+}
+
+}  // namespace
+}  // namespace harp

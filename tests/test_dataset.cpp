@@ -1,0 +1,136 @@
+// Unit tests for the Dataset representation (dense + CSR).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+
+namespace harp {
+namespace {
+
+Dataset SmallDense() {
+  // 3 rows x 2 features with one missing entry.
+  return Dataset::FromDense(3, 2,
+                            {1.0f, 2.0f,
+                             kMissingValue, 4.0f,
+                             5.0f, 6.0f},
+                            {0.0f, 1.0f, 0.0f});
+}
+
+Dataset SmallSparse() {
+  // Same logical content as SmallDense, CSR layout.
+  return Dataset::FromCsr(
+      3, 2, {0, 2, 3, 5},
+      {{0, 1.0f}, {1, 2.0f}, {1, 4.0f}, {0, 5.0f}, {1, 6.0f}},
+      {0.0f, 1.0f, 0.0f});
+}
+
+TEST(Dataset, DenseAt) {
+  const Dataset ds = SmallDense();
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ds.At(2, 1), 6.0f);
+  EXPECT_TRUE(IsMissing(ds.At(1, 0)));
+}
+
+TEST(Dataset, SparseAt) {
+  const Dataset ds = SmallSparse();
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(ds.At(1, 1), 4.0f);
+  EXPECT_TRUE(IsMissing(ds.At(1, 0)));
+  EXPECT_FLOAT_EQ(ds.At(2, 0), 5.0f);
+}
+
+TEST(Dataset, DenseAndSparseAgreeEverywhere) {
+  const Dataset dense = SmallDense();
+  const Dataset sparse = SmallSparse();
+  for (uint32_t r = 0; r < 3; ++r) {
+    for (uint32_t f = 0; f < 2; ++f) {
+      const float a = dense.At(r, f);
+      const float b = sparse.At(r, f);
+      EXPECT_EQ(IsMissing(a), IsMissing(b));
+      if (!IsMissing(a)) {
+        EXPECT_FLOAT_EQ(a, b);
+      }
+    }
+  }
+}
+
+TEST(Dataset, SparsenessCountsPresent) {
+  EXPECT_NEAR(SmallDense().Sparseness(), 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(SmallSparse().Sparseness(), 5.0 / 6.0, 1e-12);
+  EXPECT_EQ(SmallDense().NumPresent(), 5u);
+}
+
+TEST(Dataset, ForEachInRowVisitsPresentInOrder) {
+  for (const Dataset& ds : {SmallDense(), SmallSparse()}) {
+    std::vector<std::pair<uint32_t, float>> visited;
+    ds.ForEachInRow(1, [&](uint32_t f, float v) { visited.emplace_back(f, v); });
+    ASSERT_EQ(visited.size(), 1u);
+    EXPECT_EQ(visited[0].first, 1u);
+    EXPECT_FLOAT_EQ(visited[0].second, 4.0f);
+  }
+}
+
+TEST(Dataset, SliceDense) {
+  const Dataset ds = SmallDense();
+  const Dataset slice = ds.Slice(1, 3);
+  EXPECT_EQ(slice.num_rows(), 2u);
+  EXPECT_EQ(slice.num_features(), 2u);
+  EXPECT_TRUE(IsMissing(slice.At(0, 0)));
+  EXPECT_FLOAT_EQ(slice.At(1, 1), 6.0f);
+  EXPECT_FLOAT_EQ(slice.labels()[0], 1.0f);
+}
+
+TEST(Dataset, SliceSparse) {
+  const Dataset ds = SmallSparse();
+  const Dataset slice = ds.Slice(1, 3);
+  EXPECT_EQ(slice.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(slice.At(0, 1), 4.0f);
+  EXPECT_TRUE(IsMissing(slice.At(0, 0)));
+  EXPECT_FLOAT_EQ(slice.At(1, 0), 5.0f);
+}
+
+TEST(Dataset, SliceEmpty) {
+  const Dataset slice = SmallDense().Slice(1, 1);
+  EXPECT_EQ(slice.num_rows(), 0u);
+}
+
+TEST(Dataset, ConcatRowsDense) {
+  const Dataset ds = SmallDense();
+  const Dataset doubled = ds.ConcatRows(ds);
+  EXPECT_EQ(doubled.num_rows(), 6u);
+  for (uint32_t r = 0; r < 3; ++r) {
+    for (uint32_t f = 0; f < 2; ++f) {
+      const float a = doubled.At(r, f);
+      const float b = doubled.At(r + 3, f);
+      EXPECT_EQ(IsMissing(a), IsMissing(b));
+      if (!IsMissing(a)) {
+        EXPECT_FLOAT_EQ(a, b);
+      }
+    }
+  }
+  EXPECT_EQ(doubled.labels().size(), 6u);
+}
+
+TEST(Dataset, ConcatRowsSparse) {
+  const Dataset ds = SmallSparse();
+  const Dataset doubled = ds.ConcatRows(ds);
+  EXPECT_EQ(doubled.num_rows(), 6u);
+  EXPECT_EQ(doubled.NumPresent(), 2 * ds.NumPresent());
+  EXPECT_FLOAT_EQ(doubled.At(4, 1), 4.0f);
+}
+
+TEST(DatasetDeath, MismatchedSizesRejected) {
+  EXPECT_DEATH(Dataset::FromDense(2, 2, {1.0f, 2.0f}, {0.0f, 1.0f}), "CHECK");
+  EXPECT_DEATH(Dataset::FromDense(1, 1, {1.0f}, {0.0f, 1.0f}), "CHECK");
+}
+
+TEST(DatasetDeath, CsrRequiresIncreasingFeatures) {
+  EXPECT_DEATH(Dataset::FromCsr(1, 3, {0, 2}, {{1, 1.0f}, {1, 2.0f}},
+                                {0.0f}),
+               "CHECK");
+  EXPECT_DEATH(Dataset::FromCsr(1, 2, {0, 1}, {{5, 1.0f}}, {0.0f}), "CHECK");
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,222 @@
+// Tests for the simulated cluster communicator and distributed training.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "core/metrics.h"
+#include "data/synthetic.h"
+#include "distributed/dist_gbdt.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+// ---------- Communicator ----------
+
+class ClusterSizes : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Worlds, ClusterSizes, ::testing::Values(1, 2, 3, 5));
+
+TEST_P(ClusterSizes, AllreduceSumsAcrossRanks) {
+  const int world = GetParam();
+  SimulatedCluster cluster(world);
+  cluster.Run([&](Communicator& comm) {
+    std::vector<double> data(16);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<double>(comm.rank() + 1) * (i + 1);
+    }
+    comm.AllreduceSum(data.data(), data.size());
+    // Sum over ranks r of (r+1)*(i+1) = (i+1) * world(world+1)/2.
+    const double factor = world * (world + 1) / 2.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+      EXPECT_DOUBLE_EQ(data[i], factor * (i + 1))
+          << "rank " << comm.rank() << " slot " << i;
+    }
+  });
+}
+
+TEST_P(ClusterSizes, RepeatedCollectivesStayInSync) {
+  const int world = GetParam();
+  SimulatedCluster cluster(world);
+  cluster.Run([&](Communicator& comm) {
+    int64_t value = 1;
+    for (int round = 0; round < 200; ++round) {
+      int64_t local = value;
+      comm.AllreduceSum(&local, 1);
+      EXPECT_EQ(local, value * world) << "round " << round;
+    }
+  });
+}
+
+TEST(Communicator, AllreduceGhPairs) {
+  SimulatedCluster cluster(3);
+  cluster.Run([&](Communicator& comm) {
+    GHPair data{static_cast<double>(comm.rank()), 1.0};
+    comm.AllreduceSum(&data, 1);
+    EXPECT_DOUBLE_EQ(data.g, 0.0 + 1.0 + 2.0);
+    EXPECT_DOUBLE_EQ(data.h, 3.0);
+  });
+}
+
+TEST(Communicator, BroadcastFromEachRoot) {
+  for (int root = 0; root < 3; ++root) {
+    SimulatedCluster cluster(3);
+    cluster.Run([&](Communicator& comm) {
+      int payload[4] = {0, 0, 0, 0};
+      if (comm.rank() == root) {
+        for (int i = 0; i < 4; ++i) payload[i] = 100 * root + i;
+      }
+      comm.Broadcast(payload, sizeof(payload), root);
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(payload[i], 100 * root + i);
+    });
+  }
+}
+
+TEST(Communicator, BarrierOrdersPhases) {
+  SimulatedCluster cluster(4);
+  std::atomic<int> phase1{0};
+  std::atomic<bool> violated{false};
+  cluster.Run([&](Communicator& comm) {
+    phase1.fetch_add(1);
+    comm.Barrier();
+    if (phase1.load() != 4) violated.store(true);
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(Communicator, CountsTraffic) {
+  SimulatedCluster cluster(2);
+  cluster.Run([&](Communicator& comm) {
+    double v = 1.0;
+    comm.AllreduceSum(&v, 1);
+    comm.Barrier();
+  });
+  const CommStats stats = cluster.TotalStats();
+  EXPECT_EQ(stats.allreduce_calls, 2);
+  EXPECT_EQ(stats.allreduce_bytes, 2 * 8);  // 8 bytes x (world-1) x ranks
+  EXPECT_EQ(stats.barriers, 2);
+}
+
+TEST(Communicator, WorkerExceptionPropagates) {
+  SimulatedCluster cluster(2);
+  EXPECT_THROW(cluster.Run([&](Communicator& comm) {
+    if (comm.rank() == 1) throw std::runtime_error("worker died");
+    // Rank 0 must not deadlock waiting for rank 1 — it does no
+    // collectives here.
+  }),
+               std::runtime_error);
+}
+
+// ---------- DistributedGbdt ----------
+
+Dataset TrainData(uint32_t rows = 4000) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.features = 10;
+  spec.density = 0.9;
+  spec.margin_scale = 3.0;
+  spec.seed = 1101;
+  return GenerateSynthetic(spec);
+}
+
+TrainParams DistParams(int trees = 5) {
+  TrainParams p;
+  p.num_trees = trees;
+  p.tree_size = 4;
+  p.grow_policy = GrowPolicy::kTopK;
+  p.topk = 8;
+  return p;
+}
+
+TEST(DistributedGbdt, SingleWorkerLearns) {
+  const Dataset data = TrainData();
+  const DistributedResult result =
+      DistributedGbdt::Train(data, 1, DistParams(10));
+  EXPECT_GT(Auc(data.labels(), result.model.Predict(data)), 0.85);
+}
+
+TEST(DistributedGbdt, WorkerCountDoesNotChangeTheModel) {
+  const Dataset data = TrainData();
+  const DistributedResult one = DistributedGbdt::Train(data, 1, DistParams());
+  for (int workers : {2, 4}) {
+    const DistributedResult many =
+        DistributedGbdt::Train(data, workers, DistParams());
+    ASSERT_EQ(one.model.NumTrees(), many.model.NumTrees());
+    for (size_t t = 0; t < one.model.NumTrees(); ++t) {
+      // Identical structure and splits. Leaf values may differ at the
+      // last float bit from summation order; compare structure + predict.
+      const RegTree& a = one.model.tree(t);
+      const RegTree& b = many.model.tree(t);
+      ASSERT_EQ(a.num_nodes(), b.num_nodes()) << "workers " << workers;
+      for (int i = 0; i < a.num_nodes(); ++i) {
+        EXPECT_EQ(a.node(i).IsLeaf(), b.node(i).IsLeaf());
+        if (!a.node(i).IsLeaf()) {
+          EXPECT_EQ(a.node(i).split_feature, b.node(i).split_feature);
+          EXPECT_EQ(a.node(i).split_bin, b.node(i).split_bin);
+          EXPECT_EQ(a.node(i).default_left, b.node(i).default_left);
+        } else {
+          EXPECT_NEAR(a.node(i).leaf_value, b.node(i).leaf_value, 1e-9);
+        }
+        EXPECT_EQ(a.node(i).num_rows, b.node(i).num_rows);
+      }
+    }
+  }
+}
+
+TEST(DistributedGbdt, MatchesSingleNodeTrainerStructure) {
+  // The distributed histogram-aggregation must reproduce the single-node
+  // HarpGBDT trees (same algorithm, different plumbing).
+  const Dataset data = TrainData(2500);
+  TrainParams p = DistParams(3);
+  const DistributedResult dist = DistributedGbdt::Train(data, 3, p);
+
+  p.mode = ParallelMode::kDP;
+  p.num_threads = 1;
+  GbdtTrainer trainer(p);
+  const GbdtModel local = trainer.Train(data);
+  ASSERT_EQ(local.NumTrees(), dist.model.NumTrees());
+  for (size_t t = 0; t < local.NumTrees(); ++t) {
+    const RegTree& a = local.tree(t);
+    const RegTree& b = dist.model.tree(t);
+    ASSERT_EQ(a.num_nodes(), b.num_nodes()) << "tree " << t;
+    for (int i = 0; i < a.num_nodes(); ++i) {
+      if (!a.node(i).IsLeaf()) {
+        EXPECT_EQ(a.node(i).split_feature, b.node(i).split_feature);
+        EXPECT_EQ(a.node(i).split_bin, b.node(i).split_bin);
+      } else {
+        EXPECT_NEAR(a.node(i).leaf_value, b.node(i).leaf_value, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DistributedGbdt, CommunicationVolumeScalesWithWorkers) {
+  const Dataset data = TrainData(2000);
+  const DistributedResult two = DistributedGbdt::Train(data, 2, DistParams(2));
+  const DistributedResult four =
+      DistributedGbdt::Train(data, 4, DistParams(2));
+  EXPECT_GT(two.comm.allreduce_calls, 0);
+  // Per-rank calls are equal; total calls and bytes grow with world size.
+  EXPECT_GT(four.comm.allreduce_calls, two.comm.allreduce_calls);
+  EXPECT_GT(four.comm.allreduce_bytes, two.comm.allreduce_bytes);
+}
+
+TEST(DistributedGbdt, UnevenShardsHandled) {
+  const Dataset data = TrainData(1003);  // does not divide evenly
+  const DistributedResult result =
+      DistributedGbdt::Train(data, 4, DistParams(3));
+  EXPECT_EQ(result.model.NumTrees(), 3u);
+  for (const RegTree& tree : result.model.trees()) {
+    EXPECT_TRUE(tree.CheckValid());
+    EXPECT_EQ(tree.node(0).num_rows, data.num_rows());
+  }
+}
+
+TEST(DistributedGbdtDeath, MoreWorkersThanRows) {
+  const Dataset data = TrainData(4);
+  EXPECT_DEATH(DistributedGbdt::Train(data, 8, DistParams(1)), "CHECK");
+}
+
+}  // namespace
+}  // namespace harp

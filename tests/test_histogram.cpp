@@ -1,0 +1,259 @@
+// Histogram tests: pool lifecycle, subtraction, and the central property
+// sweep — DP and MP block-wise builders must reproduce a naive serial
+// reference histogram for EVERY block configuration, thread count and
+// MemBuf setting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/hist_builder.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+using harp::testing::MakeDataset;
+using harp::testing::MakeGradients;
+using harp::testing::NaiveHist;
+
+// ---------- HistogramPool ----------
+
+TEST(HistogramPool, AcquireZeroesRecycledBuffers) {
+  HistogramPool pool(8);
+  GHPair* a = pool.Acquire(1);
+  a[3] = GHPair{1.0, 2.0};
+  pool.Release(1);
+  GHPair* b = pool.Acquire(2);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(b[i], GHPair{}) << "slot " << i;
+  }
+  pool.Release(2);
+}
+
+TEST(HistogramPool, TracksPeak) {
+  HistogramPool pool(4);
+  pool.Acquire(1);
+  pool.Acquire(2);
+  pool.Acquire(3);
+  pool.Release(2);
+  pool.Acquire(4);
+  EXPECT_EQ(pool.PeakBytes(), 3 * 4 * sizeof(GHPair));
+  pool.ReleaseAll();
+  EXPECT_FALSE(pool.Has(1));
+  // Peak persists after release.
+  EXPECT_EQ(pool.PeakBytes(), 3 * 4 * sizeof(GHPair));
+}
+
+TEST(HistogramPool, HasAndGet) {
+  HistogramPool pool(2);
+  EXPECT_FALSE(pool.Has(5));
+  GHPair* h = pool.Acquire(5);
+  EXPECT_TRUE(pool.Has(5));
+  EXPECT_EQ(pool.Get(5), h);
+  pool.Release(5);
+  EXPECT_FALSE(pool.Has(5));
+}
+
+TEST(HistogramPoolDeath, DoubleAcquireAndMissingGet) {
+  HistogramPool pool(2);
+  pool.Acquire(1);
+  EXPECT_DEATH(pool.Acquire(1), "already owns");
+  EXPECT_DEATH(pool.Get(9), "no histogram");
+  EXPECT_DEATH(pool.Release(9), "no histogram");
+}
+
+TEST(HistogramPool, ConcurrentAcquireRelease) {
+  HistogramPool pool(16);
+  ThreadPool threads(4);
+  threads.ParallelForDynamic(200, 1, [&](int64_t b, int64_t e, int) {
+    for (int64_t i = b; i < e; ++i) {
+      GHPair* h = pool.Acquire(static_cast<int>(i));
+      h[0] = GHPair{static_cast<double>(i), 1.0};
+      EXPECT_EQ(pool.Get(static_cast<int>(i))[0].g, static_cast<double>(i));
+      pool.Release(static_cast<int>(i));
+    }
+  });
+}
+
+// ---------- kernels ----------
+
+TEST(HistogramKernels, AddAndSubtract) {
+  std::vector<GHPair> parent{{5, 5}, {3, 1}, {0, 0}};
+  std::vector<GHPair> small{{2, 1}, {1, 1}, {0, 0}};
+  std::vector<GHPair> large(3);
+  SubtractHistogram(large.data(), parent.data(), small.data(), 3);
+  EXPECT_EQ(large[0], (GHPair{3, 4}));
+  EXPECT_EQ(large[1], (GHPair{2, 0}));
+  AddHistogram(large.data(), small.data(), 3);
+  EXPECT_EQ(large[0], (GHPair{5, 5}));
+  ClearHistogram(large.data(), 3);
+  EXPECT_EQ(large[2], GHPair{});
+  EXPECT_EQ(large[0], GHPair{});
+}
+
+TEST(HistogramKernels, SumFeature) {
+  std::vector<GHPair> hist{{1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  const GHPair sum = SumHistogramFeature(hist.data(), 1, 2);
+  EXPECT_EQ(sum, (GHPair{5, 5}));
+}
+
+// ---------- builder property sweep ----------
+
+struct BuilderCase {
+  bool use_mp;       // MP builder (else DP)
+  int feature_blk;   // 0 = all
+  int node_blk;
+  int bin_blk;       // 256 = disabled (DP ignores)
+  bool membuf;
+  int threads;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<BuilderCase>& info) {
+  const BuilderCase& c = info.param;
+  std::string name = c.use_mp ? "MP" : "DP";
+  name += "_f" + std::to_string(c.feature_blk);
+  name += "_n" + std::to_string(c.node_blk);
+  name += "_b" + std::to_string(c.bin_blk);
+  name += c.membuf ? "_membuf" : "_gather";
+  name += "_t" + std::to_string(c.threads);
+  return name;
+}
+
+class HistBuilderSweep : public ::testing::TestWithParam<BuilderCase> {};
+
+TEST_P(HistBuilderSweep, MatchesNaiveReference) {
+  const BuilderCase& c = GetParam();
+
+  const uint32_t rows = 700;
+  const Dataset ds = MakeDataset(rows, 11, 0.8, 17, /*distinct=*/13);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 18);
+
+  TrainParams params;
+  params.feature_blk_size = c.feature_blk;
+  params.node_blk_size = c.node_blk;
+  params.bin_blk_size = c.bin_blk;
+  params.use_membuf = c.membuf;
+
+  ThreadPool pool(c.threads);
+  RowPartitioner partitioner(rows, c.membuf);
+  partitioner.Reset(gh, /*max_nodes=*/8, &pool);
+
+  // Split the root on feature 0 so we have three nodes (1, 2 from the
+  // split, plus we rebuild the root into node 3... keep 1 and 2).
+  const uint32_t split_bin =
+      std::max(1u, (matrix.NumBins(0) - 1) / 2);
+  partitioner.ApplySplit(0, 1, 2, matrix, 0, split_bin,
+                         /*default_left=*/false, &pool);
+  ASSERT_GT(partitioner.NodeSize(1), 0u);
+  ASSERT_GT(partitioner.NodeSize(2), 0u);
+
+  HistogramPool hists(matrix.TotalBins());
+  hists.Acquire(1);
+  hists.Acquire(2);
+  const BuildContext ctx{matrix, params, pool, partitioner, hists};
+  const std::vector<int> nodes{1, 2};
+  HistBuilderDP dp;
+  HistBuilderMP mp;
+  if (c.use_mp) {
+    mp.Build(ctx, nodes);
+  } else {
+    dp.Build(ctx, nodes);
+  }
+
+  // Reference per node.
+  for (int node : nodes) {
+    std::vector<uint32_t> node_rows;
+    partitioner.ForEachRowRange(
+        node, 0, partitioner.NodeSize(node),
+        [&](uint32_t rid, float, float) { node_rows.push_back(rid); });
+    const std::vector<GHPair> expected = NaiveHist(matrix, gh, node_rows);
+    const GHPair* actual = hists.Get(node);
+    for (size_t s = 0; s < expected.size(); ++s) {
+      ASSERT_NEAR(actual[s].g, expected[s].g, 1e-9)
+          << "node " << node << " slot " << s;
+      ASSERT_NEAR(actual[s].h, expected[s].h, 1e-9)
+          << "node " << node << " slot " << s;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BlockConfigs, HistBuilderSweep,
+    ::testing::Values(
+        // DP: feature blocks x node blocks x threads x membuf
+        BuilderCase{false, 0, 1, 256, true, 1},
+        BuilderCase{false, 0, 1, 256, true, 4},
+        BuilderCase{false, 1, 1, 256, true, 4},
+        BuilderCase{false, 3, 2, 256, true, 4},
+        BuilderCase{false, 4, 2, 256, false, 2},
+        BuilderCase{false, 0, 2, 256, false, 4},
+        BuilderCase{false, 11, 1, 256, true, 3},
+        // MP: adds bin blocking
+        BuilderCase{true, 0, 1, 256, true, 1},
+        BuilderCase{true, 1, 1, 256, true, 4},
+        BuilderCase{true, 1, 2, 256, true, 4},
+        BuilderCase{true, 3, 1, 8, true, 4},
+        BuilderCase{true, 4, 2, 4, false, 4},
+        BuilderCase{true, 0, 2, 16, false, 2},
+        BuilderCase{true, 11, 2, 256, false, 3}),
+    CaseName);
+
+// Subtraction-trick cross-check: parent - sibling == direct build.
+TEST(HistogramSubtraction, MatchesDirectBuild) {
+  const uint32_t rows = 500;
+  const Dataset ds = MakeDataset(rows, 6, 0.9, 29);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 30);
+
+  ThreadPool pool(2);
+  RowPartitioner partitioner(rows, true);
+  partitioner.Reset(gh, 8, &pool);
+  const std::vector<uint32_t> all = harp::testing::AllRows(rows);
+  const std::vector<GHPair> parent_hist = NaiveHist(matrix, gh, all);
+
+  partitioner.ApplySplit(0, 1, 2, matrix, 2, 1, false, &pool);
+  std::vector<uint32_t> left_rows;
+  std::vector<uint32_t> right_rows;
+  partitioner.ForEachRowRange(1, 0, partitioner.NodeSize(1),
+                              [&](uint32_t rid, float, float) {
+                                left_rows.push_back(rid);
+                              });
+  partitioner.ForEachRowRange(2, 0, partitioner.NodeSize(2),
+                              [&](uint32_t rid, float, float) {
+                                right_rows.push_back(rid);
+                              });
+  const std::vector<GHPair> left = NaiveHist(matrix, gh, left_rows);
+  const std::vector<GHPair> right_direct = NaiveHist(matrix, gh, right_rows);
+  std::vector<GHPair> right_sub(matrix.TotalBins());
+  SubtractHistogram(right_sub.data(), parent_hist.data(), left.data(),
+                    matrix.TotalBins());
+  for (size_t s = 0; s < right_sub.size(); ++s) {
+    EXPECT_NEAR(right_sub[s].g, right_direct[s].g, 1e-9);
+    EXPECT_NEAR(right_sub[s].h, right_direct[s].h, 1e-9);
+  }
+}
+
+// Histogram total must equal the node's gradient sum, feature by feature.
+TEST(HistogramInvariant, PerFeatureTotalsEqualNodeSum) {
+  const uint32_t rows = 300;
+  const Dataset ds = MakeDataset(rows, 5, 0.7, 31);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 32);
+  const auto all = harp::testing::AllRows(rows);
+  const auto hist = NaiveHist(matrix, gh, all);
+  const GHPair total = harp::testing::SumGh(gh, all);
+  for (uint32_t f = 0; f < matrix.num_features(); ++f) {
+    const GHPair fsum =
+        SumHistogramFeature(hist.data(), matrix.BinOffset(f),
+                            matrix.NumBins(f));
+    EXPECT_NEAR(fsum.g, total.g, 1e-9);
+    EXPECT_NEAR(fsum.h, total.h, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,109 @@
+// Tests for evaluation metrics, including AUC vs an O(n^2) reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/metrics.h"
+
+namespace harp {
+namespace {
+
+// Brute-force AUC: P(score_pos > score_neg) + 0.5 P(tie).
+double AucReference(const std::vector<float>& labels,
+                    const std::vector<double>& scores) {
+  double wins = 0.0;
+  double pairs = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] <= 0.5f) continue;
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (labels[j] > 0.5f) continue;
+      pairs += 1.0;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return pairs == 0.0 ? 0.5 : wins / pairs;
+}
+
+TEST(Auc, PerfectRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0, 0, 1, 1}, {0.1, 0.2, 0.8, 0.9}), 1.0);
+}
+
+TEST(Auc, ReversedRanking) {
+  EXPECT_DOUBLE_EQ(Auc({0, 0, 1, 1}, {0.9, 0.8, 0.2, 0.1}), 0.0);
+}
+
+TEST(Auc, AllTiedIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({0, 1, 0, 1}, {0.5, 0.5, 0.5, 0.5}), 0.5);
+}
+
+TEST(Auc, SingleClassIsHalf) {
+  EXPECT_DOUBLE_EQ(Auc({1, 1, 1}, {0.1, 0.2, 0.3}), 0.5);
+  EXPECT_DOUBLE_EQ(Auc({0, 0}, {0.1, 0.2}), 0.5);
+}
+
+TEST(Auc, HandCheckedMixedCase) {
+  // Positives at 0.8 and 0.3; negatives at 0.5 and 0.3.
+  // Pairs: (0.8>0.5)=1 (0.8>0.3)=1 (0.3<0.5)=0 (0.3==0.3)=0.5 -> 2.5/4.
+  EXPECT_DOUBLE_EQ(Auc({1, 1, 0, 0}, {0.8, 0.3, 0.5, 0.3}), 0.625);
+}
+
+TEST(Auc, InvariantToMonotoneTransform) {
+  const std::vector<float> labels{0, 1, 0, 1, 1, 0, 0, 1};
+  std::vector<double> margins{-2.0, 0.5, -0.3, 1.7, 0.1, 0.0, -1.1, 2.2};
+  std::vector<double> probs(margins.size());
+  for (size_t i = 0; i < margins.size(); ++i) {
+    probs[i] = 1.0 / (1.0 + std::exp(-margins[i]));
+  }
+  EXPECT_DOUBLE_EQ(Auc(labels, margins), Auc(labels, probs));
+}
+
+TEST(Auc, MatchesBruteForceOnRandomData) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 50 + rng.NextBelow(100);
+    std::vector<float> labels(n);
+    std::vector<double> scores(n);
+    for (size_t i = 0; i < n; ++i) {
+      labels[i] = rng.Bernoulli(0.4) ? 1.0f : 0.0f;
+      // Quantized scores to force plenty of ties.
+      scores[i] = std::round(rng.NextDouble() * 8.0) / 8.0;
+    }
+    EXPECT_NEAR(Auc(labels, scores), AucReference(labels, scores), 1e-12)
+        << "trial " << trial;
+  }
+}
+
+TEST(LogLossTest, KnownValues) {
+  // Perfectly confident and correct -> near 0.
+  EXPECT_NEAR(LogLoss({1, 0}, {1.0 - 1e-15, 1e-15}), 0.0, 1e-9);
+  // p = 0.5 everywhere -> ln 2.
+  EXPECT_NEAR(LogLoss({1, 0, 1}, {0.5, 0.5, 0.5}), std::log(2.0), 1e-12);
+  // Hand-computed single row.
+  EXPECT_NEAR(LogLoss({1}, {0.25}), -std::log(0.25), 1e-12);
+}
+
+TEST(LogLossTest, ClampsExtremeProbabilities) {
+  // p=0 for a positive would be +inf; clamping keeps it finite.
+  EXPECT_TRUE(std::isfinite(LogLoss({1}, {0.0})));
+  EXPECT_TRUE(std::isfinite(LogLoss({0}, {1.0})));
+}
+
+TEST(RmseTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Rmse({1, 2, 3}, {1.0, 2.0, 3.0}), 0.0);
+  EXPECT_NEAR(Rmse({0, 0}, {3.0, 4.0}), std::sqrt(12.5), 1e-12);
+}
+
+TEST(ErrorRateTest, ThresholdAtHalf) {
+  EXPECT_DOUBLE_EQ(ErrorRate({1, 0, 1, 0}, {0.9, 0.1, 0.2, 0.8}), 0.5);
+  EXPECT_DOUBLE_EQ(ErrorRate({1, 0}, {0.6, 0.4}), 0.0);
+  // 0.5 counts as a positive prediction.
+  EXPECT_DOUBLE_EQ(ErrorRate({0}, {0.5}), 1.0);
+}
+
+}  // namespace
+}  // namespace harp

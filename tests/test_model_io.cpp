@@ -1,0 +1,145 @@
+// Model serialization tests: bit-exact roundtrips and malformed input.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/gbdt.h"
+#include "core/model_io.h"
+#include "data/synthetic.h"
+
+namespace harp {
+namespace {
+
+GbdtModel TrainSmallModel(ObjectiveKind objective = ObjectiveKind::kLogistic) {
+  SyntheticSpec spec;
+  spec.rows = 800;
+  spec.features = 6;
+  spec.density = 0.85;
+  spec.seed = 701;
+  if (objective == ObjectiveKind::kSquaredError) {
+    spec.label = LabelKind::kRegression;
+  }
+  const Dataset train = GenerateSynthetic(spec);
+  TrainParams p;
+  p.num_trees = 5;
+  p.tree_size = 4;
+  p.num_threads = 2;
+  p.objective = objective;
+  GbdtTrainer trainer(p);
+  return trainer.Train(train);
+}
+
+TEST(ModelIo, SerializeDeserializeRoundtripExact) {
+  const GbdtModel model = TrainSmallModel();
+  const std::string text = SerializeModel(model);
+  GbdtModel loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeModel(text, &loaded, &error)) << error;
+
+  ASSERT_EQ(loaded.NumTrees(), model.NumTrees());
+  EXPECT_EQ(loaded.objective(), model.objective());
+  EXPECT_EQ(loaded.base_margin(), model.base_margin());
+  EXPECT_EQ(loaded.cuts().cuts(), model.cuts().cuts());
+  EXPECT_EQ(loaded.cuts().cut_ptr(), model.cuts().cut_ptr());
+  for (size_t t = 0; t < model.NumTrees(); ++t) {
+    const auto& a = model.tree(t).nodes();
+    const auto& b = loaded.tree(t).nodes();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].left, b[i].left);
+      EXPECT_EQ(a[i].right, b[i].right);
+      EXPECT_EQ(a[i].parent, b[i].parent);
+      EXPECT_EQ(a[i].split_feature, b[i].split_feature);
+      EXPECT_EQ(a[i].split_bin, b[i].split_bin);
+      EXPECT_EQ(a[i].split_value, b[i].split_value);  // bit-exact
+      EXPECT_EQ(a[i].default_left, b[i].default_left);
+      EXPECT_EQ(a[i].leaf_value, b[i].leaf_value);    // bit-exact
+      EXPECT_EQ(a[i].sum.g, b[i].sum.g);
+      EXPECT_EQ(a[i].num_rows, b[i].num_rows);
+    }
+  }
+}
+
+TEST(ModelIo, ReloadedModelPredictsIdentically) {
+  const GbdtModel model = TrainSmallModel();
+  SyntheticSpec spec;
+  spec.rows = 300;
+  spec.features = 6;
+  spec.density = 0.85;
+  spec.seed = 702;
+  const Dataset test = GenerateSynthetic(spec);
+
+  GbdtModel loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeModel(SerializeModel(model), &loaded, &error));
+  const auto a = model.Predict(test);
+  const auto b = loaded.Predict(test);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ModelIo, RegressionModelRoundtrips) {
+  const GbdtModel model = TrainSmallModel(ObjectiveKind::kSquaredError);
+  GbdtModel loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeModel(SerializeModel(model), &loaded, &error));
+  EXPECT_EQ(loaded.objective(), ObjectiveKind::kSquaredError);
+}
+
+TEST(ModelIo, FileRoundtrip) {
+  const GbdtModel model = TrainSmallModel();
+  const std::string path = "/tmp/harp_model_io_test.model";
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, model, &error)) << error;
+  GbdtModel loaded;
+  ASSERT_TRUE(LoadModel(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.NumTrees(), model.NumTrees());
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadModel(path, &loaded, &error));
+}
+
+TEST(ModelIo, RejectsMalformedInput) {
+  GbdtModel out;
+  std::string error;
+  EXPECT_FALSE(DeserializeModel("", &out, &error));
+  EXPECT_FALSE(DeserializeModel("not a model\n", &out, &error));
+  EXPECT_FALSE(DeserializeModel("harpgbdt-model v1\n", &out, &error));
+  EXPECT_FALSE(DeserializeModel(
+      "harpgbdt-model v1\nobjective nope\n", &out, &error));
+}
+
+TEST(ModelIo, RejectsTruncatedModel) {
+  const GbdtModel model = TrainSmallModel();
+  const std::string text = SerializeModel(model);
+  GbdtModel out;
+  std::string error;
+  // Chop the serialization at several points; each must fail cleanly.
+  for (double frac : {0.1, 0.3, 0.6, 0.9}) {
+    const std::string truncated =
+        text.substr(0, static_cast<size_t>(text.size() * frac));
+    EXPECT_FALSE(DeserializeModel(truncated, &out, &error)) << frac;
+  }
+}
+
+TEST(ModelIo, RejectsCorruptNodeLine) {
+  const GbdtModel model = TrainSmallModel();
+  std::string text = SerializeModel(model);
+  const size_t pos = text.find("\nnode ");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 6, "\nnode X");
+  GbdtModel out;
+  std::string error;
+  EXPECT_FALSE(DeserializeModel(text, &out, &error));
+}
+
+TEST(ModelIo, SerializationIsStable) {
+  const GbdtModel model = TrainSmallModel();
+  const std::string a = SerializeModel(model);
+  GbdtModel loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeModel(a, &loaded, &error));
+  // Serialize(Deserialize(x)) == x: stable fixed point.
+  EXPECT_EQ(SerializeModel(loaded), a);
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,137 @@
+// Tests for one-vs-rest multiclass training.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "core/multiclass.h"
+#include "data/synthetic.h"
+
+namespace harp {
+namespace {
+
+Dataset MulticlassData(uint32_t rows, uint32_t classes, uint64_t seed = 901) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.features = 10;
+  spec.label = LabelKind::kMulticlass;
+  spec.num_classes = classes;
+  spec.margin_scale = 5.0;  // fairly clean classes
+  spec.active_features = 6;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+TrainParams Fast(int trees = 10) {
+  TrainParams p;
+  p.num_trees = trees;
+  p.tree_size = 4;
+  p.num_threads = 2;
+  return p;
+}
+
+TEST(SyntheticMulticlass, LabelsCoverAllClasses) {
+  const Dataset ds = MulticlassData(2000, 4);
+  std::set<int> seen;
+  for (float y : ds.labels()) {
+    ASSERT_GE(y, 0.0f);
+    ASSERT_LT(y, 4.0f);
+    seen.insert(static_cast<int>(y));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Multiclass, LearnsThreeClasses) {
+  const Dataset all = MulticlassData(4000, 3);
+  const Dataset train = all.Slice(0, 3200);
+  const Dataset test = all.Slice(3200, 4000);
+  MulticlassTrainer trainer(Fast(12));
+  const MulticlassModel model = trainer.Train(train);
+  EXPECT_EQ(model.num_classes(), 3);
+
+  const double train_acc =
+      MulticlassAccuracy(train.labels(), model.PredictClasses(train));
+  const double test_acc =
+      MulticlassAccuracy(test.labels(), model.PredictClasses(test));
+  EXPECT_GT(train_acc, 0.7);
+  EXPECT_GT(test_acc, 0.6);        // 3 classes: chance is 0.33
+}
+
+TEST(Multiclass, ProbabilitiesNormalized) {
+  const Dataset train = MulticlassData(1500, 4);
+  const MulticlassModel model = MulticlassTrainer(Fast(5)).Train(train);
+  const std::vector<double> probs = model.PredictProbs(train);
+  ASSERT_EQ(probs.size(), static_cast<size_t>(train.num_rows()) * 4);
+  for (uint32_t r = 0; r < train.num_rows(); ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      const double p = probs[static_cast<size_t>(r) * 4 + c];
+      EXPECT_GE(p, 0.0);
+      EXPECT_LE(p, 1.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(Multiclass, LogLossBeatsUniform) {
+  const Dataset train = MulticlassData(2000, 3);
+  const MulticlassModel model = MulticlassTrainer(Fast(12)).Train(train);
+  const double loss = MulticlassLogLoss(train.labels(),
+                                        model.PredictProbs(train), 3);
+  EXPECT_LT(loss, std::log(3.0));  // better than the uniform predictor
+}
+
+TEST(Multiclass, SaveLoadRoundtrip) {
+  const Dataset train = MulticlassData(800, 3);
+  const MulticlassModel model = MulticlassTrainer(Fast(4)).Train(train);
+  const std::string path = "/tmp/harp_multiclass_test.model";
+  std::string error;
+  ASSERT_TRUE(SaveMulticlassModel(path, model, &error)) << error;
+  MulticlassModel loaded;
+  ASSERT_TRUE(LoadMulticlassModel(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.num_classes(), 3);
+  EXPECT_EQ(model.PredictClasses(train), loaded.PredictClasses(train));
+  std::remove(path.c_str());
+}
+
+TEST(Multiclass, LoadRejectsGarbage) {
+  MulticlassModel out;
+  std::string error;
+  EXPECT_FALSE(LoadMulticlassModel("/tmp/nonexistent_harp_mc", &out, &error));
+  const std::string path = "/tmp/harp_mc_bad.model";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a multiclass model\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(LoadMulticlassModel(path, &out, &error));
+  std::remove(path.c_str());
+}
+
+TEST(MulticlassDeath, RejectsNonLogisticAndBadLabels) {
+  TrainParams p = Fast();
+  p.objective = ObjectiveKind::kSquaredError;
+  EXPECT_DEATH(MulticlassTrainer{p}, "logistic");
+
+  const Dataset binary = [] {
+    SyntheticSpec spec;
+    spec.rows = 50;
+    spec.features = 4;
+    return GenerateSynthetic(spec);
+  }();
+  // Binary labels {0, 1} infer 2 classes: that is allowed. Non-integer
+  // labels are not.
+  Dataset bad = binary;
+  bad.mutable_labels()[0] = 0.5f;
+  MulticlassTrainer trainer(Fast(2));
+  EXPECT_DEATH(trainer.Train(bad), "integers");
+}
+
+TEST(Multiclass, AccuracyMetricBasics) {
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({0, 1, 2}, {0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(MulticlassAccuracy({0, 1, 2}, {0, 0, 0}), 1.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace harp

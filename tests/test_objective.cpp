@@ -1,0 +1,120 @@
+// Tests for objectives: gradient correctness (vs finite differences),
+// transforms, initial margins.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/objective.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+double LogisticLoss(double label, double margin) {
+  const double p = 1.0 / (1.0 + std::exp(-margin));
+  return label > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+}
+
+double SquaredLoss(double label, double margin) {
+  return 0.5 * (margin - label) * (margin - label);
+}
+
+TEST(Logistic, GradientsMatchFiniteDifferences) {
+  const auto obj = Objective::Create(ObjectiveKind::kLogistic);
+  const double eps = 1e-5;
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const float label = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    const double margin = rng.Uniform(-4.0, 4.0);
+    const GradientPair gp = obj->RowGradient(label, margin);
+    const double g_fd = (LogisticLoss(label, margin + eps) -
+                         LogisticLoss(label, margin - eps)) /
+                        (2 * eps);
+    const double h_fd = (LogisticLoss(label, margin + eps) -
+                         2 * LogisticLoss(label, margin) +
+                         LogisticLoss(label, margin - eps)) /
+                        (eps * eps);
+    EXPECT_NEAR(gp.g, g_fd, 1e-4);
+    EXPECT_NEAR(gp.h, h_fd, 1e-3);
+  }
+}
+
+TEST(Logistic, HessianPositiveAndBounded) {
+  const auto obj = Objective::Create(ObjectiveKind::kLogistic);
+  for (double margin : {-30.0, -1.0, 0.0, 1.0, 30.0}) {
+    const GradientPair gp = obj->RowGradient(1.0f, margin);
+    EXPECT_GT(gp.h, 0.0f);
+    EXPECT_LE(gp.h, 0.25f + 1e-6f);
+  }
+}
+
+TEST(Logistic, TransformIsSigmoid) {
+  const auto obj = Objective::Create(ObjectiveKind::kLogistic);
+  EXPECT_DOUBLE_EQ(obj->Transform(0.0), 0.5);
+  EXPECT_NEAR(obj->Transform(2.0), 1.0 / (1.0 + std::exp(-2.0)), 1e-15);
+}
+
+TEST(Logistic, InitialMarginInvertsSigmoid) {
+  const auto obj = Objective::Create(ObjectiveKind::kLogistic);
+  for (double p : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(obj->Transform(obj->InitialMargin(p)), p, 1e-12);
+  }
+}
+
+TEST(Squared, GradientsMatchFiniteDifferences) {
+  const auto obj = Objective::Create(ObjectiveKind::kSquaredError);
+  const double eps = 1e-4;
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const float label = static_cast<float>(rng.Normal() * 2.0);
+    const double margin = rng.Uniform(-4.0, 4.0);
+    const GradientPair gp = obj->RowGradient(label, margin);
+    const double g_fd = (SquaredLoss(label, margin + eps) -
+                         SquaredLoss(label, margin - eps)) /
+                        (2 * eps);
+    EXPECT_NEAR(gp.g, g_fd, 1e-3);
+    EXPECT_FLOAT_EQ(gp.h, 1.0f);
+  }
+}
+
+TEST(Squared, TransformIsIdentity) {
+  const auto obj = Objective::Create(ObjectiveKind::kSquaredError);
+  EXPECT_DOUBLE_EQ(obj->Transform(3.7), 3.7);
+  EXPECT_DOUBLE_EQ(obj->InitialMargin(0.5), 0.5);
+}
+
+TEST(Objective, ComputeGradientsMatchesRowGradient) {
+  const auto obj = Objective::Create(ObjectiveKind::kLogistic);
+  Rng rng(7);
+  const size_t n = 5000;
+  std::vector<float> labels(n);
+  std::vector<double> margins(n);
+  for (size_t i = 0; i < n; ++i) {
+    labels[i] = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+    margins[i] = rng.Uniform(-3.0, 3.0);
+  }
+  std::vector<GradientPair> serial;
+  obj->ComputeGradients(labels, margins, &serial, nullptr);
+  ThreadPool pool(4);
+  std::vector<GradientPair> parallel;
+  obj->ComputeGradients(labels, margins, &parallel, &pool);
+  ASSERT_EQ(serial.size(), n);
+  for (size_t i = 0; i < n; ++i) {
+    const GradientPair expect = obj->RowGradient(labels[i], margins[i]);
+    EXPECT_FLOAT_EQ(serial[i].g, expect.g);
+    EXPECT_FLOAT_EQ(serial[i].h, expect.h);
+    EXPECT_FLOAT_EQ(parallel[i].g, expect.g);
+    EXPECT_FLOAT_EQ(parallel[i].h, expect.h);
+  }
+}
+
+TEST(Objective, KindRoundtrip) {
+  EXPECT_EQ(Objective::Create(ObjectiveKind::kLogistic)->kind(),
+            ObjectiveKind::kLogistic);
+  EXPECT_EQ(Objective::Create(ObjectiveKind::kSquaredError)->kind(),
+            ObjectiveKind::kSquaredError);
+}
+
+}  // namespace
+}  // namespace harp

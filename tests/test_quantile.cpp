@@ -1,0 +1,156 @@
+// Unit tests for quantile cut computation and bin mapping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "data/dataset.h"
+#include "data/quantile.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+Dataset OneFeature(std::vector<float> values) {
+  const uint32_t rows = static_cast<uint32_t>(values.size());
+  std::vector<float> labels(rows, 0.0f);
+  return Dataset::FromDense(rows, 1, std::move(values), std::move(labels));
+}
+
+TEST(Quantile, FewDistinctValuesGetOneBinEach) {
+  const Dataset ds = OneFeature({3.0f, 1.0f, 2.0f, 1.0f, 3.0f, 2.0f});
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 256);
+  EXPECT_EQ(cuts.NumCuts(0), 3u);
+  // Each distinct value lands in its own bin, in value order.
+  EXPECT_EQ(cuts.BinFor(0, 1.0f), 1u);
+  EXPECT_EQ(cuts.BinFor(0, 2.0f), 2u);
+  EXPECT_EQ(cuts.BinFor(0, 3.0f), 3u);
+}
+
+TEST(Quantile, MissingMapsToBinZero) {
+  const Dataset ds = OneFeature({1.0f, 2.0f});
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 256);
+  EXPECT_EQ(cuts.BinFor(0, kMissingValue), 0u);
+}
+
+TEST(Quantile, CutsAreUpperBoundsInclusive) {
+  const Dataset ds = OneFeature({1.0f, 2.0f, 3.0f});
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 256);
+  // A value exactly equal to a cut goes into that cut's bin.
+  const float cut1 = cuts.CutFor(0, 1);
+  EXPECT_EQ(cuts.BinFor(0, cut1), 1u);
+  // Values just above the cut fall into the next bin.
+  EXPECT_EQ(cuts.BinFor(0, std::nextafter(cut1, 10.0f)), 2u);
+}
+
+TEST(Quantile, ValuesAboveMaxClampToLastBin) {
+  const Dataset ds = OneFeature({1.0f, 2.0f, 3.0f});
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 256);
+  EXPECT_EQ(cuts.BinFor(0, 100.0f), cuts.NumCuts(0));
+  EXPECT_EQ(cuts.BinFor(0, -100.0f), 1u);  // below min -> first bin
+}
+
+TEST(Quantile, CutsStrictlyIncreasing) {
+  Rng rng(5);
+  std::vector<float> values;
+  for (int i = 0; i < 5000; ++i) {
+    values.push_back(static_cast<float>(rng.Normal() * 10.0));
+  }
+  const Dataset ds = OneFeature(std::move(values));
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 64);
+  EXPECT_LE(cuts.NumCuts(0), 63u);
+  EXPECT_GE(cuts.NumCuts(0), 32u);  // plenty of distinct values available
+  for (uint32_t b = 2; b <= cuts.NumCuts(0); ++b) {
+    EXPECT_LT(cuts.CutFor(0, b - 1), cuts.CutFor(0, b));
+  }
+}
+
+TEST(Quantile, EveryValueMapsWithinItsCutBounds) {
+  Rng rng(9);
+  std::vector<float> values;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<float>(rng.Uniform(-5.0, 5.0)));
+  }
+  const Dataset ds = OneFeature(values);
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 32);
+  for (float v : values) {
+    const uint32_t bin = cuts.BinFor(0, v);
+    ASSERT_GE(bin, 1u);
+    ASSERT_LE(bin, cuts.NumCuts(0));
+    EXPECT_LE(v, cuts.CutFor(0, bin));  // inside upper bound
+    if (bin > 1) {
+      EXPECT_GT(v, cuts.CutFor(0, bin - 1));  // above lower bound
+    }
+  }
+}
+
+TEST(Quantile, QuantilePathRoughlyBalancesDistinctValues) {
+  // 1000 distinct uniform values into at most 10 bins: each bin should
+  // cover roughly 100 distinct values.
+  std::vector<float> values;
+  for (int i = 0; i < 1000; ++i) values.push_back(static_cast<float>(i));
+  const Dataset ds = OneFeature(values);
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 11);
+  ASSERT_LE(cuts.NumCuts(0), 10u);
+  std::vector<int> counts(cuts.NumCuts(0) + 1, 0);
+  for (float v : values) ++counts[cuts.BinFor(0, v)];
+  for (uint32_t b = 1; b <= cuts.NumCuts(0); ++b) {
+    EXPECT_GT(counts[b], 50);
+    EXPECT_LT(counts[b], 200);
+  }
+}
+
+TEST(Quantile, FeatureNeverPresentHasNoCuts) {
+  // Feature 1 is always missing.
+  const Dataset ds = Dataset::FromDense(
+      2, 2, {1.0f, kMissingValue, 2.0f, kMissingValue}, {0.0f, 1.0f});
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 256);
+  EXPECT_EQ(cuts.NumCuts(1), 0u);
+  EXPECT_EQ(cuts.NumBins(1), 1u);
+  EXPECT_EQ(cuts.BinFor(1, 5.0f), 0u);  // any value maps to the missing bin
+}
+
+TEST(Quantile, ParallelMatchesSerial) {
+  Rng rng(21);
+  const uint32_t rows = 3000;
+  const uint32_t features = 17;
+  std::vector<float> values(static_cast<size_t>(rows) * features);
+  for (auto& v : values) {
+    v = rng.Bernoulli(0.1)
+            ? kMissingValue
+            : static_cast<float>(rng.Normal() * (1.0 + rng.NextDouble()));
+  }
+  const Dataset ds = Dataset::FromDense(rows, features, std::move(values),
+                                        std::vector<float>(rows, 0.0f));
+  const QuantileCuts serial = QuantileCuts::Compute(ds, 64, nullptr);
+  ThreadPool pool(4);
+  const QuantileCuts parallel = QuantileCuts::Compute(ds, 64, &pool);
+  EXPECT_EQ(serial.cuts(), parallel.cuts());
+  EXPECT_EQ(serial.cut_ptr(), parallel.cut_ptr());
+}
+
+TEST(Quantile, RespectsMaxBins) {
+  Rng rng(33);
+  std::vector<float> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  const Dataset ds = OneFeature(std::move(values));
+  for (int max_bins : {2, 4, 16, 256}) {
+    const QuantileCuts cuts = QuantileCuts::Compute(ds, max_bins);
+    EXPECT_LE(cuts.NumCuts(0), static_cast<uint32_t>(max_bins - 1));
+    EXPECT_GE(cuts.NumCuts(0), 1u);
+  }
+}
+
+TEST(Quantile, FromRawRoundtrip) {
+  const Dataset ds = OneFeature({1.0f, 2.0f, 3.0f});
+  const QuantileCuts cuts = QuantileCuts::Compute(ds, 256);
+  const QuantileCuts copy = QuantileCuts::FromRaw(
+      cuts.cuts(), cuts.cut_ptr(), cuts.max_bins());
+  EXPECT_EQ(copy.BinFor(0, 2.5f), cuts.BinFor(0, 2.5f));
+  EXPECT_EQ(copy.NumCuts(0), cuts.NumCuts(0));
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,252 @@
+// Tests for the Greenwald-Khanna quantile sketch and the sketch-based
+// cut computation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <string>
+
+#include "common/random.h"
+#include "harpgbdt.h"
+#include "data/quantile_sketch.h"
+#include "data/quantile.h"
+#include "data/synthetic.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+// Checks that every queried quantile's value is rank-compatible with the
+// target: with ties, a value occupies the rank interval
+// [count(< v), count(<= v)], and the target rank must fall within
+// eps_allow * n of that interval.
+void CheckRankError(const GkSketch& sketch, std::vector<float> values,
+                    double eps_allow) {
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const float v = sketch.Query(q);
+    const double rank_lo = static_cast<double>(
+        std::lower_bound(values.begin(), values.end(), v) - values.begin());
+    const double rank_hi = static_cast<double>(
+        std::upper_bound(values.begin(), values.end(), v) - values.begin());
+    const double target = q * n;
+    EXPECT_GE(target, rank_lo - eps_allow * n) << "quantile " << q;
+    EXPECT_LE(target, rank_hi + eps_allow * n) << "quantile " << q;
+  }
+}
+
+struct Distribution {
+  const char* name;
+  std::function<float(Rng&)> draw;
+};
+
+class SketchDistributions
+    : public ::testing::TestWithParam<int> {};  // param = distribution id
+
+float Draw(int id, Rng& rng) {
+  switch (id) {
+    case 0: return static_cast<float>(rng.NextDouble());           // uniform
+    case 1: return static_cast<float>(rng.Normal());               // normal
+    case 2: return static_cast<float>(rng.Exponential(1.0));       // skewed
+    default: return static_cast<float>(rng.NextBelow(20));         // ties
+  }
+}
+
+TEST_P(SketchDistributions, RankErrorWithinEps) {
+  const double eps = 0.01;
+  GkSketch sketch(eps);
+  Rng rng(42 + GetParam());
+  std::vector<float> values;
+  for (int i = 0; i < 50000; ++i) {
+    const float v = Draw(GetParam(), rng);
+    values.push_back(v);
+    sketch.Add(v);
+  }
+  EXPECT_EQ(sketch.count(), 50000);
+  // Sketch must be far smaller than the stream.
+  EXPECT_LT(sketch.TupleCount(), 4000u);
+  CheckRankError(sketch, values, 3.0 * eps);  // slack for tie plateaus
+}
+
+std::string DistributionName(const ::testing::TestParamInfo<int>& info) {
+  switch (info.param) {
+    case 0: return "uniform";
+    case 1: return "normal";
+    case 2: return "exponential";
+    default: return "ties";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, SketchDistributions,
+                         ::testing::Values(0, 1, 2, 3), DistributionName);
+
+TEST(GkSketchTest, SmallStreamsAreExact) {
+  GkSketch sketch(0.1);
+  for (float v : {5.0f, 1.0f, 3.0f}) sketch.Add(v);
+  EXPECT_FLOAT_EQ(sketch.Query(0.0), 1.0f);
+  EXPECT_FLOAT_EQ(sketch.Query(1.0), 5.0f);
+}
+
+TEST(GkSketchTest, MergePreservesError) {
+  const double eps = 0.01;
+  GkSketch a(eps);
+  GkSketch b(eps);
+  Rng rng(7);
+  std::vector<float> values;
+  for (int i = 0; i < 20000; ++i) {
+    const float v = static_cast<float>(rng.Normal());
+    values.push_back(v);
+    (i % 2 == 0 ? a : b).Add(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 20000);
+  // Merged error bound is eps_a + eps_b = 2 eps; allow slack on top.
+  CheckRankError(a, values, 4.0 * eps);
+}
+
+TEST(GkSketchTest, MergeWithEmpty) {
+  GkSketch a(0.05);
+  GkSketch b(0.05);
+  a.Add(1.0f);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 1);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1);
+  EXPECT_FLOAT_EQ(b.Query(0.5), 1.0f);
+}
+
+TEST(GkSketchTest, EvenQuantilesAscendingAndCoverMax) {
+  GkSketch sketch(0.01);
+  Rng rng(9);
+  float max_seen = -1e30f;
+  for (int i = 0; i < 10000; ++i) {
+    const float v = static_cast<float>(rng.Normal());
+    max_seen = std::max(max_seen, v);
+    sketch.Add(v);
+  }
+  const std::vector<float> cuts = sketch.EvenQuantiles(32);
+  ASSERT_FALSE(cuts.empty());
+  EXPECT_LE(cuts.size(), 32u);
+  for (size_t i = 1; i < cuts.size(); ++i) EXPECT_LT(cuts[i - 1], cuts[i]);
+  EXPECT_FLOAT_EQ(cuts.back(), max_seen);
+}
+
+TEST(GkSketchTest, CompressBoundsMemory) {
+  const double eps = 0.005;
+  GkSketch sketch(eps);
+  Rng rng(11);
+  for (int i = 0; i < 200000; ++i) {
+    sketch.Add(static_cast<float>(rng.NextDouble()));
+  }
+  // GK space is O((1/eps) log(eps n)); allow a generous constant.
+  EXPECT_LT(sketch.TupleCount(), static_cast<size_t>(20.0 / eps));
+}
+
+TEST(GkSketchDeath, InvalidEps) {
+  EXPECT_DEATH(GkSketch(0.0), "CHECK");
+  EXPECT_DEATH(GkSketch(0.5), "CHECK");
+}
+
+// ---------- ComputeSketch integration ----------
+
+TEST(ComputeSketch, CutsApproximateExactCuts) {
+  SyntheticSpec spec;
+  spec.rows = 30000;
+  spec.features = 6;
+  spec.density = 0.9;
+  spec.mean_distinct = 2000;  // force the quantile path
+  spec.max_distinct = 4000;
+  spec.seed = 77;
+  const Dataset ds = GenerateSynthetic(spec);
+
+  const QuantileCuts approx = QuantileCuts::ComputeSketch(ds, 64);
+  ASSERT_EQ(approx.num_features(), ds.num_features());
+
+  // The sketch cuts target evenly spaced ROW-MASS quantiles (unlike the
+  // exact Compute path, which spaces cuts over distinct values): cut i of
+  // k should sit near rank i/k of the feature's value stream.
+  for (uint32_t f = 0; f < ds.num_features(); ++f) {
+    EXPECT_GT(approx.NumCuts(f), 32u);
+    EXPECT_LE(approx.NumCuts(f), 63u);
+    std::vector<float> values;
+    for (uint32_t r = 0; r < ds.num_rows(); ++r) {
+      const float v = ds.At(r, f);
+      if (!IsMissing(v)) values.push_back(v);
+    }
+    std::sort(values.begin(), values.end());
+    const double n = static_cast<double>(values.size());
+    const uint32_t cuts = approx.NumCuts(f);
+    for (uint32_t b = 1; b < cuts; ++b) {  // skip the max-coverage cut
+      const float cut = approx.CutFor(f, b);
+      const double rank_hi = static_cast<double>(
+          std::upper_bound(values.begin(), values.end(), cut) -
+          values.begin());
+      const double expected = static_cast<double>(b) / 63.0;
+      // eps default is 1/(8*64) per sketch; allow the merged bound plus
+      // quantization of the value grid.
+      EXPECT_NEAR(rank_hi / n, expected, 0.05)
+          << "feature " << f << " cut " << b;
+    }
+  }
+}
+
+TEST(ComputeSketch, ParallelStillValid) {
+  SyntheticSpec spec;
+  spec.rows = 20000;
+  spec.features = 5;
+  spec.mean_distinct = 1000;
+  spec.max_distinct = 4000;
+  spec.seed = 79;
+  const Dataset ds = GenerateSynthetic(spec);
+  ThreadPool pool(4);
+  const QuantileCuts cuts = QuantileCuts::ComputeSketch(ds, 32, 0.0, &pool);
+  for (uint32_t f = 0; f < cuts.num_features(); ++f) {
+    ASSERT_GE(cuts.NumCuts(f), 8u);
+    for (uint32_t b = 2; b <= cuts.NumCuts(f); ++b) {
+      EXPECT_LT(cuts.CutFor(f, b - 1), cuts.CutFor(f, b));
+    }
+    // Every present value must map into a valid bin.
+    for (uint32_t r = 0; r < 500; ++r) {
+      const float v = ds.At(r, f);
+      if (IsMissing(v)) continue;
+      const uint32_t bin = cuts.BinFor(f, v);
+      EXPECT_GE(bin, 1u);
+      EXPECT_LE(bin, cuts.NumCuts(f));
+    }
+  }
+}
+
+TEST(ComputeSketch, TrainingOnSketchCutsWorks) {
+  SyntheticSpec spec;
+  spec.rows = 8000;
+  spec.features = 10;
+  spec.mean_distinct = 500;
+  spec.max_distinct = 4000;
+  spec.margin_scale = 3.0;
+  spec.seed = 81;
+  const Dataset ds = GenerateSynthetic(spec);
+
+  // Bin with sketch-derived cuts and train; accuracy must be on par with
+  // exact cuts.
+  const BinnedMatrix exact_matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 64));
+  const BinnedMatrix sketch_matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::ComputeSketch(ds, 64));
+  TrainParams p;
+  p.num_trees = 10;
+  p.tree_size = 4;
+  p.num_threads = 2;
+  GbdtTrainer trainer(p);
+  const double auc_exact =
+      Auc(ds.labels(),
+          trainer.TrainBinned(exact_matrix, ds.labels()).Predict(ds));
+  const double auc_sketch =
+      Auc(ds.labels(),
+          trainer.TrainBinned(sketch_matrix, ds.labels()).Predict(ds));
+  EXPECT_GT(auc_sketch, auc_exact - 0.02);
+  EXPECT_GT(auc_sketch, 0.8);
+}
+
+}  // namespace
+}  // namespace harp

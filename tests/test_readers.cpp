@@ -1,0 +1,184 @@
+// Tests for the CSV and LIBSVM text readers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/csv_reader.h"
+#include "data/libsvm_reader.h"
+
+namespace harp {
+namespace {
+
+// ---------- CSV ----------
+
+TEST(Csv, ParsesBasicTable) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("1,0.5,2.5\n0,1.5,3.5\n", CsvOptions{}, &ds, &error))
+      << error;
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_FLOAT_EQ(ds.labels()[0], 1.0f);
+  EXPECT_FLOAT_EQ(ds.labels()[1], 0.0f);
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(ds.At(1, 1), 3.5f);
+}
+
+TEST(Csv, EmptyFieldIsMissing) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("1,,2\n0,3,NA\n", CsvOptions{}, &ds, &error)) << error;
+  EXPECT_TRUE(IsMissing(ds.At(0, 0)));
+  EXPECT_TRUE(IsMissing(ds.At(1, 1)));
+  EXPECT_FLOAT_EQ(ds.At(1, 0), 3.0f);
+}
+
+TEST(Csv, HeaderSkipped) {
+  CsvOptions options;
+  options.has_header = true;
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("label,f0\n1,2\n", options, &ds, &error)) << error;
+  EXPECT_EQ(ds.num_rows(), 1u);
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 2.0f);
+}
+
+TEST(Csv, LabelColumnSelectable) {
+  CsvOptions options;
+  options.label_column = 2;
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("0.1,0.2,1\n0.3,0.4,0\n", options, &ds, &error))
+      << error;
+  EXPECT_FLOAT_EQ(ds.labels()[0], 1.0f);
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 0.1f);
+  EXPECT_FLOAT_EQ(ds.At(0, 1), 0.2f);
+}
+
+TEST(Csv, RejectsInconsistentColumns) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("1,2,3\n1,2\n", CsvOptions{}, &ds, &error));
+  EXPECT_NE(error.find("expected"), std::string::npos);
+}
+
+TEST(Csv, RejectsBadLabelAndValue) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("abc,1\n", CsvOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseCsv("1,xyz\n", CsvOptions{}, &ds, &error));
+}
+
+TEST(Csv, RejectsEmptyInput) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseCsv("", CsvOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseCsv("\n\n", CsvOptions{}, &ds, &error));
+}
+
+TEST(Csv, SkipsBlankLines) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseCsv("1,2\n\n0,3\n\n", CsvOptions{}, &ds, &error)) << error;
+  EXPECT_EQ(ds.num_rows(), 2u);
+}
+
+TEST(Csv, ReadsFromFile) {
+  const std::string path = "/tmp/harp_test_csv.csv";
+  {
+    std::ofstream out(path);
+    out << "1,5.5\n0,6.5\n";
+  }
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ReadCsv(path, CsvOptions{}, &ds, &error)) << error;
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_FLOAT_EQ(ds.At(1, 0), 6.5f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsv(path, CsvOptions{}, &ds, &error));
+}
+
+// ---------- LIBSVM ----------
+
+TEST(Libsvm, ParsesBasicFile) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm("1 1:0.5 3:2.5\n0 2:1.5\n", LibsvmOptions{}, &ds,
+                          &error))
+      << error;
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_EQ(ds.num_features(), 3u);
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 0.5f);
+  EXPECT_TRUE(IsMissing(ds.At(0, 1)));
+  EXPECT_FLOAT_EQ(ds.At(0, 2), 2.5f);
+  EXPECT_FLOAT_EQ(ds.At(1, 1), 1.5f);
+}
+
+TEST(Libsvm, ZeroBasedIndices) {
+  LibsvmOptions options;
+  options.zero_based = true;
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm("1 0:7\n", options, &ds, &error)) << error;
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 7.0f);
+}
+
+TEST(Libsvm, OneBasedIndexZeroRejected) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseLibsvm("1 0:7\n", LibsvmOptions{}, &ds, &error));
+}
+
+TEST(Libsvm, ForcedFeatureCount) {
+  LibsvmOptions options;
+  options.num_features = 10;
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm("1 2:3\n", options, &ds, &error)) << error;
+  EXPECT_EQ(ds.num_features(), 10u);
+  options.num_features = 1;
+  EXPECT_FALSE(ParseLibsvm("1 2:3\n", options, &ds, &error));
+}
+
+TEST(Libsvm, RejectsNonIncreasingIndices) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseLibsvm("1 2:1 2:2\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseLibsvm("1 3:1 2:2\n", LibsvmOptions{}, &ds, &error));
+}
+
+TEST(Libsvm, RejectsMalformedEntries) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseLibsvm("x 1:2\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseLibsvm("1 a:2\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseLibsvm("1 1:b\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseLibsvm("1 1:2:3\n", LibsvmOptions{}, &ds, &error));
+}
+
+TEST(Libsvm, RowWithNoFeaturesIsValid) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm("1\n0 1:5\n", LibsvmOptions{}, &ds, &error))
+      << error;
+  EXPECT_EQ(ds.num_rows(), 2u);
+  EXPECT_TRUE(IsMissing(ds.At(0, 0)));
+}
+
+TEST(Libsvm, ReadsFromFile) {
+  const std::string path = "/tmp/harp_test_libsvm.txt";
+  {
+    std::ofstream out(path);
+    out << "1 1:2\n";
+  }
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ReadLibsvm(path, LibsvmOptions{}, &ds, &error)) << error;
+  EXPECT_EQ(ds.num_rows(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadLibsvm(path, LibsvmOptions{}, &ds, &error));
+}
+
+}  // namespace
+}  // namespace harp

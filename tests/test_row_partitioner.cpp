@@ -1,0 +1,226 @@
+// Tests for RowPartitioner: NodeMap semantics, MemBuf layout, stable
+// parallel partition, margin scatter.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/row_partitioner.h"
+#include "parallel/thread_pool.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+using harp::testing::MakeDataset;
+using harp::testing::MakeGradients;
+
+struct PartitionCase {
+  bool membuf;
+  int threads;
+  bool parallel_split;  // big node -> internally parallel partition
+};
+
+class PartitionerSweep : public ::testing::TestWithParam<PartitionCase> {};
+
+TEST_P(PartitionerSweep, ApplySplitInvariants) {
+  const PartitionCase& c = GetParam();
+  // >= 8192 rows triggers the parallel partition path.
+  const uint32_t rows = c.parallel_split ? 12000 : 900;
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 51);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 52);
+
+  ThreadPool pool(c.threads);
+  RowPartitioner partitioner(rows, c.membuf);
+  partitioner.Reset(gh, 8, &pool);
+  EXPECT_EQ(partitioner.NodeSize(0), rows);
+
+  const uint32_t feature = 1;
+  const uint32_t split_bin = std::max(1u, (matrix.NumBins(feature) - 1) / 2);
+  const bool default_left = true;
+  partitioner.ApplySplit(0, 1, 2, matrix, feature, split_bin, default_left,
+                         &pool);
+
+  // Invariant 1: sizes add up, parent freed.
+  EXPECT_EQ(partitioner.NodeSize(1) + partitioner.NodeSize(2), rows);
+  EXPECT_EQ(partitioner.NodeSize(0), 0u);
+
+  // Invariant 2: children are a disjoint cover of all rows and respect the
+  // split predicate; order within each child preserves the parent order
+  // (stability) — parent order was ascending row ids.
+  std::set<uint32_t> seen;
+  uint32_t prev_left = 0;
+  bool first_left = true;
+  partitioner.ForEachRowRange(1, 0, partitioner.NodeSize(1),
+                              [&](uint32_t rid, float g, float h) {
+                                EXPECT_TRUE(seen.insert(rid).second);
+                                const uint8_t bin = matrix.Bin(rid, feature);
+                                EXPECT_TRUE(bin == 0 ? default_left
+                                                     : bin <= split_bin);
+                                EXPECT_FLOAT_EQ(g, gh[rid].g);
+                                EXPECT_FLOAT_EQ(h, gh[rid].h);
+                                if (!first_left) {
+                                  EXPECT_GT(rid, prev_left);
+                                }
+                                prev_left = rid;
+                                first_left = false;
+                              });
+  uint32_t prev_right = 0;
+  bool first_right = true;
+  partitioner.ForEachRowRange(2, 0, partitioner.NodeSize(2),
+                              [&](uint32_t rid, float, float) {
+                                EXPECT_TRUE(seen.insert(rid).second);
+                                const uint8_t bin = matrix.Bin(rid, feature);
+                                EXPECT_TRUE(bin == 0 ? !default_left
+                                                     : bin > split_bin);
+                                if (!first_right) {
+                                  EXPECT_GT(rid, prev_right);
+                                }
+                                prev_right = rid;
+                                first_right = false;
+                              });
+  EXPECT_EQ(seen.size(), rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, PartitionerSweep,
+    ::testing::Values(PartitionCase{true, 1, false},
+                      PartitionCase{true, 4, false},
+                      PartitionCase{false, 4, false},
+                      PartitionCase{true, 4, true},
+                      PartitionCase{false, 3, true},
+                      PartitionCase{false, 1, true}));
+
+TEST(RowPartitioner, NodeSumMatchesDirectSum) {
+  const uint32_t rows = 6000;
+  const auto gh = MakeGradients(rows, 61);
+  ThreadPool pool(4);
+  for (bool membuf : {true, false}) {
+    RowPartitioner partitioner(rows, membuf);
+    partitioner.Reset(gh, 4, &pool);
+    GHPair expected;
+    for (const auto& g : gh) expected.Add(g.g, g.h);
+    const GHPair serial = partitioner.NodeSum(0, nullptr);
+    const GHPair parallel = partitioner.NodeSum(0, &pool);
+    EXPECT_NEAR(serial.g, expected.g, 1e-6);
+    EXPECT_NEAR(parallel.g, expected.g, 1e-6);
+    EXPECT_NEAR(parallel.h, expected.h, 1e-6);
+  }
+}
+
+TEST(RowPartitioner, SerialAndParallelPartitionIdentical) {
+  const uint32_t rows = 20000;  // above the parallel threshold
+  const Dataset ds = MakeDataset(rows, 4, 0.9, 71);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 72);
+
+  ThreadPool pool(4);
+  RowPartitioner parallel(rows, true);
+  parallel.Reset(gh, 4, &pool);
+  parallel.ApplySplit(0, 1, 2, matrix, 0, 2, false, &pool);
+
+  RowPartitioner serial(rows, true);
+  serial.Reset(gh, 4, nullptr);
+  serial.ApplySplit(0, 1, 2, matrix, 0, 2, false, nullptr);
+
+  for (int node : {1, 2}) {
+    ASSERT_EQ(parallel.NodeSize(node), serial.NodeSize(node));
+    const auto a = parallel.NodeEntries(node);
+    const auto b = serial.NodeEntries(node);
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].rid, b[i].rid) << "node " << node << " pos " << i;
+    }
+  }
+}
+
+TEST(RowPartitioner, MembufAndGatherSeeSameRows) {
+  const uint32_t rows = 1500;
+  const Dataset ds = MakeDataset(rows, 5, 0.85, 81);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 82);
+
+  RowPartitioner with(rows, true);
+  RowPartitioner without(rows, false);
+  with.Reset(gh, 8, nullptr);
+  without.Reset(gh, 8, nullptr);
+  with.ApplySplit(0, 1, 2, matrix, 3, 1, true, nullptr);
+  without.ApplySplit(0, 1, 2, matrix, 3, 1, true, nullptr);
+
+  for (int node : {1, 2}) {
+    std::vector<uint32_t> a;
+    std::vector<uint32_t> b;
+    std::vector<float> ga;
+    std::vector<float> gb;
+    with.ForEachRowRange(node, 0, with.NodeSize(node),
+                         [&](uint32_t rid, float g, float) {
+                           a.push_back(rid);
+                           ga.push_back(g);
+                         });
+    without.ForEachRowRange(node, 0, without.NodeSize(node),
+                            [&](uint32_t rid, float g, float) {
+                              b.push_back(rid);
+                              gb.push_back(g);
+                            });
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(ga, gb);
+  }
+}
+
+TEST(RowPartitioner, MultiLevelSplitsKeepDisjointCover) {
+  const uint32_t rows = 3000;
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 91);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 92);
+  RowPartitioner partitioner(rows, true);
+  partitioner.Reset(gh, 16, nullptr);
+  partitioner.ApplySplit(0, 1, 2, matrix, 0, 2, false, nullptr);
+  partitioner.ApplySplit(1, 3, 4, matrix, 1, 1, true, nullptr);
+  partitioner.ApplySplit(2, 5, 6, matrix, 2, 3, false, nullptr);
+
+  std::set<uint32_t> seen;
+  uint32_t total = 0;
+  for (int leaf : {3, 4, 5, 6}) {
+    total += partitioner.NodeSize(leaf);
+    partitioner.ForEachRowRange(leaf, 0, partitioner.NodeSize(leaf),
+                                [&](uint32_t rid, float, float) {
+                                  EXPECT_TRUE(seen.insert(rid).second);
+                                });
+  }
+  EXPECT_EQ(total, rows);
+  EXPECT_EQ(seen.size(), rows);
+}
+
+TEST(RowPartitioner, AddToMargins) {
+  const uint32_t rows = 100;
+  const Dataset ds = MakeDataset(rows, 3, 1.0, 95);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 8));
+  const auto gh = MakeGradients(rows, 96);
+  RowPartitioner partitioner(rows, true);
+  partitioner.Reset(gh, 4, nullptr);
+  partitioner.ApplySplit(0, 1, 2, matrix, 0, 1, false, nullptr);
+
+  std::vector<double> margins(rows, 1.0);
+  partitioner.AddToMargins(1, 0.5, &margins);
+  partitioner.AddToMargins(2, -0.25, &margins);
+  for (uint32_t r = 0; r < rows; ++r) {
+    const uint8_t bin = matrix.Bin(r, 0);
+    const bool left = bin != 0 && bin <= 1;
+    EXPECT_DOUBLE_EQ(margins[r], left ? 1.5 : 0.75);
+  }
+}
+
+TEST(RowPartitionerDeath, OutOfRangeNode) {
+  const auto gh = MakeGradients(10, 1);
+  RowPartitioner partitioner(10, true);
+  partitioner.Reset(gh, 4, nullptr);
+  EXPECT_DEATH(partitioner.NodeSize(4), "CHECK");
+  EXPECT_DEATH(partitioner.NodeSize(-1), "CHECK");
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,226 @@
+// Tests for the Eq. 2 / Eq. 3 arithmetic and histogram split enumeration,
+// including a brute-force cross-check over raw rows.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/split_evaluator.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+using harp::testing::AllRows;
+using harp::testing::MakeDataset;
+using harp::testing::MakeGradients;
+using harp::testing::NaiveHist;
+using harp::testing::SumGh;
+
+TrainParams BaseParams() {
+  TrainParams p;
+  p.reg_lambda = 1.0;
+  p.min_split_loss = 0.0;
+  p.min_child_weight = 0.0;
+  p.learning_rate = 0.1;
+  return p;
+}
+
+TEST(SplitEvaluator, LeafWeightFormula) {
+  const SplitEvaluator eval(BaseParams());
+  const GHPair sum{4.0, 3.0};
+  EXPECT_DOUBLE_EQ(eval.RawLeafWeight(sum), -4.0 / (3.0 + 1.0));
+  EXPECT_DOUBLE_EQ(eval.LeafValue(sum), 0.1 * -1.0);
+}
+
+TEST(SplitEvaluator, GainFormulaHandComputed) {
+  TrainParams p = BaseParams();
+  p.min_split_loss = 0.5;  // gamma
+  const SplitEvaluator eval(p);
+  const GHPair left{2.0, 1.0};
+  const GHPair right{-3.0, 2.0};
+  const GHPair parent = left + right;
+  // 0.5*(4/2 + 9/3 - 1/4) - 0.5
+  const double expected = 0.5 * (2.0 + 3.0 - 0.25) - 0.5;
+  EXPECT_NEAR(eval.SplitGain(parent, left, right), expected, 1e-12);
+}
+
+TEST(SplitEvaluator, GammaShiftsGain) {
+  TrainParams p = BaseParams();
+  const GHPair left{2.0, 1.0};
+  const GHPair right{-1.0, 1.5};
+  const GHPair parent = left + right;
+  p.min_split_loss = 0.0;
+  const double g0 = SplitEvaluator(p).SplitGain(parent, left, right);
+  p.min_split_loss = 1.0;
+  const double g1 = SplitEvaluator(p).SplitGain(parent, left, right);
+  EXPECT_NEAR(g0 - g1, 1.0, 1e-12);
+}
+
+TEST(SplitEvaluator, MinChildWeightBlocksSplits) {
+  // One feature, two bins, tiny hessian on one side.
+  const Dataset ds = Dataset::FromDense(
+      4, 1, {0.0f, 0.0f, 0.0f, 1.0f}, {0, 0, 0, 1});
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 256));
+  std::vector<GradientPair> gh{{1.0f, 0.4f}, {1.0f, 0.4f},
+                               {1.0f, 0.4f}, {-3.0f, 0.1f}};
+  const auto rows = AllRows(4);
+  const auto hist = NaiveHist(matrix, gh, rows);
+  const GHPair total = SumGh(gh, rows);
+
+  TrainParams p = BaseParams();
+  p.min_child_weight = 0.0;
+  const SplitInfo allowed = SplitEvaluator(p).FindBestSplit(
+      matrix, hist.data(), total, 0, 1);
+  EXPECT_TRUE(allowed.IsValid());
+
+  p.min_child_weight = 0.5;  // right child h = 0.1 < 0.5 -> rejected
+  const SplitInfo blocked = SplitEvaluator(p).FindBestSplit(
+      matrix, hist.data(), total, 0, 1);
+  EXPECT_FALSE(blocked.IsValid());
+}
+
+TEST(SplitEvaluator, PicksObviousSplit) {
+  // Feature 0 separates gradients perfectly; feature 1 is noise.
+  const Dataset ds = Dataset::FromDense(
+      6, 2,
+      {0.0f, 5.0f, 0.0f, 6.0f, 0.0f, 5.0f,
+       1.0f, 6.0f, 1.0f, 5.0f, 1.0f, 6.0f},
+      {0, 0, 0, 1, 1, 1});
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 256));
+  std::vector<GradientPair> gh(6);
+  for (int i = 0; i < 6; ++i) {
+    gh[static_cast<size_t>(i)] = {i < 3 ? 1.0f : -1.0f, 1.0f};
+  }
+  const auto rows = AllRows(6);
+  const auto hist = NaiveHist(matrix, gh, rows);
+  const SplitInfo split = SplitEvaluator(BaseParams()).FindBestSplit(
+      matrix, hist.data(), SumGh(gh, rows), 0, 2);
+  ASSERT_TRUE(split.IsValid());
+  EXPECT_EQ(split.feature, 0u);
+  EXPECT_EQ(split.bin, 1u);  // first bin of feature 0 holds value 0.0
+  EXPECT_NEAR(split.left_sum.g, 3.0, 1e-12);
+  EXPECT_NEAR(split.right_sum.g, -3.0, 1e-12);
+}
+
+TEST(SplitEvaluator, ChildSumsAddUpToParent) {
+  const Dataset ds = MakeDataset(300, 5, 0.8, 41);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(300, 42);
+  const auto rows = AllRows(300);
+  const auto hist = NaiveHist(matrix, gh, rows);
+  const GHPair total = SumGh(gh, rows);
+  const SplitInfo split = SplitEvaluator(BaseParams()).FindBestSplit(
+      matrix, hist.data(), total, 0, 5);
+  ASSERT_TRUE(split.IsValid());
+  EXPECT_NEAR(split.left_sum.g + split.right_sum.g, total.g, 1e-9);
+  EXPECT_NEAR(split.left_sum.h + split.right_sum.h, total.h, 1e-9);
+}
+
+// Brute force over raw rows: for every (feature, bin, default direction),
+// partition rows directly and compute the gain; the evaluator must find the
+// same maximum gain.
+TEST(SplitEvaluator, MatchesBruteForceEnumeration) {
+  TrainParams p = BaseParams();
+  p.min_split_loss = 0.1;
+  p.min_child_weight = 0.2;
+  const SplitEvaluator eval(p);
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    const Dataset ds = MakeDataset(120, 4, 0.75, seed, /*distinct=*/8);
+    const BinnedMatrix matrix =
+        BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 256));
+    const auto gh = MakeGradients(120, seed + 100);
+    const auto rows = AllRows(120);
+    const auto hist = NaiveHist(matrix, gh, rows);
+    const GHPair total = SumGh(gh, rows);
+
+    double best_gain = 0.0;
+    for (uint32_t f = 0; f < matrix.num_features(); ++f) {
+      for (uint32_t bin = 1; bin + 1 < matrix.NumBins(f); ++bin) {
+        for (bool default_left : {false, true}) {
+          GHPair left;
+          for (uint32_t rid : rows) {
+            const uint8_t b = matrix.Bin(rid, f);
+            const bool goes_left =
+                b == 0 ? default_left : b <= bin;
+            if (goes_left) left.Add(gh[rid].g, gh[rid].h);
+          }
+          const GHPair right = total - left;
+          if (left.h < p.min_child_weight || right.h < p.min_child_weight) {
+            continue;
+          }
+          best_gain =
+              std::max(best_gain, eval.SplitGain(total, left, right));
+        }
+      }
+    }
+
+    const SplitInfo found = eval.FindBestSplit(matrix, hist.data(), total, 0,
+                                               matrix.num_features());
+    if (best_gain <= 0.0) {
+      EXPECT_FALSE(found.IsValid());
+    } else {
+      ASSERT_TRUE(found.IsValid());
+      EXPECT_NEAR(found.gain, best_gain, 1e-9) << "seed " << seed;
+    }
+  }
+}
+
+// Partitioning the feature range must not change the merged winner.
+TEST(SplitEvaluator, FeatureRangeMergeIsDeterministic) {
+  const Dataset ds = MakeDataset(200, 8, 0.9, 7);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 32));
+  const auto gh = MakeGradients(200, 8);
+  const auto rows = AllRows(200);
+  const auto hist = NaiveHist(matrix, gh, rows);
+  const GHPair total = SumGh(gh, rows);
+  const SplitEvaluator eval(BaseParams());
+
+  const SplitInfo whole =
+      eval.FindBestSplit(matrix, hist.data(), total, 0, 8);
+  for (uint32_t chunk : {1u, 2u, 3u, 5u}) {
+    SplitInfo merged;
+    for (uint32_t f = 0; f < 8; f += chunk) {
+      const SplitInfo part = eval.FindBestSplit(matrix, hist.data(), total,
+                                                f, std::min(8u, f + chunk));
+      if (part.BetterThan(merged)) merged = part;
+    }
+    EXPECT_EQ(merged.feature, whole.feature);
+    EXPECT_EQ(merged.bin, whole.bin);
+    EXPECT_EQ(merged.default_left, whole.default_left);
+    EXPECT_DOUBLE_EQ(merged.gain, whole.gain);
+  }
+}
+
+TEST(SplitInfoTest, BetterThanIsStrictTotalOrder) {
+  SplitInfo a;
+  a.gain = 1.0;
+  a.feature = 2;
+  a.bin = 3;
+  SplitInfo b = a;
+  EXPECT_FALSE(a.BetterThan(b));
+  EXPECT_FALSE(b.BetterThan(a));
+  b.gain = 2.0;
+  EXPECT_TRUE(b.BetterThan(a));
+  b.gain = a.gain;
+  b.feature = 1;
+  EXPECT_TRUE(b.BetterThan(a));
+  b.feature = a.feature;
+  b.bin = 2;
+  EXPECT_TRUE(b.BetterThan(a));
+  b.bin = a.bin;
+  b.default_left = true;
+  EXPECT_TRUE(a.BetterThan(b));  // missing-right preferred on full tie
+}
+
+TEST(SplitInfoTest, DefaultIsInvalid) {
+  SplitInfo s;
+  EXPECT_FALSE(s.IsValid());
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,229 @@
+// Stress and robustness tests: concurrency hammering, flag-interaction
+// matrix, and fuzz-style model-IO corruption.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "core/model_io.h"
+#include "harpgbdt.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+Dataset StressData(uint32_t rows = 3000, uint64_t seed = 1201) {
+  SyntheticSpec spec;
+  spec.rows = rows;
+  spec.features = 14;
+  spec.density = 0.8;
+  spec.margin_scale = 2.5;
+  spec.seed = seed;
+  return GenerateSynthetic(spec);
+}
+
+// Hammer the ASYNC path: many trees, many threads, deep-ish trees, so the
+// spin-mutex'd queue/tree/histogram-pool interplay gets real contention.
+TEST(Stress, AsyncRepeatedBuildsStayValid) {
+  const Dataset train = StressData(4000);
+  TrainParams p;
+  p.num_trees = 20;
+  p.tree_size = 7;
+  p.grow_policy = GrowPolicy::kTopK;
+  p.topk = 16;
+  p.mode = ParallelMode::kASYNC;
+  p.num_threads = 8;  // oversubscribed on purpose
+  GbdtTrainer trainer(p);
+  const GbdtModel model = trainer.Train(train);
+  ASSERT_EQ(model.NumTrees(), 20u);
+  for (const RegTree& tree : model.trees()) {
+    ASSERT_TRUE(tree.CheckValid());
+    uint32_t covered = 0;
+    for (const TreeNode& n : tree.nodes()) {
+      if (n.IsLeaf()) covered += n.num_rows;
+    }
+    EXPECT_EQ(covered, train.num_rows());
+  }
+  EXPECT_GT(Auc(train.labels(), model.Predict(train)), 0.85);
+}
+
+// Every combination of the optimization flags must produce valid models
+// that learn; deterministic modes must stay deterministic.
+struct FlagCase {
+  ParallelMode mode;
+  bool membuf;
+  bool subtraction;
+  double subsample;
+  double colsample;
+};
+
+class FlagMatrix : public ::testing::TestWithParam<FlagCase> {};
+
+TEST_P(FlagMatrix, TrainsValidLearningModel) {
+  const FlagCase& c = GetParam();
+  const Dataset train = StressData(2500, 1301);
+  TrainParams p;
+  p.num_trees = 8;
+  p.tree_size = 5;
+  p.grow_policy = GrowPolicy::kTopK;
+  p.topk = 8;
+  p.mode = c.mode;
+  p.use_membuf = c.membuf;
+  p.use_hist_subtraction = c.subtraction;
+  p.subsample = c.subsample;
+  p.colsample_bytree = c.colsample;
+  p.num_threads = 3;
+
+  GbdtTrainer trainer(p);
+  const GbdtModel a = trainer.Train(train);
+  for (const RegTree& tree : a.trees()) ASSERT_TRUE(tree.CheckValid());
+  EXPECT_GT(Auc(train.labels(), a.Predict(train)), 0.75);
+
+  if (c.mode != ParallelMode::kASYNC) {
+    const GbdtModel b = trainer.Train(train);
+    for (size_t t = 0; t < a.NumTrees(); ++t) {
+      EXPECT_TRUE(harp::testing::TreesEqual(a.tree(t), b.tree(t)));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Flags, FlagMatrix,
+    ::testing::Values(
+        FlagCase{ParallelMode::kDP, true, true, 1.0, 1.0},
+        FlagCase{ParallelMode::kDP, false, true, 0.7, 1.0},
+        FlagCase{ParallelMode::kMP, true, true, 1.0, 0.6},
+        FlagCase{ParallelMode::kMP, false, false, 0.7, 0.6},
+        FlagCase{ParallelMode::kSYNC, true, true, 0.8, 0.8},
+        FlagCase{ParallelMode::kASYNC, true, false, 1.0, 1.0},
+        FlagCase{ParallelMode::kASYNC, false, false, 0.7, 0.6}),
+    [](const ::testing::TestParamInfo<FlagCase>& info) {
+      const FlagCase& c = info.param;
+      std::string name = ToString(c.mode);
+      name += c.membuf ? "_mb" : "_ga";
+      name += c.subtraction ? "_sub" : "_dir";
+      name += c.subsample < 1.0 ? "_rs" : "_rf";
+      name += c.colsample < 1.0 ? "_cs" : "_cf";
+      return name;
+    });
+
+// Fuzz the model loader: random corruption must never crash or produce a
+// structurally invalid model — it either fails cleanly or round-trips.
+TEST(Stress, ModelLoaderSurvivesCorruption) {
+  const Dataset train = StressData(600, 1401);
+  TrainParams p;
+  p.num_trees = 3;
+  p.tree_size = 4;
+  p.num_threads = 1;
+  const GbdtModel model = GbdtTrainer(p).Train(train);
+  const std::string text = SerializeModel(model);
+
+  Rng rng(99);
+  int clean_failures = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const int edits = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = rng.NextBelow(mutated.size());
+      switch (rng.NextBelow(3)) {
+        case 0:
+          mutated[pos] = static_cast<char>('0' + rng.NextBelow(10));
+          break;
+        case 1:
+          mutated.erase(pos, 1 + rng.NextBelow(5));
+          break;
+        default:
+          mutated.insert(pos, "x");
+          break;
+      }
+    }
+    GbdtModel out;
+    std::string error;
+    if (!DeserializeModel(mutated, &out, &error)) {
+      ++clean_failures;
+      EXPECT_FALSE(error.empty());
+    } else {
+      // Rarely a mutation is benign; the result must still be valid.
+      for (const RegTree& tree : out.trees()) {
+        EXPECT_TRUE(tree.CheckValid());
+      }
+    }
+  }
+  // The vast majority of random edits must be rejected.
+  EXPECT_GT(clean_failures, 150);
+}
+
+// Thread-count sweep on one problem: every deterministic mode produces the
+// same model at every thread count (the strongest runtime-independence
+// property the design promises).
+TEST(Stress, ThreadCountInvarianceAcrossModes) {
+  const Dataset train = StressData(2000, 1501);
+  for (ParallelMode mode :
+       {ParallelMode::kDP, ParallelMode::kMP, ParallelMode::kSYNC}) {
+    GbdtModel reference;
+    for (int threads : {1, 2, 5}) {
+      TrainParams p;
+      p.num_trees = 4;
+      p.tree_size = 5;
+      p.mode = mode;
+      p.num_threads = threads;
+      p.feature_blk_size = 3;
+      p.node_blk_size = 2;
+      const GbdtModel model = GbdtTrainer(p).Train(train);
+      if (threads == 1) {
+        reference = model;
+        continue;
+      }
+      for (size_t t = 0; t < reference.NumTrees(); ++t) {
+        EXPECT_TRUE(
+            harp::testing::TreesEqual(reference.tree(t), model.tree(t)))
+            << ToString(mode) << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Degenerate inputs must not crash: constant labels, constant features,
+// single row, all-missing feature.
+TEST(Stress, DegenerateInputs) {
+  TrainParams p;
+  p.num_trees = 2;
+  p.tree_size = 3;
+  p.num_threads = 2;
+  p.min_split_loss = 0.0;
+
+  {
+    // Constant labels: gradients vanish after the base score fits; trees
+    // should be single leaves, prediction ~the constant.
+    Dataset ds = Dataset::FromDense(
+        8, 2, std::vector<float>(16, 1.0f), std::vector<float>(8, 1.0f));
+    const GbdtModel model = GbdtTrainer(p).Train(ds);
+    for (const RegTree& tree : model.trees()) {
+      EXPECT_TRUE(tree.CheckValid());
+    }
+    for (double prob : model.Predict(ds)) EXPECT_GT(prob, 0.5);
+  }
+  {
+    // One row.
+    Dataset ds = Dataset::FromDense(1, 3, {1.0f, 2.0f, 3.0f}, {1.0f});
+    const GbdtModel model = GbdtTrainer(p).Train(ds);
+    EXPECT_EQ(model.NumTrees(), 2u);
+  }
+  {
+    // A feature that is always missing plus an informative one.
+    std::vector<float> values;
+    std::vector<float> labels;
+    for (int r = 0; r < 40; ++r) {
+      values.push_back(kMissingValue);
+      values.push_back(static_cast<float>(r % 2));
+      labels.push_back(static_cast<float>(r % 2));
+    }
+    Dataset ds = Dataset::FromDense(40, 2, std::move(values),
+                                    std::move(labels));
+    const GbdtModel model = GbdtTrainer(p).Train(ds);
+    EXPECT_GT(Auc(ds.labels(), model.Predict(ds)), 0.95);
+  }
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,183 @@
+// Tests for the synthetic generators, including verification that every
+// Table III preset reproduces its published shape statistics (N, M, S, CV).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/binned_matrix.h"
+#include "data/dataset_stats.h"
+#include "data/synthetic.h"
+#include "parallel/thread_pool.h"
+
+namespace harp {
+namespace {
+
+DatasetShape ShapeOf(const SyntheticSpec& spec) {
+  const Dataset ds = GenerateSynthetic(spec);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 256));
+  return ComputeShape(spec.name, ds, matrix);
+}
+
+TEST(Synthetic, DeterministicForSeed) {
+  SyntheticSpec spec;
+  spec.rows = 500;
+  spec.features = 10;
+  spec.density = 0.8;
+  const Dataset a = GenerateSynthetic(spec);
+  const Dataset b = GenerateSynthetic(spec);
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  EXPECT_EQ(a.labels(), b.labels());
+  EXPECT_EQ(a.dense_values().size(), b.dense_values().size());
+  for (size_t i = 0; i < a.dense_values().size(); ++i) {
+    const float x = a.dense_values()[i];
+    const float y = b.dense_values()[i];
+    EXPECT_TRUE((IsMissing(x) && IsMissing(y)) || x == y);
+  }
+}
+
+TEST(Synthetic, ThreadCountDoesNotChangeData) {
+  SyntheticSpec spec;
+  spec.rows = 1000;
+  spec.features = 8;
+  spec.density = 0.9;
+  const Dataset serial = GenerateSynthetic(spec, nullptr);
+  ThreadPool pool(4);
+  const Dataset parallel = GenerateSynthetic(spec, &pool);
+  EXPECT_EQ(serial.labels(), parallel.labels());
+  for (size_t i = 0; i < serial.dense_values().size(); ++i) {
+    const float x = serial.dense_values()[i];
+    const float y = parallel.dense_values()[i];
+    EXPECT_TRUE((IsMissing(x) && IsMissing(y)) || x == y);
+  }
+}
+
+TEST(Synthetic, SeedChangesData) {
+  SyntheticSpec spec;
+  spec.rows = 200;
+  spec.features = 4;
+  const Dataset a = GenerateSynthetic(spec);
+  spec.seed += 1;
+  const Dataset b = GenerateSynthetic(spec);
+  EXPECT_NE(a.labels(), b.labels());
+}
+
+TEST(Synthetic, LabelsAreBinary) {
+  SyntheticSpec spec;
+  spec.rows = 300;
+  const Dataset ds = GenerateSynthetic(spec);
+  int positives = 0;
+  for (float y : ds.labels()) {
+    EXPECT_TRUE(y == 0.0f || y == 1.0f);
+    positives += y > 0.5f ? 1 : 0;
+  }
+  // Roughly balanced classes.
+  EXPECT_GT(positives, 60);
+  EXPECT_LT(positives, 240);
+}
+
+TEST(Synthetic, RegressionLabelsContinuous) {
+  SyntheticSpec spec;
+  spec.rows = 300;
+  spec.label = LabelKind::kRegression;
+  const Dataset ds = GenerateSynthetic(spec);
+  int non_binary = 0;
+  for (float y : ds.labels()) {
+    if (y != 0.0f && y != 1.0f) ++non_binary;
+  }
+  EXPECT_GT(non_binary, 250);
+}
+
+TEST(Synthetic, DensityControlsSparseness) {
+  SyntheticSpec spec;
+  spec.rows = 4000;
+  spec.features = 20;
+  spec.density = 0.35;
+  const Dataset ds = GenerateSynthetic(spec);
+  EXPECT_NEAR(ds.Sparseness(), 0.35, 0.02);
+}
+
+TEST(Synthetic, SparseStorageMatchesDensity) {
+  SyntheticSpec spec;
+  spec.rows = 2000;
+  spec.features = 50;
+  spec.density = 0.25;
+  spec.sparse_storage = true;
+  const Dataset ds = GenerateSynthetic(spec);
+  EXPECT_EQ(ds.layout(), Dataset::Layout::kSparse);
+  EXPECT_NEAR(ds.Sparseness(), 0.25, 0.02);
+}
+
+TEST(Synthetic, ResponseEncodedFeatureCorrelatesWithLabel) {
+  SyntheticSpec spec;
+  spec.rows = 3000;
+  spec.features = 10;
+  spec.response_encoded_feature = true;
+  const Dataset ds = GenerateSynthetic(spec);
+  // Feature 0 (an exponential latent driving the label score) must be
+  // strongly shifted between the classes.
+  double pos_sum = 0.0;
+  double neg_sum = 0.0;
+  int pos = 0;
+  int neg = 0;
+  for (uint32_t r = 0; r < ds.num_rows(); ++r) {
+    const float v = ds.At(r, 0);
+    ASSERT_FALSE(IsMissing(v));
+    if (ds.labels()[r] > 0.5f) {
+      pos_sum += v;
+      ++pos;
+    } else {
+      neg_sum += v;
+      ++neg;
+    }
+  }
+  EXPECT_GT(pos_sum / pos, neg_sum / neg + 1.0);
+}
+
+// ---- Table III preset verification (scaled rows; M, S, CV must match) ----
+
+struct PresetCase {
+  const char* name;
+  SyntheticSpec spec;
+  uint32_t expect_features;
+  double expect_s;
+  double expect_cv;
+  double cv_tol;
+};
+
+class PresetShape : public ::testing::TestWithParam<PresetCase> {};
+
+TEST_P(PresetShape, MatchesTableIII) {
+  const PresetCase& c = GetParam();
+  const DatasetShape shape = ShapeOf(c.spec);
+  EXPECT_EQ(shape.features, c.expect_features);
+  EXPECT_NEAR(shape.sparseness, c.expect_s, 0.03);
+  EXPECT_NEAR(shape.bin_cv, c.expect_cv, c.cv_tol);
+}
+
+// Scales chosen so each preset stays under ~1s to generate+bin in tests.
+INSTANTIATE_TEST_SUITE_P(
+    TableIII, PresetShape,
+    ::testing::Values(
+        PresetCase{"SYNSET", SynsetSpec(0.1), 128, 1.00, 0.00, 0.10},
+        PresetCase{"HIGGS", HiggsSpec(0.15), 28, 0.92, 0.40, 0.20},
+        PresetCase{"AIRLINE", AirlineSpec(0.06), 8, 1.00, 0.89, 0.15},
+        PresetCase{"CRITEO", CriteoSpec(0.15), 65, 0.96, 0.58, 0.25},
+        PresetCase{"YFCC", YfccSpec(0.25), 4096, 0.31, 0.06, 0.10}),
+    [](const ::testing::TestParamInfo<PresetCase>& info) {
+      return info.param.name;
+    });
+
+TEST(DatasetShapeReport, FormatsRow) {
+  SyntheticSpec spec;
+  spec.rows = 100;
+  spec.features = 4;
+  const DatasetShape shape = ShapeOf(spec);
+  const std::string header = ShapeHeader();
+  const std::string row = FormatShapeRow(shape);
+  EXPECT_NE(header.find("dataset"), std::string::npos);
+  EXPECT_NE(row.find("synthetic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harp

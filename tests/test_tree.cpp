@@ -1,0 +1,171 @@
+// Tests for RegTree: growth mutations, prediction paths, validity checks.
+#include <gtest/gtest.h>
+
+#include "core/tree.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+SplitInfo MakeSplit(uint32_t feature, uint32_t bin, bool default_left,
+                    GHPair left, GHPair right) {
+  SplitInfo s;
+  s.gain = 1.0;
+  s.feature = feature;
+  s.bin = bin;
+  s.default_left = default_left;
+  s.left_sum = left;
+  s.right_sum = right;
+  return s;
+}
+
+TEST(RegTree, StartsAsSingleLeaf) {
+  RegTree tree;
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_EQ(tree.NumLeaves(), 1);
+  EXPECT_TRUE(tree.node(0).IsLeaf());
+  EXPECT_TRUE(tree.CheckValid());
+}
+
+TEST(RegTree, ApplySplitCreatesLinkedChildren) {
+  RegTree tree;
+  const auto [l, r] =
+      tree.ApplySplit(0, MakeSplit(2, 3, true, {1, 1}, {2, 2}), 0.5f);
+  EXPECT_EQ(l, 1);
+  EXPECT_EQ(r, 2);
+  EXPECT_EQ(tree.num_nodes(), 3);
+  EXPECT_EQ(tree.NumLeaves(), 2);
+  EXPECT_FALSE(tree.node(0).IsLeaf());
+  EXPECT_EQ(tree.node(0).split_feature, 2u);
+  EXPECT_EQ(tree.node(0).split_bin, 3u);
+  EXPECT_TRUE(tree.node(0).default_left);
+  EXPECT_EQ(tree.node(l).parent, 0);
+  EXPECT_EQ(tree.node(r).parent, 0);
+  EXPECT_EQ(tree.node(l).depth, 1);
+  EXPECT_EQ(tree.node(l).sum, (GHPair{1, 1}));
+  EXPECT_EQ(tree.node(r).sum, (GHPair{2, 2}));
+  EXPECT_TRUE(tree.CheckValid());
+  EXPECT_EQ(tree.MaxDepth(), 1);
+}
+
+TEST(RegTree, PredictBinnedFollowsSplits) {
+  RegTree tree;
+  tree.ApplySplit(0, MakeSplit(0, 2, false, {}, {}), 2.0f);
+  tree.mutable_node(1).leaf_value = -1.0;
+  tree.mutable_node(2).leaf_value = +1.0;
+
+  const uint8_t low[] = {1};
+  const uint8_t edge[] = {2};
+  const uint8_t high[] = {3};
+  const uint8_t missing[] = {0};
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(low), -1.0);
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(edge), -1.0);  // bin <= split_bin
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(high), 1.0);
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(missing), 1.0);  // default right
+}
+
+TEST(RegTree, MissingFollowsDefaultLeft) {
+  RegTree tree;
+  tree.ApplySplit(0, MakeSplit(0, 1, true, {}, {}), 0.0f);
+  tree.mutable_node(1).leaf_value = -5.0;
+  tree.mutable_node(2).leaf_value = +5.0;
+  const uint8_t missing[] = {0};
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(missing), -5.0);
+}
+
+TEST(RegTree, PredictRawUsesSplitValueAndMissing) {
+  RegTree tree;
+  tree.ApplySplit(0, MakeSplit(1, 1, false, {}, {}), 10.0f);
+  tree.mutable_node(1).leaf_value = -1.0;
+  tree.mutable_node(2).leaf_value = 1.0;
+  const Dataset ds = Dataset::FromDense(
+      3, 2,
+      {0.0f, 9.0f,
+       0.0f, 11.0f,
+       0.0f, kMissingValue},
+      {0, 0, 0});
+  EXPECT_DOUBLE_EQ(tree.PredictRaw(ds, 0), -1.0);  // 9 <= 10
+  EXPECT_DOUBLE_EQ(tree.PredictRaw(ds, 1), 1.0);   // 11 > 10
+  EXPECT_DOUBLE_EQ(tree.PredictRaw(ds, 2), 1.0);   // missing -> right
+}
+
+TEST(RegTree, TwoLevelPrediction) {
+  RegTree tree;
+  tree.ApplySplit(0, MakeSplit(0, 1, false, {}, {}), 1.0f);
+  tree.ApplySplit(1, MakeSplit(1, 2, false, {}, {}), 2.0f);
+  tree.mutable_node(2).leaf_value = 10.0;  // right of root
+  tree.mutable_node(3).leaf_value = 20.0;  // left-left
+  tree.mutable_node(4).leaf_value = 30.0;  // left-right
+  EXPECT_EQ(tree.NumLeaves(), 3);
+  EXPECT_EQ(tree.MaxDepth(), 2);
+
+  const uint8_t ll[] = {1, 1};
+  const uint8_t lr[] = {1, 3};
+  const uint8_t right[] = {2, 1};
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(ll), 20.0);
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(lr), 30.0);
+  EXPECT_DOUBLE_EQ(tree.PredictBinned(right), 10.0);
+}
+
+TEST(RegTree, BinnedAndRawPredictionsAgreeOnRealCuts) {
+  // Property: for a tree whose split_values come from the actual cut
+  // boundaries, predicting from raw values must equal predicting from the
+  // binned row — for every row including missing entries.
+  const Dataset ds = harp::testing::MakeDataset(400, 5, 0.8, 101);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+
+  RegTree tree;
+  auto split_at = [&](int node, uint32_t feature, uint32_t bin,
+                      bool default_left) {
+    tree.ApplySplit(node, MakeSplit(feature, bin, default_left, {}, {}),
+                    matrix.cuts().CutFor(feature, bin));
+  };
+  split_at(0, 0, std::max(1u, matrix.NumBins(0) / 2), false);
+  split_at(1, 2, std::max(1u, matrix.NumBins(2) / 3), true);
+  split_at(2, 4, std::max(1u, matrix.NumBins(4) / 2), false);
+  int leaf_tag = 0;
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    if (tree.node(i).IsLeaf()) {
+      tree.mutable_node(i).leaf_value = ++leaf_tag;
+    }
+  }
+
+  for (uint32_t r = 0; r < ds.num_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(tree.PredictBinned(matrix.RowBins(r)),
+                     tree.PredictRaw(ds, r))
+        << "row " << r;
+  }
+}
+
+TEST(RegTree, CheckValidCatchesCorruption) {
+  RegTree tree;
+  tree.ApplySplit(0, MakeSplit(0, 1, false, {}, {}), 0.0f);
+  EXPECT_TRUE(tree.CheckValid());
+  RegTree broken = tree;
+  broken.mutable_node(1).parent = 2;  // wrong parent link
+  EXPECT_FALSE(broken.CheckValid());
+  RegTree bad_leaf = tree;
+  bad_leaf.mutable_node(2).leaf_value =
+      std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(bad_leaf.CheckValid());
+  RegTree bad_bin = tree;
+  bad_bin.mutable_node(0).split_bin = 0;
+  EXPECT_FALSE(bad_bin.CheckValid());
+}
+
+TEST(RegTreeDeath, CannotSplitInternalNode) {
+  RegTree tree;
+  tree.ApplySplit(0, MakeSplit(0, 1, false, {}, {}), 0.0f);
+  EXPECT_DEATH(tree.ApplySplit(0, MakeSplit(0, 1, false, {}, {}), 0.0f),
+               "CHECK");
+}
+
+TEST(RegTreeDeath, SplitBinMustBePositive) {
+  RegTree tree;
+  EXPECT_DEATH(tree.ApplySplit(0, MakeSplit(0, 0, false, {}, {}), 0.0f),
+               "CHECK");
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,254 @@
+// Properties of HarpTreeBuilder across the full configuration space:
+// DP / MP / SYNC must build IDENTICAL trees regardless of block sizes,
+// thread count, MemBuf or the subtraction trick; ASYNC must build valid
+// trees of the right size. Budgets and depth limits are enforced.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/gbdt.h"
+#include "core/tree_builder.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+using harp::testing::MakeDataset;
+using harp::testing::MakeGradients;
+using harp::testing::TreesEqual;
+
+struct Env {
+  Dataset ds;
+  BinnedMatrix matrix;
+  std::vector<GradientPair> gh;
+};
+
+Env MakeEnv(uint32_t rows = 1500, uint32_t features = 9, uint64_t seed = 7) {
+  Dataset ds = MakeDataset(rows, features, 0.85, seed, /*distinct=*/24);
+  BinnedMatrix matrix = BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 24));
+  auto gh = MakeGradients(rows, seed + 1);
+  return Env{std::move(ds), std::move(matrix), std::move(gh)};
+}
+
+RegTree BuildWith(const Env& env, TrainParams params, int threads,
+                  TrainStats* stats = nullptr) {
+  params.num_threads = threads;
+  ThreadPool pool(threads);
+  HarpTreeBuilder builder(env.matrix, params, pool);
+  TrainStats local;
+  return builder.BuildTree(env.gh, stats != nullptr ? stats : &local);
+}
+
+TrainParams BaseParams(GrowPolicy policy, int tree_size = 5) {
+  TrainParams p;
+  p.grow_policy = policy;
+  p.tree_size = tree_size;
+  p.topk = 4;
+  p.min_split_loss = 0.0;
+  p.min_child_weight = 0.1;
+  return p;
+}
+
+// ---------- mode/config equivalence sweep ----------
+
+struct ConfigCase {
+  ParallelMode mode;
+  int feature_blk;
+  int node_blk;
+  int bin_blk;
+  bool membuf;
+  bool subtraction;
+  int threads;
+};
+
+std::string ConfigName(const ::testing::TestParamInfo<ConfigCase>& info) {
+  const ConfigCase& c = info.param;
+  std::string n = ToString(c.mode);
+  n += "_f" + std::to_string(c.feature_blk) + "_n" +
+       std::to_string(c.node_blk) + "_b" + std::to_string(c.bin_blk);
+  n += c.membuf ? "_mb" : "_ga";
+  n += c.subtraction ? "_sub" : "_dir";
+  n += "_t" + std::to_string(c.threads);
+  return n;
+}
+
+class DeterministicModes : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(DeterministicModes, SameTreeAsSerialReference) {
+  const Env env = MakeEnv();
+  for (GrowPolicy policy :
+       {GrowPolicy::kDepthwise, GrowPolicy::kLeafwise, GrowPolicy::kTopK}) {
+    // Reference: serial DP, no blocks, no tricks.
+    TrainParams ref = BaseParams(policy);
+    ref.mode = ParallelMode::kDP;
+    const RegTree expected = BuildWith(env, ref, 1);
+    ASSERT_TRUE(expected.CheckValid());
+    ASSERT_GT(expected.NumLeaves(), 2);
+
+    const ConfigCase& c = GetParam();
+    TrainParams p = BaseParams(policy);
+    p.mode = c.mode;
+    p.feature_blk_size = c.feature_blk;
+    p.node_blk_size = c.node_blk;
+    p.bin_blk_size = c.bin_blk;
+    p.use_membuf = c.membuf;
+    p.use_hist_subtraction = c.subtraction;
+    const RegTree actual = BuildWith(env, p, c.threads);
+    EXPECT_TRUE(TreesEqual(expected, actual))
+        << "policy " << ToString(policy) << " config differs from reference";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeterministicModes,
+    ::testing::Values(
+        ConfigCase{ParallelMode::kDP, 0, 1, 256, true, false, 4},
+        ConfigCase{ParallelMode::kDP, 3, 2, 256, true, false, 4},
+        ConfigCase{ParallelMode::kDP, 2, 4, 256, false, false, 2},
+        ConfigCase{ParallelMode::kDP, 0, 1, 256, true, true, 4},
+        ConfigCase{ParallelMode::kMP, 1, 1, 256, true, false, 4},
+        ConfigCase{ParallelMode::kMP, 4, 2, 256, true, false, 3},
+        ConfigCase{ParallelMode::kMP, 2, 2, 8, false, false, 4},
+        ConfigCase{ParallelMode::kMP, 3, 1, 256, true, true, 4},
+        ConfigCase{ParallelMode::kSYNC, 2, 2, 256, true, false, 4},
+        ConfigCase{ParallelMode::kSYNC, 0, 4, 256, false, true, 3},
+        ConfigCase{ParallelMode::kSYNC, 4, 2, 16, true, false, 2}),
+    ConfigName);
+
+// ---------- ASYNC ----------
+
+class AsyncThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(AsyncThreads, BuildsValidTreeOfExpectedSize) {
+  const Env env = MakeEnv(2500, 8, 23);
+  TrainParams p = BaseParams(GrowPolicy::kTopK, 5);
+  p.mode = ParallelMode::kASYNC;
+  p.topk = 8;
+  TrainStats stats;
+  const RegTree tree = BuildWith(env, p, GetParam(), &stats);
+  EXPECT_TRUE(tree.CheckValid());
+  EXPECT_LE(tree.NumLeaves(), 32);
+  EXPECT_GT(tree.NumLeaves(), 4);
+  // Leaf row counts cover the dataset.
+  uint32_t covered = 0;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.IsLeaf()) covered += n.num_rows;
+  }
+  EXPECT_EQ(covered, env.ds.num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, AsyncThreads, ::testing::Values(1, 2, 4));
+
+TEST(Async, SingleThreadMatchesLeafwiseReference) {
+  // With one worker the greedy pop order is exactly leafwise top-1, so the
+  // ASYNC tree must equal the deterministic leafwise tree.
+  const Env env = MakeEnv(1200, 7, 31);
+  TrainParams ref = BaseParams(GrowPolicy::kLeafwise, 4);
+  ref.mode = ParallelMode::kDP;
+  const RegTree expected = BuildWith(env, ref, 1);
+
+  TrainParams p = BaseParams(GrowPolicy::kLeafwise, 4);
+  p.mode = ParallelMode::kASYNC;
+  const RegTree actual = BuildWith(env, p, 1);
+  EXPECT_TRUE(TreesEqual(expected, actual));
+}
+
+TEST(Async, RecordsSpinLockActivity) {
+  const Env env = MakeEnv(3000, 8, 37);
+  TrainParams p = BaseParams(GrowPolicy::kTopK, 6);
+  p.mode = ParallelMode::kASYNC;
+  p.num_threads = 4;
+  ThreadPool pool(4);
+  HarpTreeBuilder builder(env.matrix, p, pool);
+  TrainStats stats;
+  builder.BuildTree(env.gh, &stats);
+  EXPECT_GT(pool.Snapshot().spin_acquires, 0);
+}
+
+// ---------- budgets and limits ----------
+
+TEST(TreeBuilder, LeafBudgetRespectedAllModes) {
+  const Env env = MakeEnv(2000, 8, 41);
+  for (ParallelMode mode : {ParallelMode::kDP, ParallelMode::kMP,
+                            ParallelMode::kSYNC, ParallelMode::kASYNC}) {
+    TrainParams p = BaseParams(GrowPolicy::kTopK, 3);  // <= 8 leaves
+    p.mode = mode;
+    const RegTree tree = BuildWith(env, p, 4);
+    EXPECT_LE(tree.NumLeaves(), 8) << ToString(mode);
+    EXPECT_TRUE(tree.CheckValid());
+  }
+}
+
+TEST(TreeBuilder, DepthwiseRespectsDepthLimit) {
+  const Env env = MakeEnv(2000, 8, 43);
+  TrainParams p = BaseParams(GrowPolicy::kDepthwise, 3);
+  const RegTree tree = BuildWith(env, p, 2);
+  EXPECT_LE(tree.MaxDepth(), 3);
+  EXPECT_LE(tree.NumLeaves(), 8);
+}
+
+TEST(TreeBuilder, LeafwiseCanGrowDeeperThanDepthwise) {
+  const Env env = MakeEnv(2000, 8, 47);
+  TrainParams depth = BaseParams(GrowPolicy::kDepthwise, 3);
+  TrainParams leaf = BaseParams(GrowPolicy::kLeafwise, 3);
+  const RegTree a = BuildWith(env, depth, 2);
+  const RegTree b = BuildWith(env, leaf, 2);
+  EXPECT_LE(a.MaxDepth(), 3);
+  // Leafwise uses the same leaf budget but no depth cap; on this data the
+  // gain-greedy tree is deeper.
+  EXPECT_GE(b.MaxDepth(), a.MaxDepth());
+}
+
+TEST(TreeBuilder, NodeSumsConsistentParentChildren) {
+  const Env env = MakeEnv(1000, 6, 53);
+  TrainParams p = BaseParams(GrowPolicy::kTopK, 4);
+  const RegTree tree = BuildWith(env, p, 2);
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    const TreeNode& n = tree.node(i);
+    if (n.IsLeaf()) continue;
+    const TreeNode& l = tree.node(n.left);
+    const TreeNode& r = tree.node(n.right);
+    EXPECT_NEAR(l.sum.g + r.sum.g, n.sum.g, 1e-6);
+    EXPECT_NEAR(l.sum.h + r.sum.h, n.sum.h, 1e-6);
+    EXPECT_EQ(l.num_rows + r.num_rows, n.num_rows);
+  }
+}
+
+TEST(TreeBuilder, LeafValuesMatchEvaluatorFormula) {
+  const Env env = MakeEnv(800, 5, 59);
+  TrainParams p = BaseParams(GrowPolicy::kLeafwise, 4);
+  const RegTree tree = BuildWith(env, p, 2);
+  const SplitEvaluator eval(p);
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.IsLeaf()) continue;
+    EXPECT_DOUBLE_EQ(n.leaf_value, eval.LeafValue(n.sum));
+  }
+}
+
+TEST(TreeBuilder, GainNeverBelowGamma) {
+  const Env env = MakeEnv(900, 6, 61);
+  TrainParams p = BaseParams(GrowPolicy::kTopK, 5);
+  p.min_split_loss = 0.4;
+  const RegTree tree = BuildWith(env, p, 2);
+  for (const TreeNode& n : tree.nodes()) {
+    if (!n.IsLeaf()) {
+      EXPECT_GT(n.gain, 0.0);
+    }
+  }
+}
+
+TEST(TreeBuilder, StatsArePopulated) {
+  const Env env = MakeEnv(1000, 6, 67);
+  TrainParams p = BaseParams(GrowPolicy::kTopK, 4);
+  TrainStats stats;
+  const RegTree tree = BuildWith(env, p, 2, &stats);
+  EXPECT_GT(stats.build_hist_ns, 0);
+  EXPECT_GT(stats.find_split_ns, 0);
+  EXPECT_GT(stats.hist_updates, 0);
+  EXPECT_EQ(stats.leaves, tree.NumLeaves());
+  EXPECT_EQ(stats.nodes_split, tree.NumLeaves() - 1);
+  EXPECT_GT(stats.hist_peak_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace harp

@@ -1,0 +1,95 @@
+// Shared helpers for the GBDT core tests: small random datasets, naive
+// reference implementations of BuildHist/FindSplit, and tree comparisons.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "core/gh.h"
+#include "core/split.h"
+#include "core/tree.h"
+#include "data/binned_matrix.h"
+#include "data/dataset.h"
+#include "data/quantile.h"
+
+namespace harp::testing {
+
+// Random dense dataset with missing values and binary labels.
+inline Dataset MakeDataset(uint32_t rows, uint32_t features, double density,
+                           uint64_t seed, uint32_t distinct = 32) {
+  Rng rng(seed);
+  std::vector<float> values(static_cast<size_t>(rows) * features);
+  std::vector<float> labels(rows);
+  for (auto& v : values) {
+    if (!rng.Bernoulli(density)) {
+      v = kMissingValue;
+    } else {
+      v = static_cast<float>(rng.NextBelow(distinct));
+    }
+  }
+  for (auto& l : labels) l = rng.Bernoulli(0.5) ? 1.0f : 0.0f;
+  return Dataset::FromDense(rows, features, std::move(values),
+                            std::move(labels));
+}
+
+// Random per-row gradients (hessians positive).
+inline std::vector<GradientPair> MakeGradients(uint32_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<GradientPair> gh(rows);
+  for (auto& g : gh) {
+    g.g = static_cast<float>(rng.Normal());
+    g.h = static_cast<float>(0.1 + rng.NextDouble());
+  }
+  return gh;
+}
+
+// Naive reference histogram for a row subset.
+inline std::vector<GHPair> NaiveHist(const BinnedMatrix& matrix,
+                                     const std::vector<GradientPair>& gh,
+                                     const std::vector<uint32_t>& rows) {
+  std::vector<GHPair> hist(matrix.TotalBins());
+  for (uint32_t rid : rows) {
+    for (uint32_t f = 0; f < matrix.num_features(); ++f) {
+      hist[matrix.BinOffset(f) + matrix.Bin(rid, f)].Add(gh[rid].g,
+                                                         gh[rid].h);
+    }
+  }
+  return hist;
+}
+
+inline GHPair SumGh(const std::vector<GradientPair>& gh,
+                    const std::vector<uint32_t>& rows) {
+  GHPair sum;
+  for (uint32_t rid : rows) sum.Add(gh[rid].g, gh[rid].h);
+  return sum;
+}
+
+inline std::vector<uint32_t> AllRows(uint32_t n) {
+  std::vector<uint32_t> rows(n);
+  for (uint32_t i = 0; i < n; ++i) rows[i] = i;
+  return rows;
+}
+
+// Structural + numeric equality of two trees.
+inline bool TreesEqual(const RegTree& a, const RegTree& b) {
+  if (a.num_nodes() != b.num_nodes()) return false;
+  for (int i = 0; i < a.num_nodes(); ++i) {
+    const TreeNode& x = a.node(i);
+    const TreeNode& y = b.node(i);
+    if (x.left != y.left || x.right != y.right || x.parent != y.parent) {
+      return false;
+    }
+    if (!x.IsLeaf()) {
+      if (x.split_feature != y.split_feature || x.split_bin != y.split_bin ||
+          x.default_left != y.default_left) {
+        return false;
+      }
+    } else if (x.leaf_value != y.leaf_value) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace harp::testing
