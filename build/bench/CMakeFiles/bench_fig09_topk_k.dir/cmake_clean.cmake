@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_topk_k.dir/bench_fig09_topk_k.cpp.o"
+  "CMakeFiles/bench_fig09_topk_k.dir/bench_fig09_topk_k.cpp.o.d"
+  "bench_fig09_topk_k"
+  "bench_fig09_topk_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_topk_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

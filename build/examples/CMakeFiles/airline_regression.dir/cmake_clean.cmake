@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airline_regression.dir/airline_regression.cpp.o"
+  "CMakeFiles/airline_regression.dir/airline_regression.cpp.o.d"
+  "airline_regression"
+  "airline_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airline_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_cli.dir/harp_cli.cpp.o"
+  "CMakeFiles/harp_cli.dir/harp_cli.cpp.o.d"
+  "harp_cli"
+  "harp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/higgs_convergence.dir/higgs_convergence.cpp.o"
+  "CMakeFiles/higgs_convergence.dir/higgs_convergence.cpp.o.d"
+  "higgs_convergence"
+  "higgs_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/higgs_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

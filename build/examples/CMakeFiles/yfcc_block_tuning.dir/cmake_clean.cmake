@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yfcc_block_tuning.dir/yfcc_block_tuning.cpp.o"
+  "CMakeFiles/yfcc_block_tuning.dir/yfcc_block_tuning.cpp.o.d"
+  "yfcc_block_tuning"
+  "yfcc_block_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yfcc_block_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/lightgbm_like.cpp" "src/CMakeFiles/harpgbdt.dir/baselines/lightgbm_like.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/baselines/lightgbm_like.cpp.o.d"
+  "/root/repo/src/baselines/xgb_approx.cpp" "src/CMakeFiles/harpgbdt.dir/baselines/xgb_approx.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/baselines/xgb_approx.cpp.o.d"
+  "/root/repo/src/baselines/xgb_hist.cpp" "src/CMakeFiles/harpgbdt.dir/baselines/xgb_hist.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/baselines/xgb_hist.cpp.o.d"
+  "/root/repo/src/common/env.cpp" "src/CMakeFiles/harpgbdt.dir/common/env.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/common/env.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/harpgbdt.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/harpgbdt.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/harpgbdt.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/core/async_builder.cpp" "src/CMakeFiles/harpgbdt.dir/core/async_builder.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/async_builder.cpp.o.d"
+  "/root/repo/src/core/gbdt.cpp" "src/CMakeFiles/harpgbdt.dir/core/gbdt.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/gbdt.cpp.o.d"
+  "/root/repo/src/core/grow_policy.cpp" "src/CMakeFiles/harpgbdt.dir/core/grow_policy.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/grow_policy.cpp.o.d"
+  "/root/repo/src/core/hist_builder_dp.cpp" "src/CMakeFiles/harpgbdt.dir/core/hist_builder_dp.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/hist_builder_dp.cpp.o.d"
+  "/root/repo/src/core/hist_builder_mp.cpp" "src/CMakeFiles/harpgbdt.dir/core/hist_builder_mp.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/hist_builder_mp.cpp.o.d"
+  "/root/repo/src/core/histogram.cpp" "src/CMakeFiles/harpgbdt.dir/core/histogram.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/histogram.cpp.o.d"
+  "/root/repo/src/core/importance.cpp" "src/CMakeFiles/harpgbdt.dir/core/importance.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/importance.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/harpgbdt.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/CMakeFiles/harpgbdt.dir/core/model.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/model.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/harpgbdt.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/multiclass.cpp" "src/CMakeFiles/harpgbdt.dir/core/multiclass.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/multiclass.cpp.o.d"
+  "/root/repo/src/core/objective.cpp" "src/CMakeFiles/harpgbdt.dir/core/objective.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/objective.cpp.o.d"
+  "/root/repo/src/core/params.cpp" "src/CMakeFiles/harpgbdt.dir/core/params.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/params.cpp.o.d"
+  "/root/repo/src/core/row_partitioner.cpp" "src/CMakeFiles/harpgbdt.dir/core/row_partitioner.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/row_partitioner.cpp.o.d"
+  "/root/repo/src/core/split_evaluator.cpp" "src/CMakeFiles/harpgbdt.dir/core/split_evaluator.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/split_evaluator.cpp.o.d"
+  "/root/repo/src/core/train_stats.cpp" "src/CMakeFiles/harpgbdt.dir/core/train_stats.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/train_stats.cpp.o.d"
+  "/root/repo/src/core/tree.cpp" "src/CMakeFiles/harpgbdt.dir/core/tree.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/tree.cpp.o.d"
+  "/root/repo/src/core/tree_builder.cpp" "src/CMakeFiles/harpgbdt.dir/core/tree_builder.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/core/tree_builder.cpp.o.d"
+  "/root/repo/src/data/binary_cache.cpp" "src/CMakeFiles/harpgbdt.dir/data/binary_cache.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/binary_cache.cpp.o.d"
+  "/root/repo/src/data/binned_matrix.cpp" "src/CMakeFiles/harpgbdt.dir/data/binned_matrix.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/binned_matrix.cpp.o.d"
+  "/root/repo/src/data/csv_reader.cpp" "src/CMakeFiles/harpgbdt.dir/data/csv_reader.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/csv_reader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/harpgbdt.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/dataset_stats.cpp" "src/CMakeFiles/harpgbdt.dir/data/dataset_stats.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/dataset_stats.cpp.o.d"
+  "/root/repo/src/data/libsvm_reader.cpp" "src/CMakeFiles/harpgbdt.dir/data/libsvm_reader.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/libsvm_reader.cpp.o.d"
+  "/root/repo/src/data/quantile.cpp" "src/CMakeFiles/harpgbdt.dir/data/quantile.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/quantile.cpp.o.d"
+  "/root/repo/src/data/quantile_sketch.cpp" "src/CMakeFiles/harpgbdt.dir/data/quantile_sketch.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/quantile_sketch.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/harpgbdt.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/distributed/communicator.cpp" "src/CMakeFiles/harpgbdt.dir/distributed/communicator.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/distributed/communicator.cpp.o.d"
+  "/root/repo/src/distributed/dist_gbdt.cpp" "src/CMakeFiles/harpgbdt.dir/distributed/dist_gbdt.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/distributed/dist_gbdt.cpp.o.d"
+  "/root/repo/src/parallel/sync_stats.cpp" "src/CMakeFiles/harpgbdt.dir/parallel/sync_stats.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/parallel/sync_stats.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/CMakeFiles/harpgbdt.dir/parallel/thread_pool.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/parallel/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/work_queue.cpp" "src/CMakeFiles/harpgbdt.dir/parallel/work_queue.cpp.o" "gcc" "src/CMakeFiles/harpgbdt.dir/parallel/work_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for harpgbdt.
+# This may be replaced when dependencies are built.

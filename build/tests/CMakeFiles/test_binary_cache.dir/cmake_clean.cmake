@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binary_cache.dir/test_binary_cache.cpp.o"
+  "CMakeFiles/test_binary_cache.dir/test_binary_cache.cpp.o.d"
+  "test_binary_cache"
+  "test_binary_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binary_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

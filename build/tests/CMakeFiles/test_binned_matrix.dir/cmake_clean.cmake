@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_binned_matrix.dir/test_binned_matrix.cpp.o"
+  "CMakeFiles/test_binned_matrix.dir/test_binned_matrix.cpp.o.d"
+  "test_binned_matrix"
+  "test_binned_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_binned_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbdt.dir/test_gbdt.cpp.o"
+  "CMakeFiles/test_gbdt.dir/test_gbdt.cpp.o.d"
+  "test_gbdt"
+  "test_gbdt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

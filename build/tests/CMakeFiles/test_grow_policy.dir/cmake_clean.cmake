@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grow_policy.dir/test_grow_policy.cpp.o"
+  "CMakeFiles/test_grow_policy.dir/test_grow_policy.cpp.o.d"
+  "test_grow_policy"
+  "test_grow_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grow_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

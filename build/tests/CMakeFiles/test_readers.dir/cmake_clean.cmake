@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_readers.dir/test_readers.cpp.o"
+  "CMakeFiles/test_readers.dir/test_readers.cpp.o.d"
+  "test_readers"
+  "test_readers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

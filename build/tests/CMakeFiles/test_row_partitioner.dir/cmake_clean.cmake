@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_row_partitioner.dir/test_row_partitioner.cpp.o"
+  "CMakeFiles/test_row_partitioner.dir/test_row_partitioner.cpp.o.d"
+  "test_row_partitioner"
+  "test_row_partitioner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_row_partitioner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_builder.dir/test_tree_builder.cpp.o"
+  "CMakeFiles/test_tree_builder.dir/test_tree_builder.cpp.o.d"
+  "test_tree_builder"
+  "test_tree_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
