@@ -9,6 +9,7 @@
 #include "harpgbdt.h"
 #include "common/random.h"
 #include "core/hist_builder.h"
+#include "core/hist_kernels.h"
 
 namespace {
 
@@ -18,6 +19,8 @@ struct KernelFixture {
   Dataset ds;
   BinnedMatrix matrix;
   std::vector<GradientPair> gh;
+  std::vector<MemBufEntry> entries;  // MemBuf row list over all rows
+  std::vector<uint32_t> row_ids;     // gather row list over all rows
 
   static const KernelFixture& Get() {
     static KernelFixture* fixture = [] {
@@ -37,6 +40,12 @@ struct KernelFixture {
         g.g = static_cast<float>(rng.Normal());
         g.h = static_cast<float>(rng.NextDouble() + 0.1);
       }
+      f->entries.resize(spec.rows);
+      f->row_ids.resize(spec.rows);
+      for (uint32_t r = 0; r < spec.rows; ++r) {
+        f->entries[r] = MemBufEntry{r, f->gh[r].g, f->gh[r].h};
+        f->row_ids[r] = r;
+      }
       return f;
     }();
     return *fixture;
@@ -44,14 +53,17 @@ struct KernelFixture {
 };
 
 // Histogram accumulation with a given feature-block size: the write-region
-// vs redundant-read trade-off measured in isolation.
+// vs redundant-read trade-off measured in isolation. Zeroing the histogram
+// is BuildHist setup, not accumulation — keep it out of the timed region.
 void BM_BuildHistFeatureBlocks(benchmark::State& state) {
   const KernelFixture& f = KernelFixture::Get();
   const int feature_blk = static_cast<int>(state.range(0));
   const auto blocks = MakeFeatureBlocks(f.matrix.num_features(), feature_blk);
   std::vector<GHPair> hist(f.matrix.TotalBins());
   for (auto _ : state) {
+    state.PauseTiming();
     std::fill(hist.begin(), hist.end(), GHPair{});
+    state.ResumeTiming();
     for (const Range& fb : blocks) {
       for (uint32_t r = 0; r < f.matrix.num_rows(); ++r) {
         AccumulateRow(f.matrix.RowBins(r), f.gh[r].g, f.gh[r].h, f.matrix,
@@ -65,6 +77,78 @@ void BM_BuildHistFeatureBlocks(benchmark::State& state) {
 }
 BENCHMARK(BM_BuildHistFeatureBlocks)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 
+// The generic scalar AccumulateRow path (what the builders ran before the
+// hist_kernels layer) against every specialized kernel, on the same 60k x
+// 64 MemBuf/gather row lists. Variant 0 is the baseline; the others are
+// SelectHistKernel results. Compare the per-variant items/s against
+// variant 0 to read the kernel-layer speedup.
+struct KernelVariant {
+  const char* label;
+  bool membuf;
+  bool full_bins;
+  bool full_features;
+};
+constexpr KernelVariant kVariants[] = {
+    {"generic_scalar_membuf", true, true, true},       // baseline path
+    {"kernel_membuf_full", true, true, true},          // the DP hot path
+    {"kernel_membuf_full_tiled", true, true, false},   // feature-tiled
+    {"kernel_membuf_filtered", true, false, true},     // bin-filtered
+    {"kernel_gather_full", false, true, true},
+    {"kernel_gather_full_tiled", false, true, false},
+    {"kernel_gather_filtered", false, false, true},
+};
+
+void BM_AccumulateRowKernels(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  const size_t variant = static_cast<size_t>(state.range(0));
+  const KernelVariant& v = kVariants[variant];
+  state.SetLabel(v.label);
+
+  const uint32_t rows = f.matrix.num_rows();
+  const uint32_t features = f.matrix.num_features();
+  // Tiled variants run the same 16-feature blocking the builders would;
+  // filtered variants pass a real sub-range so the filter actually prunes.
+  const auto blocks = MakeFeatureBlocks(features, v.full_features ? 0 : 16);
+  const Range bins = v.full_bins ? Range{0u, 256u} : Range{0u, 128u};
+
+  HistKernelMatrix m;
+  m.bins = f.matrix.BinData();
+  m.bin_offsets = f.matrix.BinOffsetsData();
+  m.num_features = features;
+  m.gradients = f.gh.data();
+  HistRowSource src;
+  if (v.membuf) {
+    src.entries = f.entries.data();
+  } else {
+    src.row_ids = f.row_ids.data();
+  }
+  const HistKernelFn kernel =
+      SelectHistKernel(v.membuf, v.full_bins, v.full_features);
+
+  std::vector<GHPair> hist(f.matrix.TotalBins());
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::fill(hist.begin(), hist.end(), GHPair{});
+    state.ResumeTiming();
+    if (variant == 0) {
+      // Pre-kernel-layer inner loop: one scalar AccumulateRow per row.
+      for (uint32_t r = 0; r < rows; ++r) {
+        const MemBufEntry& e = f.entries[r];
+        AccumulateRow(f.matrix.RowBins(e.rid), e.g, e.h, f.matrix,
+                      hist.data(), {0u, features}, bins);
+      }
+    } else {
+      for (const Range& fb : blocks) {
+        kernel(m, src, 0, rows, hist.data(), fb, bins);
+      }
+    }
+    benchmark::DoNotOptimize(hist.data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * features);
+}
+BENCHMARK(BM_AccumulateRowKernels)
+    ->DenseRange(0, static_cast<int>(std::size(kVariants)) - 1);
+
 void BM_HistogramReduce(benchmark::State& state) {
   const size_t bins = 32768;
   const int replicas = static_cast<int>(state.range(0));
@@ -73,7 +157,9 @@ void BM_HistogramReduce(benchmark::State& state) {
                                                              GHPair{1, 1}));
   std::vector<GHPair> dst(bins);
   for (auto _ : state) {
+    state.PauseTiming();
     std::fill(dst.begin(), dst.end(), GHPair{});
+    state.ResumeTiming();
     for (const auto& part : parts) {
       AddHistogram(dst.data(), part.data(), bins);
     }

@@ -29,12 +29,14 @@
 
 #include "common/aligned.h"
 #include "core/gh.h"
+#include "core/hist_kernels.h"
 #include "core/histogram.h"
 #include "core/params.h"
 #include "core/row_partitioner.h"
 #include "core/train_stats.h"
 #include "data/binned_matrix.h"
 #include "parallel/thread_pool.h"
+#include "parallel/touched_regions.h"
 
 namespace harp {
 
@@ -47,24 +49,28 @@ struct BuildContext {
   HistogramPool& hists;
 };
 
-// Contiguous half-open ranges [first, second).
-using Range = std::pair<uint32_t, uint32_t>;
+// (`Range` — contiguous half-open [first, second) — comes from
+// hist_kernels.h, the layer the builders dispatch into.)
 
 // Feature ranges of at most `feature_blk_size` features (0 = one block).
 std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
                                      int feature_blk_size);
 
-// Bin-id ranges of at most `bin_blk_size` bins covering [0, 256).
-// bin_blk_size >= 256 yields the single full range (blocking disabled).
-std::vector<Range> MakeBinRanges(int bin_blk_size);
+// Bin-id ranges of at most `bin_blk_size` bins covering [0, num_bins).
+// Pass the matrix's actual MaxBins() so bin blocking never schedules
+// passes over bin ids no feature produces. bin_blk_size >= num_bins yields
+// the single full range (blocking disabled).
+std::vector<Range> MakeBinRanges(int bin_blk_size, uint32_t num_bins = 256);
 
 // Groups `nodes` into blocks of `node_blk_size`.
 std::vector<std::span<const int>> MakeNodeBlocks(std::span<const int> nodes,
                                                  int node_blk_size);
 
 // Accumulates one row into `hist` over the features of `fb`, restricted to
-// bin ids in `bins` (pass {0, 256} for no filtering). The innermost kernel
-// of every trainer in this repo.
+// bin ids in `bins` (pass {0, 256} for no filtering). This is the REFERENCE
+// scalar kernel: the builders run the specialized hist_kernels variants,
+// which must stay bit-identical to iterating rows through this function
+// (tests/test_hist_kernels.cpp); baselines and tests still call it.
 inline void AccumulateRow(const uint8_t* row_bins, float g, float h,
                           const BinnedMatrix& matrix, GHPair* hist,
                           Range fb, Range bins) {
@@ -82,16 +88,38 @@ inline void AccumulateRow(const uint8_t* row_bins, float g, float h,
   }
 }
 
-// Data-parallel builder. Holds reusable replica scratch across batches.
+// Data-parallel builder. Replica scratch persists across node blocks AND
+// trees: storage only ever grows, regions a thread dirtied are tracked per
+// thread per node block and cleared lazily at the start of the NEXT
+// Build's accumulation region (each thread wipes the dirty bytes inside
+// its own replica range, so no extra parallel region / barrier is spent on
+// clearing), and untouched replicas are skipped in the reduction entirely.
 class HistBuilderDP {
  public:
+  // Counters for the replica lifecycle (tests and diagnostics).
+  struct ReplicaStats {
+    int64_t grow_events = 0;      // storage (re)allocations
+    int64_t node_blocks = 0;      // node blocks processed
+    int64_t regions_touched = 0;  // (thread, node) regions dirtied+cleared
+    int64_t regions_total = 0;    // threads x block nodes, summed
+  };
+
   // Builds histograms for `nodes` (already acquired in ctx.hists).
   // Returns the wall nanoseconds spent in the reduction step (reported
   // separately in the Fig. 4 breakdown).
   int64_t Build(const BuildContext& ctx, std::span<const int> nodes);
 
+  const ReplicaStats& replica_stats() const { return replica_stats_; }
+  // Currently retained replica storage, in GHPair slots.
+  size_t replica_capacity() const { return replicas_.size(); }
+
  private:
   AlignedVector<GHPair> replicas_;
+  TouchedRegions touched_;
+  // Dirtied-but-not-yet-cleared [begin, end) slot intervals of replicas_.
+  // Flat offsets, so they survive layout (stride) changes across blocks.
+  std::vector<std::pair<size_t, size_t>> dirty_;
+  ReplicaStats replica_stats_;
 };
 
 // Model-parallel (block-wise) builder; writes shared histograms.

@@ -19,15 +19,15 @@ std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
   return blocks;
 }
 
-std::vector<Range> MakeBinRanges(int bin_blk_size) {
+std::vector<Range> MakeBinRanges(int bin_blk_size, uint32_t num_bins) {
   std::vector<Range> ranges;
-  if (bin_blk_size >= 256) {
-    ranges.emplace_back(0u, 256u);
+  if (bin_blk_size >= static_cast<int>(num_bins)) {
+    ranges.emplace_back(0u, num_bins);
     return ranges;
   }
   const uint32_t step = static_cast<uint32_t>(std::max(1, bin_blk_size));
-  for (uint32_t begin = 0; begin < 256; begin += step) {
-    ranges.emplace_back(begin, std::min(256u, begin + step));
+  for (uint32_t begin = 0; begin < num_bins; begin += step) {
+    ranges.emplace_back(begin, std::min(num_bins, begin + step));
   }
   return ranges;
 }
@@ -49,6 +49,15 @@ int64_t HistBuilderDP::Build(const BuildContext& ctx,
   const int threads = ctx.pool.num_threads();
   const auto feature_blocks = MakeFeatureBlocks(
       ctx.matrix.num_features(), ctx.params.feature_blk_size);
+  // Kernel selected once per Build call. DP never bin-filters, so the full
+  // bin-range variant applies; one feature block additionally drops the
+  // fb-range indirection from the inner loop.
+  const HistKernelMatrix km =
+      MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
+  const HistKernelFn kernel =
+      SelectHistKernel(ctx.partitioner.use_membuf(), /*full_bin_range=*/true,
+                       /*full_feature_block=*/feature_blocks.size() == 1);
+  const Range all_bins{0u, 256u};
   int64_t reduce_ns = 0;
 
   // One "parallel for" per node block: node_blk_size trades fewer barriers
@@ -71,7 +80,9 @@ int64_t HistBuilderDP::Build(const BuildContext& ctx,
                                 ? ctx.params.row_blk_size
                                 : auto_blk;
     std::vector<RowTask> tasks;
+    std::vector<HistRowSource> sources(block_nodes);
     for (size_t i = 0; i < block_nodes; ++i) {
+      sources[i] = MakeHistRowSource(ctx.partitioner, block[i]);
       const uint32_t n = ctx.partitioner.NodeSize(block[i]);
       for (uint32_t begin = 0; begin < n;
            begin += static_cast<uint32_t>(row_blk)) {
@@ -81,54 +92,104 @@ int64_t HistBuilderDP::Build(const BuildContext& ctx,
       }
     }
 
-    // Per-thread replicas covering the node block, zeroed. Replica layout:
-    // [thread][local_node][total_bins].
+    // Per-thread replicas covering the node block. Replica layout:
+    // [thread][local_node][total_bins]. Storage persists across node
+    // blocks and trees under the invariant that it is all-zero outside
+    // Build, so no per-block assign/zeroing happens here — only growth.
     const size_t replica_stride = block_nodes * total_bins;
-    replicas_.assign(static_cast<size_t>(threads) * replica_stride,
-                     GHPair{});
+    const size_t needed = static_cast<size_t>(threads) * replica_stride;
+    if (replicas_.size() < needed) {
+      replicas_.resize(needed, GHPair{});
+      ++replica_stats_.grow_events;
+    }
+    touched_.Reset(threads, block_nodes);
+    ++replica_stats_.node_blocks;
+    replica_stats_.regions_total +=
+        static_cast<int64_t>(threads) * static_cast<int64_t>(block_nodes);
 
     std::atomic<int64_t> cursor{0};
     ctx.pool.RunOnAllThreads([&](int thread_id) {
       GHPair* replica =
           replicas_.data() + static_cast<size_t>(thread_id) * replica_stride;
+      // Lazy clear: wipe the dirty leftovers of previous blocks that fall
+      // inside THIS thread's replica range, before any accumulation. Other
+      // threads never write this range, so no synchronization is needed,
+      // and the clear costs no extra parallel region.
+      const size_t own_begin = static_cast<size_t>(thread_id) * replica_stride;
+      const size_t own_end = own_begin + replica_stride;
+      for (const auto& [d_begin, d_end] : dirty_) {
+        const size_t lo = std::max(d_begin, own_begin);
+        const size_t hi = std::min(d_end, own_end);
+        if (lo < hi) ClearHistogram(replicas_.data() + lo, hi - lo);
+      }
       for (;;) {
         const int64_t t = cursor.fetch_add(1, std::memory_order_relaxed);
         if (t >= static_cast<int64_t>(tasks.size())) break;
         const RowTask& task = tasks[static_cast<size_t>(t)];
+        touched_.Mark(thread_id, task.local_node);
         GHPair* node_hist = replica + task.local_node * total_bins;
         // Feature-block tiling: re-reads the row block once per feature
         // block but confines writes to the block's histogram region.
         for (const Range& fb : feature_blocks) {
-          ctx.partitioner.ForEachRowRange(
-              block[task.local_node], task.begin, task.end,
-              [&](uint32_t rid, float g, float h) {
-                AccumulateRow(ctx.matrix.RowBins(rid), g, h, ctx.matrix,
-                              node_hist, fb, {0u, 256u});
-              });
+          kernel(km, sources[task.local_node], task.begin, task.end,
+                 node_hist, fb, all_bins);
         }
         ctx.pool.CountTask(thread_id);
       }
     });
 
-    // Deterministic reduction: slot-parallel, fixed thread order.
+    // Deterministic reduction, blocked: each thread sums contiguous slot
+    // runs with AddHistogram (vectorizable), in ascending thread order per
+    // slot — the same floating-point order as before — and replicas of
+    // threads that never touched a node are skipped outright.
     const Stopwatch reduce_watch;
     std::vector<GHPair*> dst(block_nodes);
-    for (size_t i = 0; i < block_nodes; ++i) dst[i] = ctx.hists.Get(block[i]);
+    std::vector<std::vector<int>> contributors(block_nodes);
+    for (size_t i = 0; i < block_nodes; ++i) {
+      dst[i] = ctx.hists.Get(block[i]);
+      contributors[i] = touched_.ThreadsTouching(i);
+      replica_stats_.regions_touched +=
+          static_cast<int64_t>(contributors[i].size());
+    }
     ctx.pool.ParallelFor(
         static_cast<int64_t>(replica_stride),
         [&](int64_t begin, int64_t end, int) {
-          for (int64_t s = begin; s < end; ++s) {
-            GHPair sum;
-            for (int t = 0; t < threads; ++t) {
-              sum += replicas_[static_cast<size_t>(t) * replica_stride +
-                               static_cast<size_t>(s)];
-            }
+          int64_t s = begin;
+          while (s < end) {
             const size_t local_node = static_cast<size_t>(s) / total_bins;
             const size_t slot = static_cast<size_t>(s) % total_bins;
-            dst[local_node][slot] += sum;
+            const size_t len = std::min(static_cast<size_t>(end - s),
+                                        total_bins - slot);
+            GHPair* out = dst[local_node] + slot;
+            for (int t : contributors[local_node]) {
+              AddHistogram(out,
+                           replicas_.data() +
+                               static_cast<size_t>(t) * replica_stride +
+                               static_cast<size_t>(s),
+                           len);
+            }
+            s += static_cast<int64_t>(len);
           }
         });
     reduce_ns += reduce_watch.ElapsedNs();
+
+    // Update the dirty ledger: everything inside the current layout's
+    // thread ranges was cleared at region start, so only intervals beyond
+    // them survive; regions touched in this block become newly dirty.
+    const size_t covered = static_cast<size_t>(threads) * replica_stride;
+    std::erase_if(dirty_, [covered](const std::pair<size_t, size_t>& d) {
+      return d.second <= covered;
+    });
+    for (auto& d : dirty_) d.first = std::max(d.first, covered);
+    for (int t = 0; t < threads; ++t) {
+      for (size_t i = 0; i < block_nodes; ++i) {
+        if (touched_.Touched(t, i)) {
+          const size_t begin =
+              static_cast<size_t>(t) * replica_stride + i * total_bins;
+          dirty_.emplace_back(begin, begin + total_bins);
+        }
+      }
+    }
   }
   return reduce_ns;
 }

@@ -9,8 +9,21 @@ void HistBuilderMP::Build(const BuildContext& ctx,
                           std::span<const int> nodes) {
   const auto feature_blocks = MakeFeatureBlocks(
       ctx.matrix.num_features(), ctx.params.feature_blk_size);
-  const auto bin_ranges = MakeBinRanges(ctx.params.bin_blk_size);
+  // Bin ranges only need to cover the bin ids the matrix actually
+  // produces; with max_bins < 256 the tail of [0, 256) used to schedule
+  // passes that re-read every row and matched nothing.
+  const auto bin_ranges =
+      MakeBinRanges(ctx.params.bin_blk_size, ctx.matrix.MaxBins());
   const auto node_blocks = MakeNodeBlocks(nodes, ctx.params.node_blk_size);
+
+  // Kernel selected once per Build: with a single bin range there is no
+  // filtering, and with a single feature block the fb indirection drops
+  // out of the inner loop.
+  const HistKernelMatrix km =
+      MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
+  const HistKernelFn kernel = SelectHistKernel(
+      ctx.partitioner.use_membuf(), /*full_bin_range=*/bin_ranges.size() == 1,
+      /*full_feature_block=*/feature_blocks.size() == 1);
 
   // Task = one <node_blk x feature_blk x bin_blk> cube. Distinct tasks
   // write disjoint regions of the shared histograms, so no replicas and no
@@ -32,13 +45,17 @@ void HistBuilderMP::Build(const BuildContext& ctx,
     }
   }
 
-  // Histogram pointers resolved up front: Get() takes the pool lock, and
-  // resolving inside tasks would serialize them.
+  // Histogram pointers and row sources resolved up front: Get() takes the
+  // pool lock, and resolving inside tasks would serialize them.
   std::vector<GHPair*> hist_of(nodes.size());
+  std::vector<HistRowSource> source_of(nodes.size());
+  std::vector<uint32_t> rows_of(nodes.size());
   std::vector<size_t> node_pos(static_cast<size_t>(
       nodes.empty() ? 0 : 1 + *std::max_element(nodes.begin(), nodes.end())));
   for (size_t i = 0; i < nodes.size(); ++i) {
     hist_of[i] = ctx.hists.Get(nodes[i]);
+    source_of[i] = MakeHistRowSource(ctx.partitioner, nodes[i]);
+    rows_of[i] = ctx.partitioner.NodeSize(nodes[i]);
     node_pos[static_cast<size_t>(nodes[i])] = i;
   }
 
@@ -50,12 +67,9 @@ void HistBuilderMP::Build(const BuildContext& ctx,
           const Range fb = feature_blocks[task.feature_block];
           const Range bins = bin_ranges[task.bin_range];
           for (int node : node_blocks[task.node_block]) {
-            GHPair* hist = hist_of[node_pos[static_cast<size_t>(node)]];
-            ctx.partitioner.ForEachRow(
-                node, [&](uint32_t rid, float g, float h) {
-                  AccumulateRow(ctx.matrix.RowBins(rid), g, h, ctx.matrix,
-                                hist, fb, bins);
-                });
+            const size_t pos = node_pos[static_cast<size_t>(node)];
+            kernel(km, source_of[pos], 0, rows_of[pos], hist_of[pos], fb,
+                   bins);
           }
         }
       });
@@ -64,11 +78,15 @@ void HistBuilderMP::Build(const BuildContext& ctx,
 void BuildHistSerial(const BuildContext& ctx, int node_id, GHPair* hist) {
   const auto feature_blocks = MakeFeatureBlocks(
       ctx.matrix.num_features(), ctx.params.feature_blk_size);
+  const HistKernelMatrix km =
+      MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
+  const HistKernelFn kernel =
+      SelectHistKernel(ctx.partitioner.use_membuf(), /*full_bin_range=*/true,
+                       /*full_feature_block=*/feature_blocks.size() == 1);
+  const HistRowSource src = MakeHistRowSource(ctx.partitioner, node_id);
+  const uint32_t rows = ctx.partitioner.NodeSize(node_id);
   for (const Range& fb : feature_blocks) {
-    ctx.partitioner.ForEachRow(node_id, [&](uint32_t rid, float g, float h) {
-      AccumulateRow(ctx.matrix.RowBins(rid), g, h, ctx.matrix, hist, fb,
-                    {0u, 256u});
-    });
+    kernel(km, src, 0, rows, hist, fb, {0u, 256u});
   }
 }
 

@@ -1,0 +1,78 @@
+// Specialized histogram-accumulation kernels: the BuildHist hot path.
+//
+// The paper's hotspot analysis (Section III, Fig. 4, Table I) shows
+// BuildHist dominates training and is memory-bound. The generic
+// AccumulateRow reference (hist_builder.h) walks one row at a time through
+// a per-row callback and re-tests the bin filter on every feature. The
+// kernels here attack exactly that access pattern:
+//
+//   * 4-row interleaving: each inner iteration accumulates four rows
+//     feature-by-feature, so one sweep over the histogram serves four rows
+//     (4x less GHSum traffic) and every feature step issues four
+//     independent read-modify-write chains for the out-of-order core to
+//     overlap.
+//   * software prefetching: the bin bytes of upcoming rows (MemBuf entries
+//     or gathered rows) and the histogram slots the *next* row group will
+//     touch are prefetched while the current group is processed.
+//   * compile-time dispatch over {MemBuf, gather} x {full bin range,
+//     filtered bin range} x {full feature block, tiled feature block}, so
+//     the common DP configuration (MemBuf, no bin filter, one feature
+//     block) runs a branch-free inner loop instead of the generic filtered
+//     one. The variant is selected ONCE per Build call, not per row.
+//
+// Accumulation order is preserved: for any histogram slot, contributing
+// rows are added in ascending row-list order, exactly as the scalar
+// reference does, so histograms — and therefore trees — are bit-identical
+// to the generic path (enforced by tests/test_hist_kernels.cpp).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "core/gh.h"
+#include "core/row_partitioner.h"
+#include "data/binned_matrix.h"
+
+namespace harp {
+
+// Contiguous half-open ranges [first, second). (Also re-exported by
+// hist_builder.h; kept here so the kernel layer is self-contained.)
+using Range = std::pair<uint32_t, uint32_t>;
+
+// Per-matrix constants captured once per Build call (non-owning).
+struct HistKernelMatrix {
+  const uint8_t* bins = nullptr;          // row-major bin ids
+  const uint32_t* bin_offsets = nullptr;  // per-feature histogram offsets
+  uint32_t num_features = 0;              // row stride of `bins`
+  const GradientPair* gradients = nullptr;  // gather source only
+};
+
+// One node's row list; exactly one pointer is set, matching the
+// RowPartitioner layout (MemBuf on/off).
+struct HistRowSource {
+  const MemBufEntry* entries = nullptr;  // (rid, g, h) triples
+  const uint32_t* row_ids = nullptr;     // ids into `gradients`
+};
+
+// Accumulates rows [begin, end) of `src` into `hist` over features
+// [fb.first, fb.second), restricted to bin ids in [bins.first, bins.second).
+// Variants compiled for the full bin range / full feature block ignore the
+// corresponding argument.
+using HistKernelFn = void (*)(const HistKernelMatrix& m,
+                              const HistRowSource& src, uint32_t begin,
+                              uint32_t end, GHPair* hist, Range fb,
+                              Range bins);
+
+// Picks the specialized kernel for a Build call. `full_bin_range` means the
+// bin filter passed to every call covers all bin ids the matrix produces;
+// `full_feature_block` means fb covers [0, num_features).
+HistKernelFn SelectHistKernel(bool use_membuf, bool full_bin_range,
+                              bool full_feature_block);
+
+// Kernel-call views over the existing structures.
+HistKernelMatrix MakeHistKernelMatrix(const BinnedMatrix& matrix,
+                                      const RowPartitioner& partitioner);
+HistRowSource MakeHistRowSource(const RowPartitioner& partitioner,
+                                int node_id);
+
+}  // namespace harp

@@ -65,12 +65,15 @@ size_t HistogramPool::PeakBytes() const {
   return peak_in_use_ * total_bins_ * sizeof(GHPair);
 }
 
-void AddHistogram(GHPair* dst, const GHPair* src, size_t n) {
+// The blocked DP reduction leans on these loops vectorizing; the restrict
+// qualifiers license it (callers never pass overlapping histograms).
+void AddHistogram(GHPair* __restrict dst, const GHPair* __restrict src,
+                  size_t n) {
   for (size_t i = 0; i < n; ++i) dst[i] += src[i];
 }
 
-void SubtractHistogram(GHPair* out, const GHPair* parent,
-                       const GHPair* sibling, size_t n) {
+void SubtractHistogram(GHPair* __restrict out, const GHPair* __restrict parent,
+                       const GHPair* __restrict sibling, size_t n) {
   for (size_t i = 0; i < n; ++i) out[i] = parent[i] - sibling[i];
 }
 

@@ -59,6 +59,11 @@ class RowPartitioner {
   std::span<const uint32_t> NodeRowIds(int node_id) const;
   // MemBuf entries of a node (only valid when MemBuf is on).
   std::span<const MemBufEntry> NodeEntries(int node_id) const;
+  // Global gradient array passed to Reset (gather-mode kernels index it by
+  // row id); null before the first Reset.
+  const GradientPair* gradient_data() const {
+    return gradients_ != nullptr ? gradients_->data() : nullptr;
+  }
 
   // Invokes fn(rid, g, h) for every row of the node, in stored order.
   template <typename Fn>

@@ -1,5 +1,6 @@
 #include "data/binned_matrix.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/logging.h"
@@ -19,6 +20,7 @@ BinnedMatrix BinnedMatrix::Build(const Dataset& dataset, QuantileCuts cuts,
   for (uint32_t f = 0; f < matrix.num_features_; ++f) {
     matrix.bin_offsets_[f + 1] =
         matrix.bin_offsets_[f] + matrix.cuts_.NumBins(f);
+    matrix.max_bins_ = std::max(matrix.max_bins_, matrix.cuts_.NumBins(f));
   }
 
   // Bin 0 (missing) is the fill value; present entries overwrite it.

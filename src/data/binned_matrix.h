@@ -46,12 +46,24 @@ class BinnedMatrix {
     return bins_.data() + static_cast<size_t>(row) * num_features_;
   }
 
+  // Base pointer of the row-major bin store (stride num_features); raw
+  // view for the hist_kernels layer.
+  const uint8_t* BinData() const { return bins_.data(); }
+
   // Number of bins of `feature`, including the missing bin 0.
   uint32_t NumBins(uint32_t feature) const { return cuts_.NumBins(feature); }
+
+  // Largest per-feature bin count: every bin id in the matrix is < this.
+  // Bin-range blocking (MakeBinRanges) only needs to cover [0, MaxBins()).
+  uint32_t MaxBins() const { return max_bins_; }
 
   // Histogram offset of `feature`: the linear histogram slot of
   // <feature, bin> is BinOffset(feature) + bin.
   uint32_t BinOffset(uint32_t feature) const { return bin_offsets_[feature]; }
+
+  // Raw per-feature offset array (num_features + 1 entries) for the
+  // hist_kernels layer.
+  const uint32_t* BinOffsetsData() const { return bin_offsets_.data(); }
 
   // Total histogram slots across all features (sum of per-feature bins).
   uint32_t TotalBins() const { return bin_offsets_[num_features_]; }
@@ -75,6 +87,7 @@ class BinnedMatrix {
  private:
   uint32_t num_rows_ = 0;
   uint32_t num_features_ = 0;
+  uint32_t max_bins_ = 0;  // max over features of NumBins(f)
   std::vector<uint8_t> bins_;         // row-major
   std::vector<uint8_t> col_bins_;     // column-major copy (optional)
   std::vector<uint32_t> bin_offsets_;  // size num_features + 1

@@ -1,0 +1,72 @@
+// Per-thread dirty-region bitmap for replica buffers.
+//
+// The DP builder keeps one histogram replica region per (thread, node of
+// the current node block). Zeroing and reducing every region on every node
+// block is wasted memory traffic when threads only ever touch the nodes
+// whose row tasks they happened to grab. This tracker records which
+// regions a thread actually wrote, so the builder can (a) skip untouched
+// replicas in the reduction and (b) clear only dirty regions afterwards,
+// keeping the "replica storage is all-zero between node blocks" invariant
+// cheap to maintain.
+//
+// Concurrency contract: Mark() is called only by `thread` itself inside a
+// parallel region; rows are cache-line padded so concurrent marks by
+// different threads never share a line. Touched()/ThreadsTouching() may be
+// read by anyone after the region's barrier.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harp {
+
+class TouchedRegions {
+ public:
+  // Starts tracking `regions` regions for `threads` threads, all clean.
+  // Storage is retained across calls (grow-only).
+  void Reset(int threads, size_t regions) {
+    threads_ = threads;
+    regions_ = regions;
+    // Pad each thread's row to a cache-line multiple.
+    stride_ = (regions + kLine - 1) / kLine * kLine;
+    const size_t needed = static_cast<size_t>(threads) * stride_;
+    if (flags_.size() < needed) flags_.resize(needed, 0);
+    for (int t = 0; t < threads; ++t) {
+      std::fill_n(flags_.begin() + static_cast<size_t>(t) * stride_, regions,
+                  uint8_t{0});
+    }
+  }
+
+  void Mark(int thread, size_t region) {
+    flags_[static_cast<size_t>(thread) * stride_ + region] = 1;
+  }
+
+  bool Touched(int thread, size_t region) const {
+    return flags_[static_cast<size_t>(thread) * stride_ + region] != 0;
+  }
+
+  // Threads that touched `region`, ascending (the reduction order that
+  // keeps results bit-identical to summing over all threads).
+  std::vector<int> ThreadsTouching(size_t region) const {
+    std::vector<int> out;
+    for (int t = 0; t < threads_; ++t) {
+      if (Touched(t, region)) out.push_back(t);
+    }
+    return out;
+  }
+
+  int threads() const { return threads_; }
+  size_t regions() const { return regions_; }
+
+ private:
+  static constexpr size_t kLine = 64;
+
+  int threads_ = 0;
+  size_t regions_ = 0;
+  size_t stride_ = 0;
+  std::vector<uint8_t> flags_;
+};
+
+}  // namespace harp

@@ -138,6 +138,50 @@ TEST(Gbdt, DeterministicAcrossRunsAndThreads) {
   }
 }
 
+// Regression guard for the specialized BuildHist kernels and the DP
+// replica lifecycle: repeated trainings with a fixed seed must produce
+// bit-identical trees AND predictions, in both the replica-reducing DP
+// mode and the shared-histogram MP mode, single- and multi-threaded.
+class DeterministicMode : public ::testing::TestWithParam<ParallelMode> {};
+
+TEST_P(DeterministicMode, RepeatTrainingIsBitIdentical) {
+  const Dataset train = LearnableData(1500);
+  TrainParams p = FastParams();
+  p.num_trees = 5;
+  p.mode = GetParam();
+
+  auto run = [&](int threads) {
+    TrainParams q = p;
+    q.num_threads = threads;
+    GbdtTrainer trainer(q);
+    return trainer.Train(train);
+  };
+  const GbdtModel a = run(2);
+  const GbdtModel b = run(2);
+  const GbdtModel c = run(1);
+  ASSERT_EQ(a.NumTrees(), b.NumTrees());
+  ASSERT_EQ(a.NumTrees(), c.NumTrees());
+  for (size_t t = 0; t < a.NumTrees(); ++t) {
+    EXPECT_TRUE(harp::testing::TreesEqual(a.tree(t), b.tree(t)))
+        << "tree " << t << " differs between identical runs";
+    EXPECT_TRUE(harp::testing::TreesEqual(a.tree(t), c.tree(t)))
+        << "tree " << t << " differs across thread counts";
+  }
+  const std::vector<double> pa = a.Predict(train);
+  const std::vector<double> pb = b.Predict(train);
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i], pb[i]) << "prediction " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DpAndMp, DeterministicMode,
+                         ::testing::Values(ParallelMode::kDP,
+                                           ParallelMode::kMP),
+                         [](const ::testing::TestParamInfo<ParallelMode>& i) {
+                           return ToString(i.param);
+                         });
+
 TEST(Gbdt, TrainBinnedMatchesTrain) {
   const Dataset train = LearnableData(1000);
   TrainParams p = FastParams();
