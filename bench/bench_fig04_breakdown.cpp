@@ -73,6 +73,21 @@ int main() {
                                        std::max(1, r.stats.trees)));
   }
 
+  // ApplySplit-phase counters (the baselines apply per node, so batches
+  // only counts their large-node parallel applications; allocs collapse
+  // to ~0 after the first tree's arena warmup).
+  std::printf("\n%-10s %3s %10s %10s %10s %12s %8s\n", "trainer", "D",
+              "ap.splits", "ap.batch", "ap.barr", "ap.moved", "ap.alloc");
+  for (const Row& r : rows) {
+    std::printf("%-10s %3d %10lld %10lld %10lld %10lldKB %8lld\n",
+                r.trainer.c_str(), r.d,
+                static_cast<long long>(r.stats.apply_splits),
+                static_cast<long long>(r.stats.apply_batches),
+                static_cast<long long>(r.stats.apply_barriers),
+                static_cast<long long>(r.stats.apply_bytes_moved / 1024),
+                static_cast<long long>(r.stats.apply_allocs));
+  }
+
   std::printf("\nBuildHist time normalized to D=%d (the paper's Fig. 4 "
               "curves, exponential for the leaf-by-leaf systems):\n",
               sizes.front());

@@ -6,6 +6,9 @@
 // histogram reduction, row partitioning, split finding, quantile binning.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <string>
+
 #include "harpgbdt.h"
 #include "common/random.h"
 #include "core/hist_builder.h"
@@ -182,20 +185,231 @@ void BM_HistogramSubtract(benchmark::State& state) {
 }
 BENCHMARK(BM_HistogramSubtract);
 
-void BM_RowPartition(benchmark::State& state) {
+ThreadPool& BenchPool() {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
+  return *pool;
+}
+
+// Bench-local replica of the pre-arena pooled ApplySplit (the path a
+// 60k-row node actually took): pass 1 partitions each thread's range into
+// chunk-private push_back buffers allocated per split, pass 2 resizes the
+// per-node storage and concatenates the buffers into it. Every element is
+// moved twice and every split allocates — the behaviour the arena
+// partitioner removes.
+template <typename Elem, typename GetRid>
+void TwoPassPartition(const std::vector<Elem>& parent,
+                      const BinnedMatrix& matrix, uint32_t feature,
+                      uint32_t split_bin, bool default_left, GetRid get_rid,
+                      std::vector<Elem>* left, std::vector<Elem>* right,
+                      ThreadPool* pool) {
+  const int64_t n = static_cast<int64_t>(parent.size());
+  const int chunks = pool->num_threads();
+  const int64_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::vector<Elem>> left_parts(static_cast<size_t>(chunks));
+  std::vector<std::vector<Elem>> right_parts(static_cast<size_t>(chunks));
+  pool->RunOnAllThreads([&](int thread_id) {
+    const int64_t begin = static_cast<int64_t>(thread_id) * chunk;
+    const int64_t end = std::min<int64_t>(n, begin + chunk);
+    if (begin >= end) return;
+    auto& lp = left_parts[static_cast<size_t>(thread_id)];
+    auto& rp = right_parts[static_cast<size_t>(thread_id)];
+    for (int64_t i = begin; i < end; ++i) {
+      const Elem& e = parent[static_cast<size_t>(i)];
+      const uint8_t bin = matrix.RowBins(get_rid(e))[feature];
+      const bool goes_left = (bin == 0) ? default_left : (bin <= split_bin);
+      (goes_left ? lp : rp).push_back(e);
+    }
+  });
+  std::vector<size_t> left_offset(static_cast<size_t>(chunks) + 1, 0);
+  std::vector<size_t> right_offset(static_cast<size_t>(chunks) + 1, 0);
+  for (int c = 0; c < chunks; ++c) {
+    left_offset[static_cast<size_t>(c) + 1] =
+        left_offset[static_cast<size_t>(c)] +
+        left_parts[static_cast<size_t>(c)].size();
+    right_offset[static_cast<size_t>(c) + 1] =
+        right_offset[static_cast<size_t>(c)] +
+        right_parts[static_cast<size_t>(c)].size();
+  }
+  left->resize(left_offset[static_cast<size_t>(chunks)]);
+  right->resize(right_offset[static_cast<size_t>(chunks)]);
+  pool->RunOnAllThreads([&](int thread_id) {
+    const size_t c = static_cast<size_t>(thread_id);
+    std::copy(left_parts[c].begin(), left_parts[c].end(),
+              left->begin() + static_cast<int64_t>(left_offset[c]));
+    std::copy(right_parts[c].begin(), right_parts[c].end(),
+              right->begin() + static_cast<int64_t>(right_offset[c]));
+  });
+}
+
+// Single split of the 60k-row root under production conditions (pool
+// given): arg 0 picks the old two-pass baseline (0) or the arena
+// count/scan/scatter (1), arg 1 picks the layout (gather row ids vs
+// MemBuf triples). The timed region is the full split transaction as the
+// builder loop issues it — partition the node AND produce both children's
+// gradient sums (the old path followed every split with O(n) child
+// NodeSum scans; the arena fuses the sums into the count pass, so its
+// NodeSum calls are O(1) lookups). Per-iteration state reset stays out of
+// the timed region. The arena variant reports steady_allocs — partitioner
+// grow events after the first iteration — which must be 0.
+void BM_ApplySplit(benchmark::State& state) {
   const KernelFixture& f = KernelFixture::Get();
-  const bool membuf = state.range(0) != 0;
-  for (auto _ : state) {
+  const bool arena = state.range(0) != 0;
+  const bool membuf = state.range(1) != 0;
+  state.SetLabel(std::string(arena ? "arena" : "two_pass") +
+                 (membuf ? "_membuf" : "_gather"));
+  ThreadPool& pool = BenchPool();
+  const uint32_t feature = 3;
+  const uint32_t split_bin = std::max(1u, f.matrix.NumBins(feature) / 2);
+
+  if (!arena) {
+    if (membuf) {
+      std::vector<MemBufEntry> parent;
+      std::vector<MemBufEntry> left;
+      std::vector<MemBufEntry> right;
+      for (auto _ : state) {
+        state.PauseTiming();
+        parent = f.entries;
+        std::vector<MemBufEntry>().swap(left);
+        std::vector<MemBufEntry>().swap(right);
+        state.ResumeTiming();
+        TwoPassPartition(parent, f.matrix, feature, split_bin, false,
+                         [](const MemBufEntry& e) { return e.rid; }, &left,
+                         &right, &pool);
+        GHPair left_sum;
+        GHPair right_sum;
+        for (const MemBufEntry& e : left) left_sum.Add(e.g, e.h);
+        for (const MemBufEntry& e : right) right_sum.Add(e.g, e.h);
+        benchmark::DoNotOptimize(left_sum);
+        benchmark::DoNotOptimize(right_sum);
+        benchmark::DoNotOptimize(left.data());
+        benchmark::DoNotOptimize(right.data());
+      }
+    } else {
+      std::vector<uint32_t> parent;
+      std::vector<uint32_t> left;
+      std::vector<uint32_t> right;
+      for (auto _ : state) {
+        state.PauseTiming();
+        parent = f.row_ids;
+        std::vector<uint32_t>().swap(left);
+        std::vector<uint32_t>().swap(right);
+        state.ResumeTiming();
+        TwoPassPartition(parent, f.matrix, feature, split_bin, false,
+                         [](uint32_t rid) { return rid; }, &left, &right,
+                         &pool);
+        GHPair left_sum;
+        GHPair right_sum;
+        for (uint32_t rid : left) left_sum.Add(f.gh[rid].g, f.gh[rid].h);
+        for (uint32_t rid : right) right_sum.Add(f.gh[rid].g, f.gh[rid].h);
+        benchmark::DoNotOptimize(left_sum);
+        benchmark::DoNotOptimize(right_sum);
+        benchmark::DoNotOptimize(left.data());
+        benchmark::DoNotOptimize(right.data());
+      }
+    }
+  } else {
     RowPartitioner partitioner(f.matrix.num_rows(), membuf);
-    partitioner.Reset(f.gh, 4, nullptr);
-    partitioner.ApplySplit(0, 1, 2, f.matrix, 3,
-                           std::max(1u, f.matrix.NumBins(3) / 2), false,
-                           nullptr);
-    benchmark::DoNotOptimize(partitioner.NodeSize(1));
+    int64_t warm_grow_events = -1;
+    for (auto _ : state) {
+      state.PauseTiming();
+      partitioner.Reset(f.gh, 4, &pool);
+      state.ResumeTiming();
+      partitioner.ApplySplit(0, 1, 2, f.matrix, feature, split_bin, false,
+                             &pool);
+      GHPair left_sum = partitioner.NodeSum(1);
+      GHPair right_sum = partitioner.NodeSum(2);
+      benchmark::DoNotOptimize(left_sum);
+      benchmark::DoNotOptimize(right_sum);
+      benchmark::DoNotOptimize(partitioner.NodeSize(1));
+      if (warm_grow_events < 0) {
+        state.PauseTiming();
+        warm_grow_events = partitioner.stats().grow_events;
+        state.ResumeTiming();
+      }
+    }
+    state.counters["steady_allocs"] = static_cast<double>(
+        partitioner.stats().grow_events - std::max<int64_t>(0,
+                                                            warm_grow_events));
   }
   state.SetItemsProcessed(state.iterations() * f.matrix.num_rows());
 }
-BENCHMARK(BM_RowPartition)->Arg(0)->Arg(1);
+BENCHMARK(BM_ApplySplit)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 0})
+    ->Args({1, 1});
+
+// Applying a TopK batch of K node splits: per-node application (arg 1 = 0;
+// one internally parallel ApplySplit per node) vs the batched path (arg 1
+// = 1; one count region + one scatter region for the whole batch). The
+// `barriers` counter is the partitioner's parallel-region count per
+// iteration — batched stays at 2 regardless of K, per-node pays 2 per
+// large node.
+void BM_ApplySplitBatch(benchmark::State& state) {
+  const KernelFixture& f = KernelFixture::Get();
+  const size_t batch_k = static_cast<size_t>(state.range(0));
+  const bool batched = state.range(1) != 0;
+  state.SetLabel(std::string(batched ? "batched" : "per_node") + "_k" +
+                 std::to_string(batch_k));
+  ThreadPool* pool = &BenchPool();
+  // One feature per tree level so successive splits keep cutting.
+  const uint32_t level_features[] = {3, 5, 7, 9};
+
+  RowPartitioner partitioner(f.matrix.num_rows(), true);
+  std::vector<SplitTask> tasks;
+  int64_t barriers = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    partitioner.Reset(f.gh, 64, pool);
+    // Pre-split (setup) until the frontier holds batch_k nodes.
+    std::vector<int> frontier{0};
+    int next_id = 1;
+    size_t level = 0;
+    while (frontier.size() < batch_k) {
+      const uint32_t feat = level_features[level++];
+      const uint32_t bin = std::max(1u, f.matrix.NumBins(feat) / 2);
+      std::vector<int> next_frontier;
+      for (int node : frontier) {
+        partitioner.ApplySplit(node, next_id, next_id + 1, f.matrix, feat,
+                               bin, false, nullptr);
+        next_frontier.push_back(next_id);
+        next_frontier.push_back(next_id + 1);
+        next_id += 2;
+      }
+      frontier = std::move(next_frontier);
+    }
+    const uint32_t feat = level_features[level];
+    const uint32_t bin = std::max(1u, f.matrix.NumBins(feat) / 2);
+    tasks.clear();
+    for (int node : frontier) {
+      tasks.push_back(SplitTask{node, next_id, next_id + 1, feat, bin,
+                                false});
+      next_id += 2;
+    }
+    const int64_t barriers_before = partitioner.stats().barriers;
+    state.ResumeTiming();
+    if (batched) {
+      partitioner.ApplySplitBatch(tasks, f.matrix, pool);
+    } else {
+      for (const SplitTask& t : tasks) {
+        partitioner.ApplySplit(t.node_id, t.left_id, t.right_id, f.matrix,
+                               t.feature, t.split_bin, t.default_left, pool);
+      }
+    }
+    benchmark::DoNotOptimize(partitioner.NodeSize(tasks.back().left_id));
+    state.PauseTiming();
+    barriers += partitioner.stats().barriers - barriers_before;
+    state.ResumeTiming();
+  }
+  state.counters["barriers"] = benchmark::Counter(
+      static_cast<double>(barriers), benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * f.matrix.num_rows());
+}
+BENCHMARK(BM_ApplySplitBatch)
+    ->Args({4, 0})
+    ->Args({4, 1})
+    ->Args({8, 0})
+    ->Args({8, 1});
 
 void BM_FindSplit(benchmark::State& state) {
   const KernelFixture& f = KernelFixture::Get();

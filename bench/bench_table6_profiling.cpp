@@ -49,6 +49,18 @@ int main() {
                 static_cast<long long>(stats.sync.parallel_regions /
                                        std::max(1, stats.trees)),
                 c.paper_util, c.paper_barrier);
+    // ApplySplit-phase counters: TopK trainers batch K splits per region
+    // pair (batches << splits; small batches run serial and are not
+    // counted), and allocs collapse to ~0 after the first tree grows the
+    // arena scratch (a later tree only allocates if its frontier outgrows
+    // every earlier one).
+    std::printf("%-11s   apply: splits=%lld batches=%lld barriers=%lld "
+                "moved=%lldKB allocs=%lld\n",
+                "", static_cast<long long>(stats.apply_splits),
+                static_cast<long long>(stats.apply_batches),
+                static_cast<long long>(stats.apply_barriers),
+                static_cast<long long>(stats.apply_bytes_moved / 1024),
+                static_cast<long long>(stats.apply_allocs));
   }
   std::printf("\nshape check vs bench_table1_profiling: regions/tree here "
               "are a small fraction of the baselines' (node blocks batch "

@@ -71,6 +71,7 @@ RegTree LightGbmBuilder::BuildTree(const std::vector<GradientPair>& gradients,
                                    TrainStats* stats) {
   build_ns_ = find_ns_ = apply_ns_ = 0;
   hist_updates_ = 0;
+  const PartitionStats apply_before = partitioner_.stats();
 
   const int64_t max_leaves = params_.MaxLeaves();
   const int max_nodes = static_cast<int>(2 * max_leaves);
@@ -137,6 +138,13 @@ RegTree LightGbmBuilder::BuildTree(const std::vector<GradientPair>& gradients,
     stats->find_split_ns += find_ns_;
     stats->apply_split_ns += apply_ns_;
     stats->hist_updates += hist_updates_;
+    const PartitionStats apply_after = partitioner_.stats();
+    stats->apply_splits += apply_after.splits - apply_before.splits;
+    stats->apply_batches += apply_after.batches - apply_before.batches;
+    stats->apply_barriers += apply_after.barriers - apply_before.barriers;
+    stats->apply_bytes_moved +=
+        apply_after.bytes_moved - apply_before.bytes_moved;
+    stats->apply_allocs += apply_after.grow_events - apply_before.grow_events;
     stats->leaves += leaves;
     stats->max_tree_depth = std::max(stats->max_tree_depth, tree.MaxDepth());
     stats->hist_peak_bytes =

@@ -97,7 +97,10 @@ void HarpTreeBuilder::AsyncGrow(RegTree& tree, GrowQueue& queue,
       }
 
       // --- ApplySplit: tree mutation under the spin mutex, row partition
-      // outside it (partitions of distinct nodes are independent).
+      // outside it. Workers use the partitioner's serial path (pool ==
+      // nullptr): disjoint nodes own disjoint arena windows in both
+      // buffers and the serial path keeps its scratch thread-local, so
+      // concurrent partitions of distinct nodes never share state.
       const int64_t apply_start = NowNs();
       int left = -1;
       int right = -1;

@@ -48,7 +48,9 @@ struct HistKernelMatrix {
 };
 
 // One node's row list; exactly one pointer is set, matching the
-// RowPartitioner layout (MemBuf on/off).
+// RowPartitioner layout (MemBuf on/off). Points into the node's window of
+// the partitioner's flat arena, so it is invalidated when that node is
+// split (kernels run strictly before their node's split, so this is safe).
 struct HistRowSource {
   const MemBufEntry* entries = nullptr;  // (rid, g, h) triples
   const uint32_t* row_ids = nullptr;     // ids into `gradients`

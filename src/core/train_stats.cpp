@@ -40,6 +40,13 @@ std::string TrainStats::Report() const {
       HumanBytes(static_cast<double>(hist_peak_bytes)).c_str(),
       HumanBytes(static_cast<double>(write_region_bytes)).c_str());
   out += StrFormat(
+      "apply: splits=%lld batches=%lld barriers=%lld moved=%s allocs=%lld\n",
+      static_cast<long long>(apply_splits),
+      static_cast<long long>(apply_batches),
+      static_cast<long long>(apply_barriers),
+      HumanBytes(static_cast<double>(apply_bytes_moved)).c_str(),
+      static_cast<long long>(apply_allocs));
+  out += StrFormat(
       "sync: threads=%d regions=%lld utilization=%.1f%% "
       "barrier_overhead=%.1f%% spin_overhead=%.1f%% (acquires=%lld "
       "contended=%lld)\n",

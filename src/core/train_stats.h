@@ -39,6 +39,18 @@ struct TrainStats {
   size_t hist_peak_bytes = 0;     // peak live histogram memory
   size_t write_region_bytes = 0;  // 16B x bins in one task's write window
 
+  // ApplySplit-phase counters (RowPartitioner PartitionStats deltas over
+  // the measured interval). With the arena partitioner, bytes_moved is
+  // exactly one element write per row per split, barriers is 2 per
+  // *batch* (count + scatter regions, ~1/K of per-node application for
+  // TopK batches of K), and allocs stays 0 once storage has grown to the
+  // working-set high-water mark.
+  int64_t apply_splits = 0;       // nodes partitioned
+  int64_t apply_batches = 0;      // batched (single-region-pair) applies
+  int64_t apply_barriers = 0;     // parallel regions issued by partitions
+  int64_t apply_bytes_moved = 0;  // payload bytes written by scatters
+  int64_t apply_allocs = 0;       // partitioner grow events
+
   // Synchronization counters accumulated over the measured interval.
   SyncSnapshot sync;
 

@@ -85,27 +85,19 @@ std::vector<int> HarpTreeBuilder::ApplySplitBatch(
     children.push_back(right);
   }
 
-  // Row partitioning: one big node gets an internally parallel partition;
-  // several nodes are partitioned concurrently (serial each).
-  if (batch.size() == 1) {
-    const Candidate& cand = batch[0];
-    partitioner_.ApplySplit(cand.node_id, children[0], children[1], matrix_,
-                            cand.split.feature, cand.split.bin,
-                            cand.split.default_left, &pool_);
-  } else {
-    pool_.ParallelForDynamic(
-        static_cast<int64_t>(batch.size()), 1,
-        [&](int64_t begin, int64_t end, int) {
-          for (int64_t i = begin; i < end; ++i) {
-            const Candidate& cand = batch[static_cast<size_t>(i)];
-            partitioner_.ApplySplit(
-                cand.node_id, children[static_cast<size_t>(2 * i)],
-                children[static_cast<size_t>(2 * i + 1)], matrix_,
-                cand.split.feature, cand.split.bin, cand.split.default_left,
-                nullptr);
-          }
-        });
+  // Row partitioning: the whole TopK batch goes through the partitioner's
+  // batched count/scatter — one pair of parallel regions for all K nodes
+  // instead of regions (or a region of serial partitions) per node, the
+  // ApplySplit-phase analogue of the barriers ∝ 2^D/K argument.
+  split_tasks_.clear();
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Candidate& cand = batch[i];
+    split_tasks_.push_back(SplitTask{cand.node_id, children[2 * i],
+                                     children[2 * i + 1], cand.split.feature,
+                                     cand.split.bin,
+                                     cand.split.default_left});
   }
+  partitioner_.ApplySplitBatch(split_tasks_, matrix_, &pool_);
   for (int child : children) {
     tree.mutable_node(child).num_rows = partitioner_.NodeSize(child);
   }
@@ -280,6 +272,7 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
                                    TrainStats* stats) {
   build_ns_ = reduce_ns_ = find_ns_ = apply_ns_ = 0;
   hist_updates_ = 0;
+  const PartitionStats apply_before = partitioner_.stats();
 
   const int64_t max_leaves = params_.MaxLeaves();
   const int max_nodes = static_cast<int>(2 * max_leaves);
@@ -351,6 +344,13 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
     stats->find_split_ns += find_ns_;
     stats->apply_split_ns += apply_ns_;
     stats->hist_updates += hist_updates_;
+    const PartitionStats apply_after = partitioner_.stats();
+    stats->apply_splits += apply_after.splits - apply_before.splits;
+    stats->apply_batches += apply_after.batches - apply_before.batches;
+    stats->apply_barriers += apply_after.barriers - apply_before.barriers;
+    stats->apply_bytes_moved +=
+        apply_after.bytes_moved - apply_before.bytes_moved;
+    stats->apply_allocs += apply_after.grow_events - apply_before.grow_events;
     stats->leaves += leaves;
     stats->max_tree_depth = std::max(stats->max_tree_depth, tree.MaxDepth());
     stats->hist_peak_bytes = std::max(stats->hist_peak_bytes,

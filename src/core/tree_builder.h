@@ -123,6 +123,9 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   HistBuilderMP mp_;
   bool use_subtraction_;  // forced off for ASYNC (see .cpp)
   const std::vector<uint8_t>* column_mask_ = nullptr;
+  // Per-batch SplitTask staging for the partitioner's batched apply
+  // (grow-only, reused across batches).
+  std::vector<SplitTask> split_tasks_;
 
   // Phase accumulators for the current BuildTree call.
   int64_t build_ns_ = 0;

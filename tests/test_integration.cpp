@@ -189,8 +189,12 @@ TEST(Integration, AsyncUsesFewerRegionsThanSync) {
     GbdtTrainer(q).Train(train, &stats);
     return stats.sync.parallel_regions;
   };
-  // ASYNC replaces per-batch regions with one region per tree.
-  EXPECT_LT(regions(ParallelMode::kASYNC), regions(ParallelMode::kSYNC) / 2);
+  // ASYNC replaces per-batch regions with one region per tree. The margin
+  // is deliberately modest: since SYNC's ApplySplit went batched (one
+  // count+scatter region pair per TopK batch instead of per node), SYNC
+  // itself issues far fewer regions than it used to, narrowing the gap.
+  EXPECT_LT(regions(ParallelMode::kASYNC),
+            regions(ParallelMode::kSYNC) * 3 / 4);
 }
 
 }  // namespace

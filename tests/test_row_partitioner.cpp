@@ -1,8 +1,11 @@
 // Tests for RowPartitioner: NodeMap semantics, MemBuf layout, stable
-// parallel partition, margin scatter.
+// parallel partition, margin scatter, arena steady-state allocation,
+// batched split application, fused child sums, concurrent disjoint splits.
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "core/row_partitioner.h"
 #include "parallel/thread_pool.h"
@@ -212,6 +215,225 @@ TEST(RowPartitioner, AddToMargins) {
     const bool left = bin != 0 && bin <= 1;
     EXPECT_DOUBLE_EQ(margins[r], left ? 1.5 : 0.75);
   }
+}
+
+// Collects a node's rid sequence (layout-independent).
+std::vector<uint32_t> NodeRids(const RowPartitioner& p, int node) {
+  std::vector<uint32_t> rids;
+  p.ForEachRow(node, [&](uint32_t rid, float, float) { rids.push_back(rid); });
+  return rids;
+}
+
+// Grows one two-level tree on `p`: root -> {1,2} -> {3,4,5,6}, the second
+// level applied as one batch. Returns the leaf ids.
+std::vector<int> GrowTwoLevels(RowPartitioner* p, const BinnedMatrix& matrix,
+                               const std::vector<GradientPair>& gh,
+                               ThreadPool* pool, bool batched) {
+  p->Reset(gh, 16, pool);
+  p->ApplySplit(0, 1, 2, matrix, 0, 2, false, pool);
+  const std::vector<SplitTask> tasks = {
+      SplitTask{1, 3, 4, 1, 1, true},
+      SplitTask{2, 5, 6, 2, 3, false},
+  };
+  if (batched) {
+    p->ApplySplitBatch(tasks, matrix, pool);
+  } else {
+    for (const SplitTask& t : tasks) {
+      p->ApplySplit(t.node_id, t.left_id, t.right_id, matrix, t.feature,
+                    t.split_bin, t.default_left, pool);
+    }
+  }
+  return {3, 4, 5, 6};
+}
+
+// Steady state across trees allocates nothing: after the first tree has
+// grown every buffer to size, further Reset + split cycles leave the
+// grow-event counter unchanged.
+TEST(RowPartitioner, SteadyStateAllocatesNothingAcrossTrees) {
+  const uint32_t rows = 20000;  // root split takes the parallel path
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 101);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 102);
+  ThreadPool pool(4);
+
+  for (bool membuf : {true, false}) {
+    RowPartitioner partitioner(rows, membuf);
+    // Warm-up tree: every arena, window table, and scratch buffer grows to
+    // its steady-state size (and NodeSum grows its partial buffer).
+    GrowTwoLevels(&partitioner, matrix, gh, &pool, true);
+    partitioner.NodeSum(0, &pool);
+    const int64_t warm = partitioner.stats().grow_events;
+    EXPECT_GT(warm, 0);
+    for (int tree = 0; tree < 3; ++tree) {
+      for (int leaf : GrowTwoLevels(&partitioner, matrix, gh, &pool, true)) {
+        partitioner.NodeSum(leaf, &pool);
+      }
+    }
+    EXPECT_EQ(partitioner.stats().grow_events, warm)
+        << "membuf=" << membuf << ": steady-state trees must not allocate";
+  }
+}
+
+// The batched path (one count region + one scatter region for all K
+// tasks) must produce exactly the trees the per-node path produces:
+// same sizes, same stable row order, disjoint cover of all rows.
+TEST(RowPartitioner, BatchedApplyMatchesPerNodeApply) {
+  const uint32_t rows = 20000;  // total over the batch takes the batch path
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 111);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 112);
+  ThreadPool pool(4);
+
+  for (bool membuf : {true, false}) {
+    RowPartitioner batched(rows, membuf);
+    RowPartitioner per_node(rows, membuf);
+    const auto leaves = GrowTwoLevels(&batched, matrix, gh, &pool, true);
+    GrowTwoLevels(&per_node, matrix, gh, nullptr, false);
+
+    std::set<uint32_t> seen;
+    uint32_t total = 0;
+    for (int leaf : leaves) {
+      ASSERT_EQ(batched.NodeSize(leaf), per_node.NodeSize(leaf));
+      const auto a = NodeRids(batched, leaf);
+      const auto b = NodeRids(per_node, leaf);
+      EXPECT_EQ(a, b) << "leaf " << leaf;
+      for (uint32_t rid : a) EXPECT_TRUE(seen.insert(rid).second);
+      total += batched.NodeSize(leaf);
+    }
+    EXPECT_EQ(total, rows);
+    EXPECT_EQ(seen.size(), rows);
+    // Both parents were emptied by their splits.
+    EXPECT_EQ(batched.NodeSize(1), 0u);
+    EXPECT_EQ(batched.NodeSize(2), 0u);
+    // The batch issued one region pair, not one per node.
+    EXPECT_GE(batched.stats().batches, 1);
+  }
+}
+
+// Fused child sums: every split caches both children's sums, NodeSum
+// returns the cached value, the value is bit-identical whichever apply
+// path produced it (serial, per-node pooled, batched; any thread count),
+// and it matches a direct scan of the child to accumulation error.
+TEST(RowPartitioner, FusedSumsBitIdenticalAcrossApplyPaths) {
+  const uint32_t rows = 20000;
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 121);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 122);
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+
+  for (bool membuf : {true, false}) {
+    RowPartitioner serial(rows, membuf);
+    RowPartitioner pooled(rows, membuf);
+    RowPartitioner batched(rows, membuf);
+    const auto leaves = GrowTwoLevels(&serial, matrix, gh, nullptr, false);
+    GrowTwoLevels(&pooled, matrix, gh, &pool2, false);
+    GrowTwoLevels(&batched, matrix, gh, &pool4, true);
+
+    for (int leaf : leaves) {
+      ASSERT_TRUE(serial.HasFusedSum(leaf));
+      ASSERT_TRUE(pooled.HasFusedSum(leaf));
+      ASSERT_TRUE(batched.HasFusedSum(leaf));
+      const GHPair s = serial.NodeSum(leaf);
+      const GHPair p = pooled.NodeSum(leaf);
+      const GHPair b = batched.NodeSum(leaf);
+      // Bit-identical across paths and thread counts: the fused reduction
+      // runs on the parent's fixed chunk grid in ascending order
+      // everywhere.
+      EXPECT_EQ(s.g, p.g);
+      EXPECT_EQ(s.h, p.h);
+      EXPECT_EQ(s.g, b.g);
+      EXPECT_EQ(s.h, b.h);
+      // And it is the child's sum (direct scan association differs, so
+      // NEAR, not EQ).
+      GHPair direct;
+      serial.ForEachRow(leaf, [&](uint32_t, float g, float h) {
+        direct.Add(g, h);
+      });
+      EXPECT_NEAR(s.g, direct.g, 1e-6);
+      EXPECT_NEAR(s.h, direct.h, 1e-6);
+    }
+    // The root was never produced by a split: no fused sum, NodeSum falls
+    // back to the scan.
+    EXPECT_FALSE(serial.HasFusedSum(0));
+  }
+}
+
+// The ASYNC contract: workers may serially split *disjoint* nodes
+// concurrently (disjoint arena windows in both buffers, thread-local
+// scratch). Run the second level on two threads and compare against the
+// single-threaded reference.
+TEST(RowPartitioner, ConcurrentDisjointSplitsMatchSerial) {
+  const uint32_t rows = 20000;
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 131);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 132);
+
+  for (bool membuf : {true, false}) {
+    RowPartitioner concurrent(rows, membuf);
+    concurrent.Reset(gh, 16, nullptr);
+    concurrent.ApplySplit(0, 1, 2, matrix, 0, 2, false, nullptr);
+    const std::vector<SplitTask> tasks = {
+        SplitTask{1, 3, 4, 1, 1, true},
+        SplitTask{2, 5, 6, 2, 3, false},
+    };
+    std::vector<std::thread> workers;
+    for (const SplitTask& t : tasks) {
+      workers.emplace_back([&concurrent, &matrix, t] {
+        concurrent.ApplySplit(t.node_id, t.left_id, t.right_id, matrix,
+                              t.feature, t.split_bin, t.default_left,
+                              nullptr);
+      });
+    }
+    for (auto& w : workers) w.join();
+
+    RowPartitioner reference(rows, membuf);
+    GrowTwoLevels(&reference, matrix, gh, nullptr, false);
+    for (int leaf : {3, 4, 5, 6}) {
+      ASSERT_EQ(concurrent.NodeSize(leaf), reference.NodeSize(leaf));
+      EXPECT_EQ(NodeRids(concurrent, leaf), NodeRids(reference, leaf));
+      const GHPair a = concurrent.NodeSum(leaf);
+      const GHPair b = reference.NodeSum(leaf);
+      EXPECT_EQ(a.g, b.g);
+      EXPECT_EQ(a.h, b.h);
+    }
+  }
+}
+
+// ApplySplit-phase accounting: the batched path issues one region pair
+// (2 barriers) per batch regardless of K, and bytes_moved counts each
+// partitioned element exactly once.
+TEST(RowPartitioner, PartitionStatsTrackBarriersAndBytes) {
+  const uint32_t rows = 20000;
+  const Dataset ds = MakeDataset(rows, 6, 0.8, 141);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 142);
+  ThreadPool pool(4);
+
+  RowPartitioner partitioner(rows, true);
+  partitioner.Reset(gh, 16, &pool);
+  const PartitionStats before = partitioner.stats();
+  partitioner.ApplySplit(0, 1, 2, matrix, 0, 2, false, &pool);
+  const std::vector<SplitTask> tasks = {
+      SplitTask{1, 3, 4, 1, 1, true},
+      SplitTask{2, 5, 6, 2, 3, false},
+  };
+  partitioner.ApplySplitBatch(tasks, matrix, &pool);
+  const PartitionStats after = partitioner.stats();
+
+  EXPECT_EQ(after.splits - before.splits, 3);
+  // Root split = one single-task batch, level 2 = one two-task batch: two
+  // region pairs total even though three nodes were partitioned.
+  EXPECT_EQ(after.batches - before.batches, 2);
+  EXPECT_EQ(after.barriers - before.barriers, 4);
+  // Every row moved once per level: 2 levels x rows elements.
+  EXPECT_EQ(after.bytes_moved - before.bytes_moved,
+            static_cast<int64_t>(2 * rows * sizeof(MemBufEntry)));
 }
 
 TEST(RowPartitionerDeath, OutOfRangeNode) {
