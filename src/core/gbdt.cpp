@@ -7,6 +7,8 @@
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/objective.h"
+#include "predict/flat_forest.h"
+#include "predict/predictor.h"
 
 namespace harp {
 namespace {
@@ -113,15 +115,14 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
     }
 
     if (eval != nullptr) {
-      const RegTree& last = model.trees().back();
-      pool.ParallelFor(
-          static_cast<int64_t>(eval_margins.size()),
-          [&](int64_t begin, int64_t end, int) {
-            for (int64_t r = begin; r < end; ++r) {
-              eval_margins[static_cast<size_t>(r)] +=
-                  last.PredictRaw(*eval->data, static_cast<uint32_t>(r));
-            }
-          });
+      // Fold only the newest tree into the held-out margins: flatten it
+      // alone and accumulate block-wise (margins[r] += leaf, the same
+      // operation order as walking the tree per row).
+      const FlatForest last_flat =
+          FlatForest::BuildFromTrees(&model.trees().back(), 1);
+      Predictor(last_flat).AccumulateMargins(*eval->data,
+                                             eval_margins.data(), 0, 1,
+                                             &pool);
       const double metric = EvalMetric(params.objective, *objective,
                                        eval->data->labels(), eval_margins);
       eval->history.push_back(metric);

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "parallel/thread_pool.h"
+#include "predict/flat_forest.h"
+#include "predict/predictor.h"
 
 namespace harp {
 
@@ -16,22 +18,13 @@ double GbdtModel::PredictMarginRow(const Dataset& dataset, uint32_t row,
   return margin;
 }
 
+FlatForest GbdtModel::Flatten() const { return FlatForest::Build(*this); }
+
 std::vector<double> GbdtModel::PredictMargins(const Dataset& dataset,
                                               ThreadPool* pool,
                                               size_t num_trees) const {
-  std::vector<double> margins(dataset.num_rows());
-  auto kernel = [&](int64_t begin, int64_t end, int) {
-    for (int64_t r = begin; r < end; ++r) {
-      margins[static_cast<size_t>(r)] =
-          PredictMarginRow(dataset, static_cast<uint32_t>(r), num_trees);
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(dataset.num_rows(), kernel);
-  } else {
-    kernel(0, dataset.num_rows(), 0);
-  }
-  return margins;
+  const FlatForest flat = Flatten();
+  return Predictor(flat).PredictMargins(dataset, pool, num_trees);
 }
 
 std::vector<double> GbdtModel::Predict(const Dataset& dataset,
@@ -46,25 +39,8 @@ std::vector<double> GbdtModel::Predict(const Dataset& dataset,
 std::vector<double> GbdtModel::PredictMarginsBinned(const BinnedMatrix& matrix,
                                                     ThreadPool* pool,
                                                     size_t num_trees) const {
-  const size_t limit =
-      num_trees == 0 ? trees_.size() : std::min(num_trees, trees_.size());
-  std::vector<double> margins(matrix.num_rows());
-  auto kernel = [&](int64_t begin, int64_t end, int) {
-    for (int64_t r = begin; r < end; ++r) {
-      const uint8_t* row = matrix.RowBins(static_cast<uint32_t>(r));
-      double margin = base_margin_;
-      for (size_t t = 0; t < limit; ++t) {
-        margin += trees_[t].PredictBinned(row);
-      }
-      margins[static_cast<size_t>(r)] = margin;
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(matrix.num_rows(), kernel);
-  } else {
-    kernel(0, matrix.num_rows(), 0);
-  }
-  return margins;
+  const FlatForest flat = Flatten();
+  return Predictor(flat).PredictMargins(matrix, pool, num_trees);
 }
 
 BinnedMatrix GbdtModel::BinDataset(const Dataset& dataset,
@@ -76,20 +52,11 @@ std::vector<int> GbdtModel::PredictLeafIndices(const BinnedMatrix& matrix,
                                                size_t tree_index,
                                                ThreadPool* pool) const {
   HARP_CHECK_LT(tree_index, trees_.size());
-  const RegTree& tree = trees_[tree_index];
-  std::vector<int> leaves(matrix.num_rows());
-  auto kernel = [&](int64_t begin, int64_t end, int) {
-    for (int64_t r = begin; r < end; ++r) {
-      leaves[static_cast<size_t>(r)] = tree.PredictLeafBinned(
-          matrix.RowBins(static_cast<uint32_t>(r)));
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(matrix.num_rows(), kernel);
-  } else {
-    kernel(0, matrix.num_rows(), 0);
-  }
-  return leaves;
+  // Flatten only the requested tree; leaf ids come back in RegTree
+  // numbering via the forest's orig_node table.
+  const FlatForest flat =
+      FlatForest::BuildFromTrees(&trees_[tree_index], 1);
+  return Predictor(flat).PredictLeafIndices(matrix, 0, pool);
 }
 
 double GbdtModel::Transform(double margin) const {

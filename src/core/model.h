@@ -14,6 +14,7 @@
 
 namespace harp {
 
+class FlatForest;
 class ThreadPool;
 
 class GbdtModel {
@@ -35,10 +36,14 @@ class GbdtModel {
 
   // Raw margin of one row of `dataset`, using the first `num_trees` trees
   // (0 = all). Missing values follow each split's default direction.
+  // Single-row reference path on RegTree::PredictRaw; batch prediction
+  // goes through the flat Predictor (src/predict/) instead.
   double PredictMarginRow(const Dataset& dataset, uint32_t row,
                           size_t num_trees = 0) const;
 
-  // Margins for every row (parallel when a pool is given).
+  // Margins for every row via the block-wise FlatForest Predictor
+  // (parallel when a pool is given); bit-identical to looping
+  // PredictMarginRow.
   std::vector<double> PredictMargins(const Dataset& dataset,
                                      ThreadPool* pool = nullptr,
                                      size_t num_trees = 0) const;
@@ -49,12 +54,19 @@ class GbdtModel {
                               ThreadPool* pool = nullptr,
                               size_t num_trees = 0) const;
 
-  // Fast path: margins for a matrix binned with THIS model's cuts (bin
-  // comparisons instead of float comparisons; no per-node value lookups).
-  // Use BinDataset() to produce a compatible matrix.
+  // Fast path: margins for a matrix binned with THIS model's cuts (1-byte
+  // bin comparisons instead of float comparisons). Use BinDataset() to
+  // produce a compatible matrix.
   std::vector<double> PredictMarginsBinned(const BinnedMatrix& matrix,
                                            ThreadPool* pool = nullptr,
                                            size_t num_trees = 0) const;
+
+  // Flattens the ensemble into the SoA inference layout. The Predict*
+  // methods above build this per call; callers predicting repeatedly
+  // (serving loops, benches) should flatten once and drive a Predictor
+  // directly. The returned forest snapshots the current trees — rebuild
+  // after mutating the model.
+  FlatForest Flatten() const;
 
   // Bins new raw data with the model's training-time cuts.
   BinnedMatrix BinDataset(const Dataset& dataset,

@@ -9,6 +9,8 @@
 #include "common/string_util.h"
 #include "core/model_io.h"
 #include "parallel/thread_pool.h"
+#include "predict/flat_forest.h"
+#include "predict/predictor.h"
 
 namespace harp {
 
@@ -19,10 +21,27 @@ std::vector<double> MulticlassModel::PredictProbs(const Dataset& dataset,
   const uint32_t rows = dataset.num_rows();
   std::vector<double> probs(static_cast<size_t>(rows) * k);
 
-  // Per-class sigmoid scores first (each model walk is independent).
+  // One-vs-rest ensembles trained by MulticlassTrainer share a single
+  // binned matrix, so every class carries identical cuts: bin the input
+  // once and run all k flat traversals on byte comparisons. Hand-
+  // assembled models with divergent cuts fall back to per-class raw
+  // traversal (same leaf routing either way, so outputs are unchanged).
+  bool shared_cuts = true;
+  for (int c = 1; c < k && shared_cuts; ++c) {
+    const QuantileCuts& a = per_class_[0].cuts();
+    const QuantileCuts& b = per_class_[static_cast<size_t>(c)].cuts();
+    shared_cuts = a.cut_ptr() == b.cut_ptr() && a.cuts() == b.cuts();
+  }
+  BinnedMatrix binned;
+  if (shared_cuts) binned = per_class_[0].BinDataset(dataset, pool);
+
+  // Per-class sigmoid scores (each flat forest walk is independent).
   for (int c = 0; c < k; ++c) {
+    const FlatForest flat = per_class_[static_cast<size_t>(c)].Flatten();
+    const Predictor predictor(flat);
     const std::vector<double> margins =
-        per_class_[static_cast<size_t>(c)].PredictMargins(dataset, pool);
+        shared_cuts ? predictor.PredictMargins(binned, pool)
+                    : predictor.PredictMargins(dataset, pool);
     for (uint32_t r = 0; r < rows; ++r) {
       probs[static_cast<size_t>(r) * k + static_cast<size_t>(c)] =
           1.0 / (1.0 + std::exp(-margins[r]));

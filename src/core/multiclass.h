@@ -28,7 +28,9 @@ class MulticlassModel {
   }
 
   // Row-major N x num_classes probabilities (per-class sigmoid scores
-  // normalized to sum to 1).
+  // normalized to sum to 1). When every class shares the training-time
+  // cuts (always true for MulticlassTrainer output), the input is binned
+  // once and all k ensembles run the flat binned Predictor on it.
   std::vector<double> PredictProbs(const Dataset& dataset,
                                    ThreadPool* pool = nullptr) const;
 

@@ -27,6 +27,8 @@
 #include "data/libsvm_reader.h" // ReadLibsvm
 #include "data/quantile.h"      // QuantileCuts
 #include "data/synthetic.h"     // GenerateSynthetic + shape presets
+#include "predict/flat_forest.h"  // FlatForest (SoA inference layout)
+#include "predict/predictor.h"    // Predictor (block-wise batched inference)
 
 #include "common/string_util.h"  // StrFormat, HumanBytes
 #include "distributed/dist_gbdt.h"  // DistributedGbdt (simulated cluster)

@@ -1,0 +1,283 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "data/binned_matrix.h"
+#include "data/dataset.h"
+#include "parallel/thread_pool.h"
+#include "predict/flat_forest.h"
+
+namespace harp {
+namespace {
+
+// Largest sparse-row scratch (bytes) a thread materializes at once; the
+// per-block row count shrinks when num_features is large.
+constexpr size_t kMaxScratchBytes = size_t{4} << 20;
+
+}  // namespace
+
+size_t Predictor::ClampTreeCount(size_t num_trees) const {
+  return num_trees == 0 ? forest_->num_trees()
+                        : std::min(num_trees, forest_->num_trees());
+}
+
+std::vector<size_t> Predictor::TreeGroups(size_t tree_begin,
+                                          size_t tree_end) const {
+  std::vector<size_t> bounds;
+  bounds.push_back(tree_begin);
+  int32_t nodes_in_group = 0;
+  for (size_t t = tree_begin; t < tree_end; ++t) {
+    const int32_t nodes = forest_->NodesInTree(t);
+    if (nodes_in_group > 0 && nodes_in_group + nodes > kGroupNodeBudget) {
+      bounds.push_back(t);
+      nodes_in_group = 0;
+    }
+    nodes_in_group += nodes;
+  }
+  bounds.push_back(tree_end);
+  return bounds;
+}
+
+void Predictor::AccumulateBlockBinned(const BinnedMatrix& matrix, uint32_t r0,
+                                      uint32_t r1, size_t t0, size_t t1,
+                                      double* margins) const {
+  const uint32_t* feat = forest_->split_feature();
+  const uint8_t* sbin = forest_->split_bin();
+  const uint8_t* dleft = forest_->default_left();
+  const int32_t* left = forest_->left_child();
+  const double* leaf = forest_->leaf_value();
+
+  for (size_t t = t0; t < t1; ++t) {
+    const int32_t root = forest_->tree_offset(t);
+    const int32_t steps = forest_->tree_depth(t);
+    for (uint32_t r = r0; r < r1; r += kInterleave) {
+      const int lanes = static_cast<int>(
+          std::min<uint32_t>(kInterleave, r1 - r));
+      const uint8_t* rb[kInterleave];
+      int32_t idx[kInterleave];
+      for (int j = 0; j < lanes; ++j) {
+        rb[j] = matrix.RowBins(r + static_cast<uint32_t>(j));
+        idx[j] = root;
+      }
+      // kInterleave independent walks per step: the loads of step s + 1
+      // depend only on the same lane's idx from step s, so the lanes keep
+      // the load pipeline full while each walk waits on its node fetch.
+      // Leaves self-loop (see FlatForest), so all lanes take exactly
+      // `steps` iterations with no leaf branch.
+      for (int32_t s = 0; s < steps; ++s) {
+        for (int j = 0; j < lanes; ++j) {
+          const int32_t i = idx[j];
+          const uint8_t bin = rb[j][feat[i]];
+          const bool go_left =
+              (bin == 0) ? (dleft[i] != 0) : (bin <= sbin[i]);
+          idx[j] = left[i] + static_cast<int32_t>(!go_left);
+        }
+      }
+      for (int j = 0; j < lanes; ++j) {
+        margins[r + static_cast<uint32_t>(j)] += leaf[idx[j]];
+      }
+    }
+  }
+}
+
+void Predictor::AccumulateBlockRaw(const Dataset& dataset, uint32_t r0,
+                                   uint32_t r1, size_t t0, size_t t1,
+                                   double* margins) const {
+  const uint32_t* feat = forest_->split_feature();
+  const float* sval = forest_->split_value();
+  const uint8_t* dleft = forest_->default_left();
+  const int32_t* left = forest_->left_child();
+  const double* leaf = forest_->leaf_value();
+  const uint32_t num_features = dataset.num_features();
+
+  // Both layouts traverse from per-row dense float pointers. Sparse rows
+  // are expanded once per block into a NaN-initialized scratch — O(M +
+  // nnz) per row, repaid over every tree of the group, versus a binary
+  // search per traversal step through Dataset::At.
+  const bool dense = dataset.layout() == Dataset::Layout::kDense;
+  std::vector<float> scratch;
+  uint32_t block_rows = r1 - r0;
+  if (!dense) {
+    const size_t row_bytes = size_t{num_features} * sizeof(float);
+    block_rows = static_cast<uint32_t>(std::clamp<size_t>(
+        kMaxScratchBytes / std::max<size_t>(row_bytes, 1), 1, r1 - r0));
+    scratch.resize(static_cast<size_t>(block_rows) * num_features);
+  }
+
+  for (uint32_t c0 = r0; c0 < r1; c0 += block_rows) {
+    const uint32_t c1 = std::min(r1, c0 + block_rows);
+    const float* base;
+    size_t stride;
+    if (dense) {
+      base = dataset.dense_values().data() +
+             static_cast<size_t>(c0) * num_features;
+      stride = num_features;
+    } else {
+      std::fill(scratch.begin(),
+                scratch.begin() +
+                    static_cast<size_t>(c1 - c0) * num_features,
+                kMissingValue);
+      for (uint32_t r = c0; r < c1; ++r) {
+        float* out = scratch.data() +
+                     static_cast<size_t>(r - c0) * num_features;
+        dataset.ForEachInRow(
+            r, [&](uint32_t f, float value) { out[f] = value; });
+      }
+      base = scratch.data();
+      stride = num_features;
+    }
+
+    for (size_t t = t0; t < t1; ++t) {
+      const int32_t root = forest_->tree_offset(t);
+      const int32_t steps = forest_->tree_depth(t);
+      for (uint32_t r = c0; r < c1; r += kInterleave) {
+        const int lanes = static_cast<int>(
+            std::min<uint32_t>(kInterleave, c1 - r));
+        const float* rv[kInterleave];
+        int32_t idx[kInterleave];
+        for (int j = 0; j < lanes; ++j) {
+          rv[j] = base + static_cast<size_t>(r - c0 + j) * stride;
+          idx[j] = root;
+        }
+        for (int32_t s = 0; s < steps; ++s) {
+          for (int j = 0; j < lanes; ++j) {
+            const int32_t i = idx[j];
+            const float value = rv[j][feat[i]];
+            // Leaf slots carry split_value = +inf, so any present value
+            // "goes left" back into the leaf; NaN routes to the default
+            // side, which leaves also point at themselves.
+            const bool go_left =
+                IsMissing(value) ? (dleft[i] != 0) : (value <= sval[i]);
+            idx[j] = left[i] + static_cast<int32_t>(!go_left);
+          }
+        }
+        for (int j = 0; j < lanes; ++j) {
+          margins[r + static_cast<uint32_t>(j)] += leaf[idx[j]];
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+// Shared driver: fans kRowBlock-sized row blocks out over the pool; each
+// thread sweeps its rows once per tree group so a group's nodes are
+// loaded into cache once and reused across every row the thread owns.
+template <typename BlockFn>
+void ForEachBlock(uint32_t num_rows, ThreadPool* pool,
+                  const std::vector<size_t>& groups, const BlockFn& fn) {
+  const int64_t num_blocks =
+      (static_cast<int64_t>(num_rows) + Predictor::kRowBlock - 1) /
+      Predictor::kRowBlock;
+  auto kernel = [&](int64_t begin, int64_t end, int) {
+    for (size_t g = 0; g + 1 < groups.size(); ++g) {
+      for (int64_t b = begin; b < end; ++b) {
+        const uint32_t r0 =
+            static_cast<uint32_t>(b) * Predictor::kRowBlock;
+        const uint32_t r1 =
+            std::min(num_rows, r0 + Predictor::kRowBlock);
+        fn(r0, r1, groups[g], groups[g + 1]);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(num_blocks, kernel);
+  } else {
+    kernel(0, num_blocks, 0);
+  }
+}
+
+}  // namespace
+
+void Predictor::AccumulateMargins(const BinnedMatrix& matrix, double* margins,
+                                  size_t tree_begin, size_t tree_end,
+                                  ThreadPool* pool) const {
+  HARP_CHECK_LE(tree_end, forest_->num_trees());
+  HARP_CHECK_GE(matrix.num_features(), forest_->min_features());
+  if (tree_begin >= tree_end || matrix.num_rows() == 0) return;
+  ForEachBlock(matrix.num_rows(), pool, TreeGroups(tree_begin, tree_end),
+               [&](uint32_t r0, uint32_t r1, size_t t0, size_t t1) {
+                 AccumulateBlockBinned(matrix, r0, r1, t0, t1, margins);
+               });
+}
+
+void Predictor::AccumulateMargins(const Dataset& dataset, double* margins,
+                                  size_t tree_begin, size_t tree_end,
+                                  ThreadPool* pool) const {
+  HARP_CHECK_LE(tree_end, forest_->num_trees());
+  HARP_CHECK_GE(dataset.num_features(), forest_->min_features());
+  if (tree_begin >= tree_end || dataset.num_rows() == 0) return;
+  ForEachBlock(dataset.num_rows(), pool, TreeGroups(tree_begin, tree_end),
+               [&](uint32_t r0, uint32_t r1, size_t t0, size_t t1) {
+                 AccumulateBlockRaw(dataset, r0, r1, t0, t1, margins);
+               });
+}
+
+std::vector<double> Predictor::PredictMargins(const BinnedMatrix& matrix,
+                                              ThreadPool* pool,
+                                              size_t num_trees) const {
+  std::vector<double> margins(matrix.num_rows(), forest_->base_margin());
+  AccumulateMargins(matrix, margins.data(), 0, ClampTreeCount(num_trees),
+                    pool);
+  return margins;
+}
+
+std::vector<double> Predictor::PredictMargins(const Dataset& dataset,
+                                              ThreadPool* pool,
+                                              size_t num_trees) const {
+  std::vector<double> margins(dataset.num_rows(), forest_->base_margin());
+  AccumulateMargins(dataset, margins.data(), 0, ClampTreeCount(num_trees),
+                    pool);
+  return margins;
+}
+
+std::vector<int> Predictor::PredictLeafIndices(const BinnedMatrix& matrix,
+                                               size_t tree_index,
+                                               ThreadPool* pool) const {
+  HARP_CHECK_LT(tree_index, forest_->num_trees());
+  HARP_CHECK_GE(matrix.num_features(), forest_->min_features());
+  const uint32_t* feat = forest_->split_feature();
+  const uint8_t* sbin = forest_->split_bin();
+  const uint8_t* dleft = forest_->default_left();
+  const int32_t* left = forest_->left_child();
+  const int32_t* orig = forest_->orig_node();
+  const int32_t root = forest_->tree_offset(tree_index);
+  const int32_t steps = forest_->tree_depth(tree_index);
+
+  std::vector<int> leaves(matrix.num_rows());
+  auto kernel = [&](int64_t begin, int64_t end, int) {
+    for (int64_t r = begin; r < end; r += kInterleave) {
+      const int lanes = static_cast<int>(
+          std::min<int64_t>(kInterleave, end - r));
+      const uint8_t* rb[kInterleave];
+      int32_t idx[kInterleave];
+      for (int j = 0; j < lanes; ++j) {
+        rb[j] = matrix.RowBins(static_cast<uint32_t>(r + j));
+        idx[j] = root;
+      }
+      for (int32_t s = 0; s < steps; ++s) {
+        for (int j = 0; j < lanes; ++j) {
+          const int32_t i = idx[j];
+          const uint8_t bin = rb[j][feat[i]];
+          const bool go_left =
+              (bin == 0) ? (dleft[i] != 0) : (bin <= sbin[i]);
+          idx[j] = left[i] + static_cast<int32_t>(!go_left);
+        }
+      }
+      for (int j = 0; j < lanes; ++j) {
+        leaves[static_cast<size_t>(r + j)] = orig[idx[j]];
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(matrix.num_rows(), kernel);
+  } else {
+    kernel(0, matrix.num_rows(), 0);
+  }
+  return leaves;
+}
+
+}  // namespace harp

@@ -1,0 +1,98 @@
+// Block-wise batched traversal over a FlatForest.
+//
+// The same memory-boundedness argument the paper makes for BuildHist
+// (Table I) applies to ensemble traversal: a naive row × tree walk is a
+// chain of dependent loads with no reuse. The Predictor restructures the
+// work along both axes:
+//
+//   * Trees are walked in groups whose node arrays fit in L2
+//     (kGroupNodeBudget); a group's nodes are loaded once and reused for
+//     every row before the next group starts, so the forest streams
+//     through cache once per thread instead of once per row.
+//   * Rows are processed in kRowBlock-sized blocks, and within a block
+//     kInterleave rows step through the same tree in lockstep. The 8
+//     independent walks hide the dependent-load latency a single walk
+//     serializes on (the leaf self-loop in FlatForest makes every walk
+//     take exactly tree_depth branch-free steps, so lanes never diverge
+//     in trip count).
+//
+// Margins accumulate in tree order per row — group g's trees are added to
+// every row before group g+1's — so results are bit-identical to the
+// naive base + t0 + t1 + ... chain of RegTree::PredictBinned/PredictRaw,
+// which tests keep as the reference oracle.
+//
+// Raw-Dataset and BinnedMatrix inputs share the same flat layout: the
+// binned kernel compares 1-byte bin ids against split_bin, the raw kernel
+// compares float values against split_value (missing routes to the
+// default side in both).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harp {
+
+class BinnedMatrix;
+class Dataset;
+class FlatForest;
+class ThreadPool;
+
+class Predictor {
+ public:
+  // Keeps a pointer to `forest`; the forest must outlive the Predictor.
+  explicit Predictor(const FlatForest& forest) : forest_(&forest) {}
+
+  // Margins (base margin + tree sum) for every row of a matrix binned
+  // with the model's own cuts, using the first `num_trees` trees (0 =
+  // all). Row blocks fan out over `pool` when given.
+  std::vector<double> PredictMargins(const BinnedMatrix& matrix,
+                                     ThreadPool* pool = nullptr,
+                                     size_t num_trees = 0) const;
+
+  // Same on raw feature values (missing = NaN follows default sides).
+  std::vector<double> PredictMargins(const Dataset& dataset,
+                                     ThreadPool* pool = nullptr,
+                                     size_t num_trees = 0) const;
+
+  // margins[r] += sum of trees [tree_begin, tree_end) for every row; no
+  // base margin is added. This is the incremental form the boosting
+  // driver uses to fold each new tree into held-out eval margins.
+  void AccumulateMargins(const BinnedMatrix& matrix, double* margins,
+                         size_t tree_begin, size_t tree_end,
+                         ThreadPool* pool = nullptr) const;
+  void AccumulateMargins(const Dataset& dataset, double* margins,
+                         size_t tree_begin, size_t tree_end,
+                         ThreadPool* pool = nullptr) const;
+
+  // Leaf reached in tree `tree_index` for every row, reported as RegTree
+  // node ids (FlatForest keeps the original numbering per slot).
+  std::vector<int> PredictLeafIndices(const BinnedMatrix& matrix,
+                                      size_t tree_index,
+                                      ThreadPool* pool = nullptr) const;
+
+  const FlatForest& forest() const { return *forest_; }
+
+  static constexpr uint32_t kRowBlock = 256;  // rows per cache block
+  static constexpr int kInterleave = 8;       // rows in flight per tree
+  static constexpr int32_t kGroupNodeBudget = 2048;  // nodes per tree group
+
+ private:
+  // Adds trees [t0, t1) of one group to rows [r0, r1); `margins` is the
+  // full output array indexed by absolute row id.
+  void AccumulateBlockBinned(const BinnedMatrix& matrix, uint32_t r0,
+                             uint32_t r1, size_t t0, size_t t1,
+                             double* margins) const;
+  void AccumulateBlockRaw(const Dataset& dataset, uint32_t r0, uint32_t r1,
+                          size_t t0, size_t t1, double* margins) const;
+
+  // Group boundaries covering [tree_begin, tree_end): consecutive trees
+  // packed until a group exceeds kGroupNodeBudget nodes.
+  std::vector<size_t> TreeGroups(size_t tree_begin, size_t tree_end) const;
+
+  size_t ClampTreeCount(size_t num_trees) const;
+
+  const FlatForest* forest_;
+};
+
+}  // namespace harp

@@ -6,6 +6,8 @@
 #include "core/gbdt.h"
 #include "core/model_io.h"
 #include "data/synthetic.h"
+#include "predict/flat_forest.h"
+#include "predict/predictor.h"
 
 namespace harp {
 namespace {
@@ -95,6 +97,35 @@ TEST(ModelIo, FileRoundtrip) {
   EXPECT_EQ(loaded.NumTrees(), model.NumTrees());
   std::remove(path.c_str());
   EXPECT_FALSE(LoadModel(path, &loaded, &error));
+}
+
+TEST(ModelIo, SaveLoadFlattenPredictsIdentically) {
+  // save -> load -> FlatForest round-trip: the flat inference layout
+  // built from a reloaded model must reproduce the original model's
+  // predictions bit for bit on both input kinds.
+  const GbdtModel model = TrainSmallModel();
+  SyntheticSpec spec;
+  spec.rows = 400;
+  spec.features = 6;
+  spec.density = 0.85;
+  spec.seed = 703;
+  const Dataset test = GenerateSynthetic(spec);
+  const BinnedMatrix binned = model.BinDataset(test);
+
+  const std::string path = "/tmp/harp_model_io_flat_test.model";
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, model, &error)) << error;
+  GbdtModel loaded;
+  ASSERT_TRUE(LoadModel(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+
+  const FlatForest flat = loaded.Flatten();
+  ASSERT_EQ(flat.num_trees(), model.NumTrees());
+  EXPECT_EQ(flat.num_nodes(), model.TotalNodes());
+  const Predictor predictor(flat);
+  EXPECT_EQ(predictor.PredictMargins(binned),
+            model.PredictMarginsBinned(binned));
+  EXPECT_EQ(predictor.PredictMargins(test), model.PredictMargins(test));
 }
 
 TEST(ModelIo, RejectsMalformedInput) {

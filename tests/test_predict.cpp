@@ -1,0 +1,309 @@
+// FlatForest / Predictor tests: bit-identical margins vs the RegTree
+// reference oracle (binned and raw, dense and sparse, truncated
+// ensembles), leaf-index parity, multiclass prob parity, thread-count
+// invariance, and flattening of hand-built tree shapes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gbdt.h"
+#include "core/multiclass.h"
+#include "data/synthetic.h"
+#include "parallel/thread_pool.h"
+#include "predict/flat_forest.h"
+#include "predict/predictor.h"
+#include "test_util.h"
+
+namespace harp {
+namespace {
+
+using testing::MakeDataset;
+
+TrainParams Params(int trees, int tree_size,
+                   ObjectiveKind objective = ObjectiveKind::kLogistic) {
+  TrainParams p;
+  p.num_trees = trees;
+  p.tree_size = tree_size;
+  p.num_threads = 2;
+  p.objective = objective;
+  return p;
+}
+
+// Naive reference: base margin + tree-order walk of the AoS RegTrees.
+std::vector<double> OracleBinned(const GbdtModel& model,
+                                 const BinnedMatrix& matrix,
+                                 size_t num_trees = 0) {
+  const size_t limit = num_trees == 0
+                           ? model.NumTrees()
+                           : std::min(num_trees, model.NumTrees());
+  std::vector<double> margins(matrix.num_rows());
+  for (uint32_t r = 0; r < matrix.num_rows(); ++r) {
+    double m = model.base_margin();
+    for (size_t t = 0; t < limit; ++t) {
+      m += model.tree(t).PredictBinned(matrix.RowBins(r));
+    }
+    margins[r] = m;
+  }
+  return margins;
+}
+
+std::vector<double> OracleRaw(const GbdtModel& model, const Dataset& dataset,
+                              size_t num_trees = 0) {
+  const size_t limit = num_trees == 0
+                           ? model.NumTrees()
+                           : std::min(num_trees, model.NumTrees());
+  std::vector<double> margins(dataset.num_rows());
+  for (uint32_t r = 0; r < dataset.num_rows(); ++r) {
+    double m = model.base_margin();
+    for (size_t t = 0; t < limit; ++t) {
+      m += model.tree(t).PredictRaw(dataset, r);
+    }
+    margins[r] = m;
+  }
+  return margins;
+}
+
+// Dense dataset -> CSR copy with the NaN entries dropped.
+Dataset ToCsr(const Dataset& dense) {
+  std::vector<uint32_t> row_ptr{0};
+  std::vector<Entry> entries;
+  for (uint32_t r = 0; r < dense.num_rows(); ++r) {
+    dense.ForEachInRow(
+        r, [&](uint32_t f, float v) { entries.push_back({f, v}); });
+    row_ptr.push_back(static_cast<uint32_t>(entries.size()));
+  }
+  return Dataset::FromCsr(dense.num_rows(), dense.num_features(),
+                          std::move(row_ptr), std::move(entries),
+                          dense.labels());
+}
+
+TEST(FlatForest, LayoutInvariants) {
+  const Dataset train = MakeDataset(600, 8, 0.8, 11);
+  const GbdtModel model = GbdtTrainer(Params(9, 8)).Train(train);
+  const FlatForest flat = model.Flatten();
+
+  ASSERT_EQ(flat.num_trees(), model.NumTrees());
+  EXPECT_EQ(flat.num_nodes(), model.TotalNodes());
+  EXPECT_EQ(flat.base_margin(), model.base_margin());
+  const int32_t* left = flat.left_child();
+  const double* leaf = flat.leaf_value();
+  for (size_t t = 0; t < flat.num_trees(); ++t) {
+    EXPECT_EQ(flat.NodesInTree(t), model.tree(t).num_nodes());
+    EXPECT_GE(flat.tree_depth(t), 0);
+    for (int32_t i = flat.tree_offset(t); i < flat.tree_offset(t + 1); ++i) {
+      const int orig = flat.orig_node()[i];
+      ASSERT_GE(orig, 0);
+      ASSERT_LT(orig, model.tree(t).num_nodes());
+      if (left[i] == i) {
+        // Leaf: self-loop with the model's leaf value.
+        EXPECT_TRUE(model.tree(t).node(orig).IsLeaf());
+        EXPECT_EQ(leaf[i], model.tree(t).node(orig).leaf_value);
+      } else {
+        // Internal: siblings in consecutive slots inside the same tree.
+        EXPECT_FALSE(model.tree(t).node(orig).IsLeaf());
+        EXPECT_GT(left[i], i);
+        EXPECT_LT(left[i] + 1, flat.tree_offset(t + 1));
+      }
+    }
+  }
+}
+
+TEST(Predict, BinnedBitIdenticalToOracle) {
+  for (const int tree_size : {2, 8, 24}) {
+    for (const int trees : {1, 7, 21}) {
+      const Dataset train = MakeDataset(700, 10, 0.75, 100 + tree_size);
+      const GbdtModel model =
+          GbdtTrainer(Params(trees, tree_size)).Train(train);
+      const Dataset test = MakeDataset(400, 10, 0.75, 200 + trees);
+      const BinnedMatrix binned = model.BinDataset(test);
+
+      const std::vector<double> oracle = OracleBinned(model, binned);
+      const std::vector<double> flat = model.PredictMarginsBinned(binned);
+      ASSERT_EQ(flat.size(), oracle.size());
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        EXPECT_EQ(flat[i], oracle[i])  // bit-identical, not approximately
+            << "row " << i << " trees=" << trees
+            << " tree_size=" << tree_size;
+      }
+    }
+  }
+}
+
+TEST(Predict, RawBitIdenticalToOracleWithMissing) {
+  const Dataset train = MakeDataset(1000, 12, 0.6, 31);  // 40% missing
+  const GbdtModel model = GbdtTrainer(Params(17, 8)).Train(train);
+  const Dataset test = MakeDataset(500, 12, 0.6, 32);
+
+  const std::vector<double> oracle = OracleRaw(model, test);
+  const std::vector<double> flat = model.PredictMargins(test);
+  ASSERT_EQ(flat.size(), oracle.size());
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(flat[i], oracle[i]) << "row " << i;
+  }
+}
+
+TEST(Predict, SparseRawBitIdenticalToOracle) {
+  const Dataset train = MakeDataset(800, 9, 0.5, 41);
+  const GbdtModel model = GbdtTrainer(Params(11, 8)).Train(train);
+  const Dataset sparse = ToCsr(MakeDataset(300, 9, 0.5, 42));
+  ASSERT_EQ(sparse.layout(), Dataset::Layout::kSparse);
+
+  const std::vector<double> oracle = OracleRaw(model, sparse);
+  const std::vector<double> flat = model.PredictMargins(sparse);
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(flat[i], oracle[i]) << "row " << i;
+  }
+}
+
+TEST(Predict, TruncatedEnsembleBitIdentical) {
+  const Dataset train = MakeDataset(700, 8, 0.85, 51);
+  const GbdtModel model = GbdtTrainer(Params(10, 8)).Train(train);
+  const BinnedMatrix binned = model.BinDataset(train);
+  for (const size_t limit : {size_t{1}, size_t{4}, size_t{10}, size_t{99}}) {
+    const std::vector<double> oracle = OracleBinned(model, binned, limit);
+    const std::vector<double> flat =
+        model.PredictMarginsBinned(binned, nullptr, limit);
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      EXPECT_EQ(flat[i], oracle[i]) << "limit " << limit << " row " << i;
+    }
+  }
+}
+
+TEST(Predict, LeafIndexParityWithOracle) {
+  const Dataset train = MakeDataset(600, 8, 0.8, 61);
+  const GbdtModel model = GbdtTrainer(Params(6, 16)).Train(train);
+  const BinnedMatrix binned = model.BinDataset(train);
+  ThreadPool pool(3);
+  for (size_t t = 0; t < model.NumTrees(); ++t) {
+    const std::vector<int> leaves = model.PredictLeafIndices(binned, t);
+    const std::vector<int> pooled =
+        model.PredictLeafIndices(binned, t, &pool);
+    EXPECT_EQ(leaves, pooled);
+    for (uint32_t r = 0; r < binned.num_rows(); ++r) {
+      EXPECT_EQ(leaves[r], model.tree(t).PredictLeafBinned(binned.RowBins(r)))
+          << "tree " << t << " row " << r;
+    }
+  }
+}
+
+TEST(Predict, ThreadCountInvariance) {
+  const Dataset train = MakeDataset(1100, 10, 0.8, 71);
+  const GbdtModel model = GbdtTrainer(Params(12, 8)).Train(train);
+  const BinnedMatrix binned = model.BinDataset(train);
+
+  const std::vector<double> serial = model.PredictMarginsBinned(binned);
+  const std::vector<double> serial_raw = model.PredictMargins(train);
+  for (const int threads : {1, 2, 5}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(model.PredictMarginsBinned(binned, &pool), serial)
+        << threads << " threads (binned)";
+    EXPECT_EQ(model.PredictMargins(train, &pool), serial_raw)
+        << threads << " threads (raw)";
+  }
+}
+
+TEST(Predict, MulticlassProbParity) {
+  SyntheticSpec spec;
+  spec.rows = 600;
+  spec.features = 8;
+  spec.density = 0.9;
+  spec.seed = 81;
+  spec.label = LabelKind::kMulticlass;
+  spec.num_classes = 3;
+  const Dataset train = GenerateSynthetic(spec);
+
+  TrainParams p = Params(5, 6);
+  MulticlassTrainer trainer(p);
+  const MulticlassModel model = trainer.Train(train);
+
+  // Oracle: per-class raw RegTree walks -> sigmoid -> row normalization.
+  const int k = model.num_classes();
+  std::vector<double> expected(static_cast<size_t>(train.num_rows()) * k);
+  for (int c = 0; c < k; ++c) {
+    const std::vector<double> margins =
+        OracleRaw(model.class_model(c), train);
+    for (uint32_t r = 0; r < train.num_rows(); ++r) {
+      expected[static_cast<size_t>(r) * k + c] =
+          1.0 / (1.0 + std::exp(-margins[r]));
+    }
+  }
+  for (uint32_t r = 0; r < train.num_rows(); ++r) {
+    double sum = 0.0;
+    for (int c = 0; c < k; ++c) sum += expected[static_cast<size_t>(r) * k + c];
+    if (sum <= 0.0) sum = 1.0;
+    for (int c = 0; c < k; ++c) expected[static_cast<size_t>(r) * k + c] /= sum;
+  }
+
+  const std::vector<double> probs = model.PredictProbs(train);
+  ASSERT_EQ(probs.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(probs[i], expected[i]) << "entry " << i;
+  }
+}
+
+TEST(Predict, EmptyModelYieldsBaseMargin) {
+  const Dataset data = MakeDataset(50, 4, 1.0, 91);
+  GbdtModel model(ObjectiveKind::kSquaredError, 0.5,
+                  QuantileCuts::Compute(data, 16));
+  const std::vector<double> margins = model.PredictMargins(data);
+  for (double m : margins) EXPECT_EQ(m, 0.5);
+}
+
+TEST(Predict, SingleLeafAndChainTrees) {
+  const Dataset data = MakeDataset(120, 3, 1.0, 92, /*distinct=*/8);
+  QuantileCuts cuts = QuantileCuts::Compute(data, 16);
+  GbdtModel model(ObjectiveKind::kSquaredError, 0.0, cuts);
+
+  // Tree 0: bare root leaf (depth 0; the traversal takes zero steps).
+  RegTree stump;
+  stump.mutable_node(0).leaf_value = 2.5;
+  model.AddTree(std::move(stump));
+
+  // Tree 1: left-leaning chain — each split extends the left child, so
+  // flattening must renumber (ApplySplit appends children at the end,
+  // giving a layout no pre-order walk produces).
+  RegTree chain;
+  SplitInfo s;
+  s.gain = 1.0;
+  s.bin = 1;
+  s.default_left = false;
+  int node = 0;
+  for (int d = 0; d < 3; ++d) {
+    s.feature = static_cast<uint32_t>(d % data.num_features());
+    const auto [l, r] = chain.ApplySplit(node, s, cuts.CutFor(s.feature, 1));
+    chain.mutable_node(r).leaf_value = 10.0 * (d + 1);
+    node = l;
+  }
+  chain.mutable_node(node).leaf_value = -7.0;
+  ASSERT_TRUE(chain.CheckValid());
+  model.AddTree(std::move(chain));
+
+  const BinnedMatrix binned = model.BinDataset(data);
+  const std::vector<double> oracle = OracleBinned(model, binned);
+  const std::vector<double> flat = model.PredictMarginsBinned(binned);
+  const std::vector<double> flat_raw = model.PredictMargins(data);
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(flat[i], oracle[i]) << "row " << i;
+    EXPECT_EQ(flat_raw[i], OracleRaw(model, data)[i]) << "row " << i;
+  }
+}
+
+TEST(Predict, AccumulateMarginsMatchesIncrementalOracle) {
+  // The boosting driver's eval path: margins grow one tree at a time.
+  const Dataset train = MakeDataset(400, 6, 0.9, 93);
+  const GbdtModel model = GbdtTrainer(Params(8, 6)).Train(train);
+  const FlatForest flat = model.Flatten();
+  const Predictor predictor(flat);
+
+  std::vector<double> incremental(train.num_rows(), model.base_margin());
+  for (size_t t = 0; t < model.NumTrees(); ++t) {
+    predictor.AccumulateMargins(train, incremental.data(), t, t + 1);
+  }
+  const std::vector<double> oracle = OracleRaw(model, train);
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    EXPECT_EQ(incremental[i], oracle[i]) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace harp
