@@ -48,9 +48,10 @@ Candidate GrowQueue::PopTop() {
   return top;
 }
 
-std::vector<Candidate> GrowQueue::PopBatch(int k, int max_batch) {
-  std::vector<Candidate> batch;
-  if (heap_.empty() || max_batch <= 0) return batch;
+void GrowQueue::PopBatchInto(int k, int max_batch,
+                             std::vector<Candidate>* out) {
+  out->clear();
+  if (heap_.empty() || max_batch <= 0) return;
 
   int budget = max_batch;
   switch (policy_) {
@@ -65,12 +66,17 @@ std::vector<Candidate> GrowQueue::PopBatch(int k, int max_batch) {
   }
 
   const int level = heap_.front().depth;
-  while (!heap_.empty() && static_cast<int>(batch.size()) < budget) {
+  while (!heap_.empty() && static_cast<int>(out->size()) < budget) {
     if (policy_ == GrowPolicy::kDepthwise && heap_.front().depth != level) {
       break;  // only drain one level per batch
     }
-    batch.push_back(PopTop());
+    out->push_back(PopTop());
   }
+}
+
+std::vector<Candidate> GrowQueue::PopBatch(int k, int max_batch) {
+  std::vector<Candidate> batch;
+  PopBatchInto(k, max_batch, &batch);
   return batch;
 }
 

@@ -35,6 +35,13 @@ class GrowQueue {
   // remaining leaf budget). Never returns an empty vector unless empty.
   std::vector<Candidate> PopBatch(int k, int max_batch);
 
+  // Same pop rule, appending into `out` (cleared first) so steady-state
+  // growth can reuse one batch vector instead of allocating per step.
+  void PopBatchInto(int k, int max_batch, std::vector<Candidate>* out);
+
+  // Drops all queued candidates (start of a new tree on a reused queue).
+  void Clear() { heap_.clear(); }
+
  private:
   // Ordering: depthwise prefers shallower depth (then node id) so whole
   // levels drain in order; gain-based policies prefer larger gain with

@@ -55,6 +55,13 @@ struct BuildContext {
 // Feature ranges of at most `feature_blk_size` features (0 = one block).
 std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
                                      int feature_blk_size);
+// In-place variant reusing `out`'s capacity (steady-state zero-alloc
+// staging in the builders).
+void FillFeatureBlocks(uint32_t num_features, int feature_blk_size,
+                       std::vector<Range>* out);
+// Likewise for MakeBinRanges.
+void FillBinRanges(int bin_blk_size, uint32_t num_bins,
+                   std::vector<Range>* out);
 
 // Bin-id ranges of at most `bin_blk_size` bins covering [0, num_bins).
 // Pass the matrix's actual MaxBins() so bin blocking never schedules
@@ -109,23 +116,99 @@ class HistBuilderDP {
   // separately in the Fig. 4 breakdown).
   int64_t Build(const BuildContext& ctx, std::span<const int> nodes);
 
+  // Fused-step form: collective — every region thread calls it with its
+  // id; per-block serial glue (task staging, reduce prep, dirty-ledger
+  // update) runs in barrier epilogues instead of between region launches.
+  // Bit-identical to Build (same tasks, same kernels, same ascending-
+  // thread-order reduction). Adds the reduce wall time (epilogue-to-
+  // epilogue) to *reduce_ns.
+  void BuildInRegion(const BuildContext& ctx, std::span<const int> nodes,
+                     ThreadPool::FusedRegion& region, int thread_id,
+                     int64_t* reduce_ns);
+
   const ReplicaStats& replica_stats() const { return replica_stats_; }
   // Currently retained replica storage, in GHPair slots.
   size_t replica_capacity() const { return replicas_.size(); }
 
  private:
+  struct RowTask {
+    uint32_t local_node;
+    uint32_t begin;
+    uint32_t end;
+  };
+
+  // Serial per-Build setup (kernel selection, feature blocks) and per-
+  // block staging (row tasks, replica growth, touched reset); the phase
+  // loops execute what these staged. Shared by both schedulers.
+  void BeginBuild(const BuildContext& ctx);
+  void StageBlock(const BuildContext& ctx, std::span<const int> nodes,
+                  size_t block_begin);
+  void ClearThread(int thread_id);
+  void RunRowTask(const BuildContext& ctx, int thread_id, size_t task_index);
+  void PrepReduce(const BuildContext& ctx);
+  void ReduceRange(int64_t begin, int64_t end);
+  void UpdateLedger();
+
   AlignedVector<GHPair> replicas_;
   TouchedRegions touched_;
   // Dirtied-but-not-yet-cleared [begin, end) slot intervals of replicas_.
   // Flat offsets, so they survive layout (stride) changes across blocks.
   std::vector<std::pair<size_t, size_t>> dirty_;
   ReplicaStats replica_stats_;
+
+  // Per-Build / per-block staging (grow-only member scratch; serial glue
+  // writes it, phase loops read it).
+  std::vector<Range> feature_blocks_;
+  HistKernelMatrix km_;
+  HistKernelFn kernel_ = nullptr;
+  std::span<const int> block_;
+  std::vector<RowTask> tasks_;
+  std::vector<HistRowSource> sources_;
+  std::vector<GHPair*> dst_;
+  std::vector<std::vector<int>> contributors_;
+  size_t total_bins_ = 0;
+  size_t replica_stride_ = 0;
+  int threads_ = 0;
+  int64_t reduce_start_ns_ = 0;
 };
 
 // Model-parallel (block-wise) builder; writes shared histograms.
 class HistBuilderMP {
  public:
   void Build(const BuildContext& ctx, std::span<const int> nodes);
+
+  // Fused-step support: stages the <node_blk x feature_blk x bin_blk>
+  // cube task list for `nodes` into member scratch (serial; grow-only)
+  // and returns the task count. Distinct tasks write disjoint histogram
+  // regions, so any thread may RunTask any staged index in any order —
+  // this is what lets the builder's overlap scheduler start a node's
+  // subtract/find as soon as that node's cubes drain.
+  size_t StageTasks(const BuildContext& ctx, std::span<const int> nodes);
+  void RunTask(const BuildContext& ctx, size_t task_index) const;
+  // Nodes written by staged task `task_index` (its node block).
+  std::span<const int> TaskNodes(size_t task_index) const;
+
+  int64_t grow_events() const { return grow_events_; }
+
+ private:
+  struct Task {
+    uint32_t node_block;
+    uint32_t feature_block;
+    uint32_t bin_range;
+  };
+
+  // Cached geometry + per-call staging (grow-only member scratch).
+  std::vector<Range> feature_blocks_;
+  std::vector<Range> bin_ranges_;
+  std::vector<std::span<const int>> node_blocks_;
+  std::vector<Task> tasks_;
+  std::vector<GHPair*> hist_of_;
+  std::vector<HistRowSource> source_of_;
+  std::vector<uint32_t> rows_of_;
+  std::vector<size_t> node_pos_;
+  HistKernelMatrix km_;
+  HistKernelFn kernel_ = nullptr;
+  int64_t grow_events_ = 0;
 };
 
 // Serial per-node build used by ASYNC node tasks (one thread builds the

@@ -7,28 +7,40 @@
 
 namespace harp {
 
-std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
-                                     int feature_blk_size) {
-  std::vector<Range> blocks;
+void FillFeatureBlocks(uint32_t num_features, int feature_blk_size,
+                       std::vector<Range>* out) {
+  out->clear();
   const uint32_t step = feature_blk_size <= 0
                             ? num_features
                             : static_cast<uint32_t>(feature_blk_size);
   for (uint32_t begin = 0; begin < num_features; begin += step) {
-    blocks.emplace_back(begin, std::min(num_features, begin + step));
+    out->emplace_back(begin, std::min(num_features, begin + step));
   }
+}
+
+std::vector<Range> MakeFeatureBlocks(uint32_t num_features,
+                                     int feature_blk_size) {
+  std::vector<Range> blocks;
+  FillFeatureBlocks(num_features, feature_blk_size, &blocks);
   return blocks;
+}
+
+void FillBinRanges(int bin_blk_size, uint32_t num_bins,
+                   std::vector<Range>* out) {
+  out->clear();
+  if (bin_blk_size >= static_cast<int>(num_bins)) {
+    out->emplace_back(0u, num_bins);
+    return;
+  }
+  const uint32_t step = static_cast<uint32_t>(std::max(1, bin_blk_size));
+  for (uint32_t begin = 0; begin < num_bins; begin += step) {
+    out->emplace_back(begin, std::min(num_bins, begin + step));
+  }
 }
 
 std::vector<Range> MakeBinRanges(int bin_blk_size, uint32_t num_bins) {
   std::vector<Range> ranges;
-  if (bin_blk_size >= static_cast<int>(num_bins)) {
-    ranges.emplace_back(0u, num_bins);
-    return ranges;
-  }
-  const uint32_t step = static_cast<uint32_t>(std::max(1, bin_blk_size));
-  for (uint32_t begin = 0; begin < num_bins; begin += step) {
-    ranges.emplace_back(begin, std::min(num_bins, begin + step));
-  }
+  FillBinRanges(bin_blk_size, num_bins, &ranges);
   return ranges;
 }
 
@@ -43,155 +55,226 @@ std::vector<std::span<const int>> MakeNodeBlocks(std::span<const int> nodes,
   return blocks;
 }
 
-int64_t HistBuilderDP::Build(const BuildContext& ctx,
-                             std::span<const int> nodes) {
-  const size_t total_bins = ctx.matrix.TotalBins();
-  const int threads = ctx.pool.num_threads();
-  const auto feature_blocks = MakeFeatureBlocks(
-      ctx.matrix.num_features(), ctx.params.feature_blk_size);
+void HistBuilderDP::BeginBuild(const BuildContext& ctx) {
+  total_bins_ = ctx.matrix.TotalBins();
+  threads_ = ctx.pool.num_threads();
+  FillFeatureBlocks(ctx.matrix.num_features(), ctx.params.feature_blk_size,
+                    &feature_blocks_);
   // Kernel selected once per Build call. DP never bin-filters, so the full
   // bin-range variant applies; one feature block additionally drops the
   // fb-range indirection from the inner loop.
-  const HistKernelMatrix km =
-      MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
-  const HistKernelFn kernel =
+  km_ = MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
+  kernel_ =
       SelectHistKernel(ctx.partitioner.use_membuf(), /*full_bin_range=*/true,
-                       /*full_feature_block=*/feature_blocks.size() == 1);
+                       /*full_feature_block=*/feature_blocks_.size() == 1);
+}
+
+void HistBuilderDP::StageBlock(const BuildContext& ctx,
+                               std::span<const int> nodes,
+                               size_t block_begin) {
+  const size_t step =
+      static_cast<size_t>(std::max(1, ctx.params.node_blk_size));
+  block_ = nodes.subspan(block_begin,
+                         std::min(step, nodes.size() - block_begin));
+  const size_t block_nodes = block_.size();
+
+  // Row-block task list: (node index in block, row range).
+  int64_t total_rows = 0;
+  for (int node : block_) total_rows += ctx.partitioner.NodeSize(node);
+  const int64_t auto_blk =
+      std::max<int64_t>(1, total_rows / std::max(1, threads_));
+  const int64_t row_blk = ctx.params.row_blk_size > 0
+                              ? ctx.params.row_blk_size
+                              : auto_blk;
+  tasks_.clear();
+  if (sources_.size() < block_nodes) sources_.resize(block_nodes);
+  for (size_t i = 0; i < block_nodes; ++i) {
+    sources_[i] = MakeHistRowSource(ctx.partitioner, block_[i]);
+    const uint32_t n = ctx.partitioner.NodeSize(block_[i]);
+    for (uint32_t begin = 0; begin < n;
+         begin += static_cast<uint32_t>(row_blk)) {
+      tasks_.push_back(RowTask{
+          static_cast<uint32_t>(i), begin,
+          std::min(n, begin + static_cast<uint32_t>(row_blk))});
+    }
+  }
+
+  // Per-thread replicas covering the node block. Replica layout:
+  // [thread][local_node][total_bins]. Storage persists across node
+  // blocks and trees under the invariant that it is all-zero outside
+  // Build, so no per-block assign/zeroing happens here — only growth.
+  replica_stride_ = block_nodes * total_bins_;
+  const size_t needed = static_cast<size_t>(threads_) * replica_stride_;
+  if (replicas_.size() < needed) {
+    replicas_.resize(needed, GHPair{});
+    ++replica_stats_.grow_events;
+  }
+  touched_.Reset(threads_, block_nodes);
+  ++replica_stats_.node_blocks;
+  replica_stats_.regions_total +=
+      static_cast<int64_t>(threads_) * static_cast<int64_t>(block_nodes);
+}
+
+void HistBuilderDP::ClearThread(int thread_id) {
+  // Lazy clear: wipe the dirty leftovers of previous blocks that fall
+  // inside THIS thread's replica range, before any accumulation. Other
+  // threads never write this range, so no synchronization is needed,
+  // and the clear costs no extra parallel region.
+  const size_t own_begin = static_cast<size_t>(thread_id) * replica_stride_;
+  const size_t own_end = own_begin + replica_stride_;
+  for (const auto& [d_begin, d_end] : dirty_) {
+    const size_t lo = std::max(d_begin, own_begin);
+    const size_t hi = std::min(d_end, own_end);
+    if (lo < hi) ClearHistogram(replicas_.data() + lo, hi - lo);
+  }
+}
+
+void HistBuilderDP::RunRowTask(const BuildContext& ctx, int thread_id,
+                               size_t task_index) {
+  (void)ctx;
+  const RowTask& task = tasks_[task_index];
+  touched_.Mark(thread_id, task.local_node);
+  GHPair* replica =
+      replicas_.data() + static_cast<size_t>(thread_id) * replica_stride_;
+  GHPair* node_hist = replica + task.local_node * total_bins_;
   const Range all_bins{0u, 256u};
+  // Feature-block tiling: re-reads the row block once per feature
+  // block but confines writes to the block's histogram region.
+  for (const Range& fb : feature_blocks_) {
+    kernel_(km_, sources_[task.local_node], task.begin, task.end,
+            node_hist, fb, all_bins);
+  }
+}
+
+void HistBuilderDP::PrepReduce(const BuildContext& ctx) {
+  const size_t block_nodes = block_.size();
+  if (dst_.size() < block_nodes) dst_.resize(block_nodes);
+  if (contributors_.size() < block_nodes) contributors_.resize(block_nodes);
+  for (size_t i = 0; i < block_nodes; ++i) {
+    dst_[i] = ctx.hists.Get(block_[i]);
+    contributors_[i] = touched_.ThreadsTouching(i);
+    replica_stats_.regions_touched +=
+        static_cast<int64_t>(contributors_[i].size());
+  }
+}
+
+void HistBuilderDP::ReduceRange(int64_t begin, int64_t end) {
+  // Deterministic reduction, blocked: each thread sums contiguous slot
+  // runs with AddHistogram (vectorizable), in ascending thread order per
+  // slot — the same floating-point order as before — and replicas of
+  // threads that never touched a node are skipped outright.
+  int64_t s = begin;
+  while (s < end) {
+    const size_t local_node = static_cast<size_t>(s) / total_bins_;
+    const size_t slot = static_cast<size_t>(s) % total_bins_;
+    const size_t len =
+        std::min(static_cast<size_t>(end - s), total_bins_ - slot);
+    GHPair* out = dst_[local_node] + slot;
+    for (int t : contributors_[local_node]) {
+      AddHistogram(out,
+                   replicas_.data() +
+                       static_cast<size_t>(t) * replica_stride_ +
+                       static_cast<size_t>(s),
+                   len);
+    }
+    s += static_cast<int64_t>(len);
+  }
+}
+
+void HistBuilderDP::UpdateLedger() {
+  // Update the dirty ledger: everything inside the current layout's
+  // thread ranges was cleared at region start, so only intervals beyond
+  // them survive; regions touched in this block become newly dirty.
+  const size_t block_nodes = block_.size();
+  const size_t covered = static_cast<size_t>(threads_) * replica_stride_;
+  std::erase_if(dirty_, [covered](const std::pair<size_t, size_t>& d) {
+    return d.second <= covered;
+  });
+  for (auto& d : dirty_) d.first = std::max(d.first, covered);
+  for (int t = 0; t < threads_; ++t) {
+    for (size_t i = 0; i < block_nodes; ++i) {
+      if (touched_.Touched(t, i)) {
+        const size_t begin =
+            static_cast<size_t>(t) * replica_stride_ + i * total_bins_;
+        dirty_.emplace_back(begin, begin + total_bins_);
+      }
+    }
+  }
+}
+
+int64_t HistBuilderDP::Build(const BuildContext& ctx,
+                             std::span<const int> nodes) {
+  BeginBuild(ctx);
   int64_t reduce_ns = 0;
 
   // One "parallel for" per node block: node_blk_size trades fewer barriers
   // against larger per-thread replicas (Section IV-D).
-  for (std::span<const int> block :
-       MakeNodeBlocks(nodes, ctx.params.node_blk_size)) {
-    const size_t block_nodes = block.size();
-
-    // Row-block task list: (node index in block, row range).
-    struct RowTask {
-      uint32_t local_node;
-      uint32_t begin;
-      uint32_t end;
-    };
-    int64_t total_rows = 0;
-    for (int node : block) total_rows += ctx.partitioner.NodeSize(node);
-    const int64_t auto_blk =
-        std::max<int64_t>(1, total_rows / std::max(1, threads));
-    const int64_t row_blk = ctx.params.row_blk_size > 0
-                                ? ctx.params.row_blk_size
-                                : auto_blk;
-    std::vector<RowTask> tasks;
-    std::vector<HistRowSource> sources(block_nodes);
-    for (size_t i = 0; i < block_nodes; ++i) {
-      sources[i] = MakeHistRowSource(ctx.partitioner, block[i]);
-      const uint32_t n = ctx.partitioner.NodeSize(block[i]);
-      for (uint32_t begin = 0; begin < n;
-           begin += static_cast<uint32_t>(row_blk)) {
-        tasks.push_back(RowTask{
-            static_cast<uint32_t>(i), begin,
-            std::min(n, begin + static_cast<uint32_t>(row_blk))});
-      }
-    }
-
-    // Per-thread replicas covering the node block. Replica layout:
-    // [thread][local_node][total_bins]. Storage persists across node
-    // blocks and trees under the invariant that it is all-zero outside
-    // Build, so no per-block assign/zeroing happens here — only growth.
-    const size_t replica_stride = block_nodes * total_bins;
-    const size_t needed = static_cast<size_t>(threads) * replica_stride;
-    if (replicas_.size() < needed) {
-      replicas_.resize(needed, GHPair{});
-      ++replica_stats_.grow_events;
-    }
-    touched_.Reset(threads, block_nodes);
-    ++replica_stats_.node_blocks;
-    replica_stats_.regions_total +=
-        static_cast<int64_t>(threads) * static_cast<int64_t>(block_nodes);
+  const size_t step =
+      static_cast<size_t>(std::max(1, ctx.params.node_blk_size));
+  for (size_t begin = 0; begin < nodes.size(); begin += step) {
+    StageBlock(ctx, nodes, begin);
 
     std::atomic<int64_t> cursor{0};
     ctx.pool.RunOnAllThreads([&](int thread_id) {
-      GHPair* replica =
-          replicas_.data() + static_cast<size_t>(thread_id) * replica_stride;
-      // Lazy clear: wipe the dirty leftovers of previous blocks that fall
-      // inside THIS thread's replica range, before any accumulation. Other
-      // threads never write this range, so no synchronization is needed,
-      // and the clear costs no extra parallel region.
-      const size_t own_begin = static_cast<size_t>(thread_id) * replica_stride;
-      const size_t own_end = own_begin + replica_stride;
-      for (const auto& [d_begin, d_end] : dirty_) {
-        const size_t lo = std::max(d_begin, own_begin);
-        const size_t hi = std::min(d_end, own_end);
-        if (lo < hi) ClearHistogram(replicas_.data() + lo, hi - lo);
-      }
+      ClearThread(thread_id);
       for (;;) {
         const int64_t t = cursor.fetch_add(1, std::memory_order_relaxed);
-        if (t >= static_cast<int64_t>(tasks.size())) break;
-        const RowTask& task = tasks[static_cast<size_t>(t)];
-        touched_.Mark(thread_id, task.local_node);
-        GHPair* node_hist = replica + task.local_node * total_bins;
-        // Feature-block tiling: re-reads the row block once per feature
-        // block but confines writes to the block's histogram region.
-        for (const Range& fb : feature_blocks) {
-          kernel(km, sources[task.local_node], task.begin, task.end,
-                 node_hist, fb, all_bins);
-        }
+        if (t >= static_cast<int64_t>(tasks_.size())) break;
+        RunRowTask(ctx, thread_id, static_cast<size_t>(t));
         ctx.pool.CountTask(thread_id);
       }
     });
 
-    // Deterministic reduction, blocked: each thread sums contiguous slot
-    // runs with AddHistogram (vectorizable), in ascending thread order per
-    // slot — the same floating-point order as before — and replicas of
-    // threads that never touched a node are skipped outright.
     const Stopwatch reduce_watch;
-    std::vector<GHPair*> dst(block_nodes);
-    std::vector<std::vector<int>> contributors(block_nodes);
-    for (size_t i = 0; i < block_nodes; ++i) {
-      dst[i] = ctx.hists.Get(block[i]);
-      contributors[i] = touched_.ThreadsTouching(i);
-      replica_stats_.regions_touched +=
-          static_cast<int64_t>(contributors[i].size());
-    }
+    PrepReduce(ctx);
     ctx.pool.ParallelFor(
-        static_cast<int64_t>(replica_stride),
-        [&](int64_t begin, int64_t end, int) {
-          int64_t s = begin;
-          while (s < end) {
-            const size_t local_node = static_cast<size_t>(s) / total_bins;
-            const size_t slot = static_cast<size_t>(s) % total_bins;
-            const size_t len = std::min(static_cast<size_t>(end - s),
-                                        total_bins - slot);
-            GHPair* out = dst[local_node] + slot;
-            for (int t : contributors[local_node]) {
-              AddHistogram(out,
-                           replicas_.data() +
-                               static_cast<size_t>(t) * replica_stride +
-                               static_cast<size_t>(s),
-                           len);
-            }
-            s += static_cast<int64_t>(len);
-          }
-        });
+        static_cast<int64_t>(replica_stride_),
+        [&](int64_t b, int64_t e, int) { ReduceRange(b, e); });
     reduce_ns += reduce_watch.ElapsedNs();
 
-    // Update the dirty ledger: everything inside the current layout's
-    // thread ranges was cleared at region start, so only intervals beyond
-    // them survive; regions touched in this block become newly dirty.
-    const size_t covered = static_cast<size_t>(threads) * replica_stride;
-    std::erase_if(dirty_, [covered](const std::pair<size_t, size_t>& d) {
-      return d.second <= covered;
-    });
-    for (auto& d : dirty_) d.first = std::max(d.first, covered);
-    for (int t = 0; t < threads; ++t) {
-      for (size_t i = 0; i < block_nodes; ++i) {
-        if (touched_.Touched(t, i)) {
-          const size_t begin =
-              static_cast<size_t>(t) * replica_stride + i * total_bins;
-          dirty_.emplace_back(begin, begin + total_bins);
-        }
-      }
-    }
+    UpdateLedger();
   }
   return reduce_ns;
+}
+
+void HistBuilderDP::BuildInRegion(const BuildContext& ctx,
+                                  std::span<const int> nodes,
+                                  ThreadPool::FusedRegion& region,
+                                  int thread_id, int64_t* reduce_ns) {
+  const size_t step =
+      static_cast<size_t>(std::max(1, ctx.params.node_blk_size));
+  const size_t num_blocks =
+      nodes.empty() ? 0 : (nodes.size() + step - 1) / step;
+
+  // Leading barrier: serial setup + first block staged before any thread
+  // starts accumulating. All subsequent staging piggybacks on the dirty-
+  // ledger barrier of the previous block, so the per-block phase count
+  // matches the region-per-phase path's launch count one-for-one.
+  region.Barrier(thread_id, [&] {
+    BeginBuild(ctx);
+    if (num_blocks > 0) StageBlock(ctx, nodes, 0);
+  });
+
+  for (size_t b = 0; b < num_blocks; ++b) {
+    ClearThread(thread_id);
+    region.ForDynamic(thread_id, static_cast<int64_t>(tasks_.size()), 1,
+                      [&](int64_t begin, int64_t end, int tid) {
+                        for (int64_t t = begin; t < end; ++t) {
+                          RunRowTask(ctx, tid, static_cast<size_t>(t));
+                        }
+                      });
+    region.Barrier(thread_id, [&] {
+      reduce_start_ns_ = NowNs();
+      PrepReduce(ctx);
+    });
+    region.ForStatic(thread_id, static_cast<int64_t>(replica_stride_),
+                     [&](int64_t rb, int64_t re, int) { ReduceRange(rb, re); });
+    region.Barrier(thread_id, [&] {
+      *reduce_ns += NowNs() - reduce_start_ns_;
+      UpdateLedger();
+      if (b + 1 < num_blocks) StageBlock(ctx, nodes, (b + 1) * step);
+    });
+  }
 }
 
 }  // namespace harp

@@ -5,72 +5,91 @@
 
 namespace harp {
 
-void HistBuilderMP::Build(const BuildContext& ctx,
-                          std::span<const int> nodes) {
-  const auto feature_blocks = MakeFeatureBlocks(
-      ctx.matrix.num_features(), ctx.params.feature_blk_size);
+size_t HistBuilderMP::StageTasks(const BuildContext& ctx,
+                                 std::span<const int> nodes) {
+  FillFeatureBlocks(ctx.matrix.num_features(), ctx.params.feature_blk_size,
+                    &feature_blocks_);
   // Bin ranges only need to cover the bin ids the matrix actually
   // produces; with max_bins < 256 the tail of [0, 256) used to schedule
   // passes that re-read every row and matched nothing.
-  const auto bin_ranges =
-      MakeBinRanges(ctx.params.bin_blk_size, ctx.matrix.MaxBins());
-  const auto node_blocks = MakeNodeBlocks(nodes, ctx.params.node_blk_size);
+  FillBinRanges(ctx.params.bin_blk_size, ctx.matrix.MaxBins(), &bin_ranges_);
+  const size_t nstep =
+      static_cast<size_t>(std::max(1, ctx.params.node_blk_size));
+  const size_t cap_before =
+      feature_blocks_.capacity() + bin_ranges_.capacity() +
+      node_blocks_.capacity() + tasks_.capacity();
+  node_blocks_.clear();
+  for (size_t begin = 0; begin < nodes.size(); begin += nstep) {
+    node_blocks_.push_back(
+        nodes.subspan(begin, std::min(nstep, nodes.size() - begin)));
+  }
 
-  // Kernel selected once per Build: with a single bin range there is no
+  // Kernel selected once per staging: with a single bin range there is no
   // filtering, and with a single feature block the fb indirection drops
   // out of the inner loop.
-  const HistKernelMatrix km =
-      MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
-  const HistKernelFn kernel = SelectHistKernel(
-      ctx.partitioner.use_membuf(), /*full_bin_range=*/bin_ranges.size() == 1,
-      /*full_feature_block=*/feature_blocks.size() == 1);
+  km_ = MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
+  kernel_ = SelectHistKernel(
+      ctx.partitioner.use_membuf(), /*full_bin_range=*/bin_ranges_.size() == 1,
+      /*full_feature_block=*/feature_blocks_.size() == 1);
 
   // Task = one <node_blk x feature_blk x bin_blk> cube. Distinct tasks
   // write disjoint regions of the shared histograms, so no replicas and no
   // reduction are needed; the price is one re-read of the node's rows per
   // (feature block, bin range).
-  struct Task {
-    uint32_t node_block;
-    uint32_t feature_block;
-    uint32_t bin_range;
-  };
-  std::vector<Task> tasks;
-  tasks.reserve(node_blocks.size() * feature_blocks.size() *
-                bin_ranges.size());
-  for (uint32_t nb = 0; nb < node_blocks.size(); ++nb) {
-    for (uint32_t fb = 0; fb < feature_blocks.size(); ++fb) {
-      for (uint32_t bb = 0; bb < bin_ranges.size(); ++bb) {
-        tasks.push_back(Task{nb, fb, bb});
+  tasks_.clear();
+  for (uint32_t nb = 0; nb < node_blocks_.size(); ++nb) {
+    for (uint32_t fb = 0; fb < feature_blocks_.size(); ++fb) {
+      for (uint32_t bb = 0; bb < bin_ranges_.size(); ++bb) {
+        tasks_.push_back(Task{nb, fb, bb});
       }
     }
   }
 
   // Histogram pointers and row sources resolved up front: Get() takes the
   // pool lock, and resolving inside tasks would serialize them.
-  std::vector<GHPair*> hist_of(nodes.size());
-  std::vector<HistRowSource> source_of(nodes.size());
-  std::vector<uint32_t> rows_of(nodes.size());
-  std::vector<size_t> node_pos(static_cast<size_t>(
-      nodes.empty() ? 0 : 1 + *std::max_element(nodes.begin(), nodes.end())));
+  if (hist_of_.size() < nodes.size()) hist_of_.resize(nodes.size());
+  if (source_of_.size() < nodes.size()) source_of_.resize(nodes.size());
+  if (rows_of_.size() < nodes.size()) rows_of_.resize(nodes.size());
+  const size_t pos_needed = static_cast<size_t>(
+      nodes.empty() ? 0 : 1 + *std::max_element(nodes.begin(), nodes.end()));
+  if (node_pos_.size() < pos_needed) node_pos_.resize(pos_needed);
   for (size_t i = 0; i < nodes.size(); ++i) {
-    hist_of[i] = ctx.hists.Get(nodes[i]);
-    source_of[i] = MakeHistRowSource(ctx.partitioner, nodes[i]);
-    rows_of[i] = ctx.partitioner.NodeSize(nodes[i]);
-    node_pos[static_cast<size_t>(nodes[i])] = i;
+    hist_of_[i] = ctx.hists.Get(nodes[i]);
+    source_of_[i] = MakeHistRowSource(ctx.partitioner, nodes[i]);
+    rows_of_[i] = ctx.partitioner.NodeSize(nodes[i]);
+    node_pos_[static_cast<size_t>(nodes[i])] = i;
   }
+  const size_t cap_after =
+      feature_blocks_.capacity() + bin_ranges_.capacity() +
+      node_blocks_.capacity() + tasks_.capacity();
+  if (cap_after != cap_before) ++grow_events_;
+  return tasks_.size();
+}
 
+void HistBuilderMP::RunTask(const BuildContext& ctx,
+                            size_t task_index) const {
+  (void)ctx;
+  const Task& task = tasks_[task_index];
+  const Range fb = feature_blocks_[task.feature_block];
+  const Range bins = bin_ranges_[task.bin_range];
+  for (int node : node_blocks_[task.node_block]) {
+    const size_t pos = node_pos_[static_cast<size_t>(node)];
+    kernel_(km_, source_of_[pos], 0, rows_of_[pos], hist_of_[pos], fb, bins);
+  }
+}
+
+std::span<const int> HistBuilderMP::TaskNodes(size_t task_index) const {
+  return node_blocks_[tasks_[task_index].node_block];
+}
+
+void HistBuilderMP::Build(const BuildContext& ctx,
+                          std::span<const int> nodes) {
+  const size_t num_tasks = StageTasks(ctx, nodes);
   ctx.pool.ParallelForDynamic(
-      static_cast<int64_t>(tasks.size()), 1,
+      static_cast<int64_t>(num_tasks), 1,
       [&](int64_t begin, int64_t end, int) {
         for (int64_t t = begin; t < end; ++t) {
-          const Task& task = tasks[static_cast<size_t>(t)];
-          const Range fb = feature_blocks[task.feature_block];
-          const Range bins = bin_ranges[task.bin_range];
-          for (int node : node_blocks[task.node_block]) {
-            const size_t pos = node_pos[static_cast<size_t>(node)];
-            kernel(km, source_of[pos], 0, rows_of[pos], hist_of[pos], fb,
-                   bins);
-          }
+          RunTask(ctx, static_cast<size_t>(t));
         }
       });
 }

@@ -355,23 +355,10 @@ void RowPartitioner::PartitionSerial(const SplitTask& t,
   FinishSplit(t, left_total, left_sum, right_sum);
 }
 
-template <typename Layout>
-void RowPartitioner::PartitionBatchParallel(std::span<const SplitTask> tasks,
-                                            const BinnedMatrix& matrix,
-                                            ThreadPool* pool) {
-  using Elem = typename Layout::Elem;
-  auto arena_data = [&](uint8_t buf) -> Elem* {
-    if constexpr (std::is_same_v<Elem, MemBufEntry>) {
-      return entry_arena_[buf].data();
-    } else {
-      return rid_arena_[buf].data();
-    }
-  };
-  const GradientPair* grads = gradients_->data();
-
+void RowPartitioner::BuildChunkGrid(std::span<const SplitTask> tasks) {
   // Flatten every task's parent window onto one chunk-task list (grouped
   // by task, chunks in window order) so the whole batch is covered by a
-  // single count region and a single scatter region.
+  // single count pass and a single scatter pass.
   int64_t grew = GrowTo(&task_left_total_, tasks.size());
   const size_t refs_capacity = chunk_refs_.capacity();
   chunk_refs_.clear();
@@ -382,101 +369,194 @@ void RowPartitioner::PartitionBatchParallel(std::span<const SplitTask> tasks,
                                      std::min(p.end, begin + kChunkRows)});
     }
   }
-  const size_t num_chunks = chunk_refs_.size();
+  prepared_chunks_ = chunk_refs_.size();
   grew += chunk_refs_.capacity() != refs_capacity ? 1 : 0;
-  grew += GrowTo(&chunk_left_, num_chunks);
-  grew += GrowTo(&chunk_left_sum_, num_chunks);
-  grew += GrowTo(&chunk_right_sum_, num_chunks);
+  grew += GrowTo(&chunk_left_, prepared_chunks_);
+  grew += GrowTo(&chunk_left_sum_, prepared_chunks_);
+  grew += GrowTo(&chunk_right_sum_, prepared_chunks_);
   if (grew != 0) grow_events_.fetch_add(grew, std::memory_order_relaxed);
+}
 
-  // Region 1: count + fused per-chunk child sums. Chunk boundaries come
-  // from the fixed grid, not the schedule, so any thread may process any
-  // chunk.
+// Count pass over chunks [begin, end): counts + fused per-chunk child
+// sums. Chunk boundaries come from the fixed grid, not the schedule, so
+// any thread may process any chunk.
+template <typename Layout>
+void RowPartitioner::CountChunkRangeT(std::span<const SplitTask> tasks,
+                                      const BinnedMatrix& matrix,
+                                      int64_t begin, int64_t end) {
+  using Elem = typename Layout::Elem;
+  const GradientPair* grads = gradients_->data();
   const uint8_t* bins = matrix.RowBins(0);
   const uint32_t stride = matrix.num_features();
-  pool->ParallelForDynamic(
-      static_cast<int64_t>(num_chunks), 1,
-      [&](int64_t begin, int64_t end, int) {
-        for (int64_t i = begin; i < end; ++i) {
-          const size_t ci = static_cast<size_t>(i);
-          const ChunkRef& ref = chunk_refs_[ci];
-          const SplitTask& t = tasks[ref.task];
-          const NodeSpan& p = spans_[static_cast<size_t>(t.node_id)];
-          const Elem* src = arena_data(p.buf);
-          GHPair lp;
-          GHPair rp;
-          chunk_left_[ci] = CountChunk<Layout>(
-              src + ref.begin, ref.end - ref.begin,
-              left_flags_.data() + ref.begin, bins, stride, t.feature,
-              t.split_bin, t.default_left, grads, &lp, &rp);
-          chunk_left_sum_[ci].value = lp;
-          chunk_right_sum_[ci].value = rp;
-        }
-      });
-
-  // Serial per-task exclusive scan (chunk counts -> chunk left offsets);
-  // cheap: one pass over ~n/kChunkRows entries.
-  {
-    size_t i = 0;
-    for (size_t ti = 0; ti < tasks.size(); ++ti) {
-      uint32_t running = 0;
-      for (; i < num_chunks && chunk_refs_[i].task == ti; ++i) {
-        const uint32_t count = chunk_left_[i];
-        chunk_left_[i] = running;
-        running += count;
+  for (int64_t i = begin; i < end; ++i) {
+    const size_t ci = static_cast<size_t>(i);
+    const ChunkRef& ref = chunk_refs_[ci];
+    const SplitTask& t = tasks[ref.task];
+    const NodeSpan& p = spans_[static_cast<size_t>(t.node_id)];
+    const Elem* src = [&] {
+      if constexpr (std::is_same_v<Elem, MemBufEntry>) {
+        return entry_arena_[p.buf].data();
+      } else {
+        return rid_arena_[p.buf].data();
       }
-      task_left_total_[ti] = running;
-    }
+    }();
+    GHPair lp;
+    GHPair rp;
+    chunk_left_[ci] = CountChunk<Layout>(
+        src + ref.begin, ref.end - ref.begin, left_flags_.data() + ref.begin,
+        bins, stride, t.feature, t.split_bin, t.default_left, grads, &lp,
+        &rp);
+    chunk_left_sum_[ci].value = lp;
+    chunk_right_sum_[ci].value = rp;
   }
+}
 
-  // Region 2: scatter. Every element has a unique destination computed
-  // from the scan, so chunks write disjoint ranges (the both-sides-write
-  // trick never leaves a chunk's own range — see ScatterChunk).
-  pool->ParallelForDynamic(
-      static_cast<int64_t>(num_chunks), 1,
-      [&](int64_t begin, int64_t end, int) {
-        for (int64_t i = begin; i < end; ++i) {
-          const size_t ci = static_cast<size_t>(i);
-          const ChunkRef& ref = chunk_refs_[ci];
-          const SplitTask& t = tasks[ref.task];
-          const NodeSpan& p = spans_[static_cast<size_t>(t.node_id)];
-          const Elem* src = arena_data(p.buf);
-          Elem* dst = arena_data(static_cast<uint8_t>(1 - p.buf));
-          // The chunk's own left count: next in-task offset minus its own
-          // (the scan overwrote chunk_left_ with offsets).
-          const uint32_t next_left =
-              (ci + 1 < num_chunks && chunk_refs_[ci + 1].task == ref.task)
-                  ? chunk_left_[ci + 1]
-                  : task_left_total_[ref.task];
-          const uint32_t left_count = next_left - chunk_left_[ci];
-          Elem* left_dst = dst + p.begin + chunk_left_[ci];
-          Elem* right_dst = dst + p.begin + task_left_total_[ref.task] +
-                            (ref.begin - p.begin) - chunk_left_[ci];
-          ScatterChunk<Layout>(src + ref.begin,
-                               left_flags_.data() + ref.begin, left_dst,
-                               left_count, right_dst,
-                               (ref.end - ref.begin) - left_count);
-        }
-      });
-
-  // Reduce fused partials in ascending chunk order — the same grid and
-  // order as the serial path, so the sums are bit-identical — and publish
-  // the child windows.
-  {
-    size_t i = 0;
-    for (size_t ti = 0; ti < tasks.size(); ++ti) {
-      GHPair left_sum;
-      GHPair right_sum;
-      for (; i < num_chunks && chunk_refs_[i].task == ti; ++i) {
-        left_sum += chunk_left_sum_[i].value;
-        right_sum += chunk_right_sum_[i].value;
-      }
-      FinishSplit(tasks[ti], task_left_total_[ti], left_sum, right_sum);
-    }
+void RowPartitioner::CountChunkRange(std::span<const SplitTask> tasks,
+                                     const BinnedMatrix& matrix,
+                                     int64_t begin, int64_t end) {
+  if (use_membuf_) {
+    CountChunkRangeT<MemBufLayout>(tasks, matrix, begin, end);
+  } else {
+    CountChunkRangeT<RidLayout>(tasks, matrix, begin, end);
   }
+}
 
+// Serial per-task exclusive scan (chunk counts -> chunk left offsets);
+// cheap: one pass over ~n/kChunkRows entries.
+void RowPartitioner::ScanTasksSerial(std::span<const SplitTask> tasks) {
+  size_t i = 0;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    uint32_t running = 0;
+    for (; i < prepared_chunks_ && chunk_refs_[i].task == ti; ++i) {
+      const uint32_t count = chunk_left_[i];
+      chunk_left_[i] = running;
+      running += count;
+    }
+    task_left_total_[ti] = running;
+  }
+}
+
+// Scatter pass over chunks [begin, end). Every element has a unique
+// destination computed from the scan, so chunks write disjoint ranges
+// (the both-sides-write trick never leaves a chunk's own range — see
+// ScatterChunk).
+template <typename Layout>
+void RowPartitioner::ScatterChunkRangeT(std::span<const SplitTask> tasks,
+                                        const BinnedMatrix& matrix,
+                                        int64_t begin, int64_t end) {
+  (void)matrix;
+  using Elem = typename Layout::Elem;
+  auto arena_data = [&](uint8_t buf) -> Elem* {
+    if constexpr (std::is_same_v<Elem, MemBufEntry>) {
+      return entry_arena_[buf].data();
+    } else {
+      return rid_arena_[buf].data();
+    }
+  };
+  for (int64_t i = begin; i < end; ++i) {
+    const size_t ci = static_cast<size_t>(i);
+    const ChunkRef& ref = chunk_refs_[ci];
+    const SplitTask& t = tasks[ref.task];
+    const NodeSpan& p = spans_[static_cast<size_t>(t.node_id)];
+    const Elem* src = arena_data(p.buf);
+    Elem* dst = arena_data(static_cast<uint8_t>(1 - p.buf));
+    // The chunk's own left count: next in-task offset minus its own
+    // (the scan overwrote chunk_left_ with offsets).
+    const uint32_t next_left =
+        (ci + 1 < prepared_chunks_ && chunk_refs_[ci + 1].task == ref.task)
+            ? chunk_left_[ci + 1]
+            : task_left_total_[ref.task];
+    const uint32_t left_count = next_left - chunk_left_[ci];
+    Elem* left_dst = dst + p.begin + chunk_left_[ci];
+    Elem* right_dst = dst + p.begin + task_left_total_[ref.task] +
+                      (ref.begin - p.begin) - chunk_left_[ci];
+    ScatterChunk<Layout>(src + ref.begin, left_flags_.data() + ref.begin,
+                         left_dst, left_count, right_dst,
+                         (ref.end - ref.begin) - left_count);
+  }
+}
+
+void RowPartitioner::ScatterChunkRange(std::span<const SplitTask> tasks,
+                                       const BinnedMatrix& matrix,
+                                       int64_t begin, int64_t end) {
+  if (use_membuf_) {
+    ScatterChunkRangeT<MemBufLayout>(tasks, matrix, begin, end);
+  } else {
+    ScatterChunkRangeT<RidLayout>(tasks, matrix, begin, end);
+  }
+}
+
+// Reduces fused partials in ascending chunk order — the same grid and
+// order as the serial path, so the sums are bit-identical — and publishes
+// the child windows. `barriers` counts the two passes (count + scatter)
+// regardless of which scheduler drove them.
+void RowPartitioner::FinishBatchSerial(std::span<const SplitTask> tasks) {
+  size_t i = 0;
+  for (size_t ti = 0; ti < tasks.size(); ++ti) {
+    GHPair left_sum;
+    GHPair right_sum;
+    for (; i < prepared_chunks_ && chunk_refs_[i].task == ti; ++i) {
+      left_sum += chunk_left_sum_[i].value;
+      right_sum += chunk_right_sum_[i].value;
+    }
+    FinishSplit(tasks[ti], task_left_total_[ti], left_sum, right_sum);
+  }
   barriers_.fetch_add(2, std::memory_order_relaxed);
   batches_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RowPartitioner::PartitionBatchSerial(std::span<const SplitTask> tasks,
+                                          const BinnedMatrix& matrix) {
+  for (const SplitTask& t : tasks) {
+    if (use_membuf_) {
+      PartitionSerial<MemBufLayout>(t, matrix);
+    } else {
+      PartitionSerial<RidLayout>(t, matrix);
+    }
+  }
+}
+
+bool RowPartitioner::PrepareSplitBatch(std::span<const SplitTask> tasks) {
+  prepared_parallel_ = false;
+  prepared_chunks_ = 0;
+  if (tasks.empty()) return false;
+  int64_t total_rows = 0;
+  for (const SplitTask& t : tasks) {
+    CheckTask(t);
+    total_rows += NodeSize(t.node_id);
+  }
+  prepared_parallel_ = total_rows >= static_cast<int64_t>(kParallelRows);
+  if (prepared_parallel_) BuildChunkGrid(tasks);
+  return true;
+}
+
+void RowPartitioner::ApplySplitBatchInRegion(
+    std::span<const SplitTask> tasks, const BinnedMatrix& matrix,
+    ThreadPool::FusedRegion& region, int thread_id,
+    const std::function<void()>& after_finish) {
+  if (!prepared_parallel_) {
+    // Small batch: per-task serial partition on thread 0 (same work the
+    // region-per-phase path does on the orchestration thread), peers go
+    // straight to the barrier.
+    if (thread_id == 0 && !tasks.empty()) {
+      PartitionBatchSerial(tasks, matrix);
+    }
+    region.Barrier(thread_id, after_finish);
+    return;
+  }
+  region.ForDynamic(thread_id, static_cast<int64_t>(prepared_chunks_), 1,
+                    [&](int64_t begin, int64_t end, int) {
+                      CountChunkRange(tasks, matrix, begin, end);
+                    });
+  region.Barrier(thread_id, [&] { ScanTasksSerial(tasks); });
+  region.ForDynamic(thread_id, static_cast<int64_t>(prepared_chunks_), 1,
+                    [&](int64_t begin, int64_t end, int) {
+                      ScatterChunkRange(tasks, matrix, begin, end);
+                    });
+  region.Barrier(thread_id, [&] {
+    FinishBatchSerial(tasks);
+    after_finish();
+  });
 }
 
 void RowPartitioner::ApplySplit(int node_id, int left_id, int right_id,
@@ -501,27 +581,23 @@ void RowPartitioner::ApplySplit(int node_id, int left_id, int right_id,
 void RowPartitioner::ApplySplitBatch(std::span<const SplitTask> tasks,
                                      const BinnedMatrix& matrix,
                                      ThreadPool* pool) {
-  if (tasks.empty()) return;
-  int64_t total_rows = 0;
-  for (const SplitTask& t : tasks) {
-    CheckTask(t);
-    total_rows += NodeSize(t.node_id);
-  }
-  if (pool == nullptr || total_rows < static_cast<int64_t>(kParallelRows)) {
-    for (const SplitTask& t : tasks) {
-      if (use_membuf_) {
-        PartitionSerial<MemBufLayout>(t, matrix);
-      } else {
-        PartitionSerial<RidLayout>(t, matrix);
-      }
-    }
+  if (!PrepareSplitBatch(tasks)) return;
+  if (pool == nullptr || !prepared_parallel_) {
+    PartitionBatchSerial(tasks, matrix);
     return;
   }
-  if (use_membuf_) {
-    PartitionBatchParallel<MemBufLayout>(tasks, matrix, pool);
-  } else {
-    PartitionBatchParallel<RidLayout>(tasks, matrix, pool);
-  }
+  // Region-per-phase execution of the same pieces the fused path drives
+  // through in-region barriers: one region per pass.
+  pool->ParallelForDynamic(static_cast<int64_t>(prepared_chunks_), 1,
+                           [&](int64_t begin, int64_t end, int) {
+                             CountChunkRange(tasks, matrix, begin, end);
+                           });
+  ScanTasksSerial(tasks);
+  pool->ParallelForDynamic(static_cast<int64_t>(prepared_chunks_), 1,
+                           [&](int64_t begin, int64_t end, int) {
+                             ScatterChunkRange(tasks, matrix, begin, end);
+                           });
+  FinishBatchSerial(tasks);
 }
 
 void RowPartitioner::AddToMargins(int node_id, double value,

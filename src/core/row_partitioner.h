@@ -48,13 +48,14 @@
 #include <span>
 #include <vector>
 
+#include <functional>
+
 #include "common/aligned.h"
 #include "core/gh.h"
 #include "data/binned_matrix.h"
+#include "parallel/thread_pool.h"
 
 namespace harp {
-
-class ThreadPool;
 
 // One MemBuf element: 12 bytes.
 struct MemBufEntry {
@@ -88,8 +89,10 @@ struct SplitTask {
 struct PartitionStats {
   int64_t grow_events = 0;  // arena / window-table / scratch (re)allocations
   int64_t splits = 0;       // nodes partitioned
-  int64_t batches = 0;      // batched (single-region-pair) applications
-  int64_t barriers = 0;     // parallel regions issued by partition passes
+  int64_t batches = 0;      // batched (single-pass-pair) applications
+  int64_t barriers = 0;     // count/scatter partition passes (2 per batch;
+                            // region launches OR in-region phases,
+                            // depending on the scheduler driving them)
   int64_t bytes_moved = 0;  // payload bytes written by scatter passes
 };
 
@@ -177,6 +180,29 @@ class RowPartitioner {
   void ApplySplitBatch(std::span<const SplitTask> tasks,
                        const BinnedMatrix& matrix, ThreadPool* pool);
 
+  // ---- Fused-step protocol (ThreadPool::FusedRegion) ----
+  // Serial staging called BEFORE the region: validates the batch, decides
+  // chunk-grid vs per-task-serial execution (the same kParallelRows rule
+  // as ApplySplitBatch, so both schedulers take identical code paths) and
+  // builds the chunk task list. Returns false for an empty batch.
+  // Orchestration thread only.
+  bool PrepareSplitBatch(std::span<const SplitTask> tasks);
+
+  // Collective: every region thread calls this with its thread id and the
+  // SAME tasks span given to PrepareSplitBatch. Runs the count pass
+  // (dynamic chunks), the serial exclusive scan (barrier epilogue), the
+  // scatter pass, and the child-window/fused-sum publication; then
+  // `after_finish` runs inside the final barrier's epilogue, after the
+  // children are live (builder glue: child row counts, histogram
+  // acquisition, next-phase task staging). Small batches run serially on
+  // thread 0 instead (the serial path's thread_local scratch stays on the
+  // orchestration thread, keeping grow_events deterministic). Results are
+  // bit-identical to ApplySplitBatch.
+  void ApplySplitBatchInRegion(std::span<const SplitTask> tasks,
+                               const BinnedMatrix& matrix,
+                               ThreadPool::FusedRegion& region, int thread_id,
+                               const std::function<void()>& after_finish);
+
   // margins[rid] += value for every row of the node (leaf-value scatter at
   // the end of a tree). Distinct nodes may run concurrently.
   void AddToMargins(int node_id, double value,
@@ -213,10 +239,29 @@ class RowPartitioner {
   template <typename Layout>
   void PartitionSerial(const SplitTask& t, const BinnedMatrix& matrix);
   template <typename Layout>
-  void PartitionBatchParallel(std::span<const SplitTask> tasks,
-                              const BinnedMatrix& matrix, ThreadPool* pool);
-  template <typename Layout>
   GHPair NodeSumScan(int node_id, ThreadPool* pool) const;
+
+  // Batched-apply pieces shared by the region-per-phase path
+  // (ApplySplitBatch) and the fused path (ApplySplitBatchInRegion); all
+  // operate on the chunk grid staged by PrepareSplitBatch.
+  void BuildChunkGrid(std::span<const SplitTask> tasks);
+  void CountChunkRange(std::span<const SplitTask> tasks,
+                       const BinnedMatrix& matrix, int64_t begin, int64_t end);
+  void ScanTasksSerial(std::span<const SplitTask> tasks);
+  void ScatterChunkRange(std::span<const SplitTask> tasks,
+                         const BinnedMatrix& matrix, int64_t begin,
+                         int64_t end);
+  void FinishBatchSerial(std::span<const SplitTask> tasks);
+  void PartitionBatchSerial(std::span<const SplitTask> tasks,
+                            const BinnedMatrix& matrix);
+  template <typename Layout>
+  void CountChunkRangeT(std::span<const SplitTask> tasks,
+                        const BinnedMatrix& matrix, int64_t begin,
+                        int64_t end);
+  template <typename Layout>
+  void ScatterChunkRangeT(std::span<const SplitTask> tasks,
+                          const BinnedMatrix& matrix, int64_t begin,
+                          int64_t end);
 
   // Records the split's outcome: child/parent windows, fused sums, bytes.
   void FinishSplit(const SplitTask& t, uint32_t left_count,
@@ -245,6 +290,10 @@ class RowPartitioner {
   // Fused per-node gradient sums filled by the scatter pass.
   std::vector<GHPair> fused_sums_;
   std::vector<uint8_t> fused_valid_;
+
+  // Batched-path staging (set by PrepareSplitBatch).
+  bool prepared_parallel_ = false;
+  size_t prepared_chunks_ = 0;
 
   // Batched-path scratch (orchestration thread only; grow-only).
   std::vector<ChunkRef> chunk_refs_;

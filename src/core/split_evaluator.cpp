@@ -1,5 +1,7 @@
 #include "core/split_evaluator.h"
 
+#include <vector>
+
 namespace harp {
 
 SplitInfo SplitEvaluator::FindBestSplit(const BinnedMatrix& matrix,
@@ -9,24 +11,37 @@ SplitInfo SplitEvaluator::FindBestSplit(const BinnedMatrix& matrix,
                                         uint32_t feature_end,
                                         const uint8_t* column_mask) const {
   SplitInfo best;
+  // Running prefix sums of the present bins, one entry per bin id. Reused
+  // across features and calls; thread_local because FindBestSplit runs
+  // concurrently from find tasks.
+  thread_local std::vector<GHPair> prefix;
   for (uint32_t f = feature_begin; f < feature_end; ++f) {
     if (column_mask != nullptr && column_mask[f] == 0) continue;
     const uint32_t offset = matrix.BinOffset(f);
     const uint32_t num_bins = matrix.NumBins(f);  // includes missing bin 0
     if (num_bins < 3) continue;  // need at least two value bins to split
     const GHPair missing = hist[offset];
+    // Left/right default decisions are identical when the node has no
+    // missing rows for this feature; hoisting the check skips the
+    // duplicate default_left branch for the whole feature.
+    const bool has_missing = missing.g != 0.0 || missing.h != 0.0;
 
-    // Present-values total for this feature. Using node_sum - missing
-    // would be wrong: rows missing in OTHER features still count here, so
-    // accumulate the present bins directly.
-    GHPair present_total;
-    for (uint32_t b = 1; b < num_bins; ++b) present_total += hist[offset + b];
+    // Ascending prefix scan of the present bins: prefix[b] is the left
+    // sum at split bin b, and prefix[num_bins - 1] is the present-values
+    // total — the same left-to-right accumulation order (hence the same
+    // floating-point values) as summing them in the split loop, in one
+    // pass instead of two. Using node_sum - missing for the total would
+    // be wrong: rows missing in OTHER features still count here.
+    if (prefix.size() < num_bins) prefix.resize(num_bins);
+    GHPair running;
+    for (uint32_t b = 1; b < num_bins; ++b) {
+      running += hist[offset + b];
+      prefix[b] = running;
+    }
+    const GHPair present_total = prefix[num_bins - 1];
 
-    GHPair left_present;
     for (uint32_t b = 1; b + 1 < num_bins; ++b) {
-      left_present += hist[offset + b];
-      const GHPair right_present = present_total - left_present;
-
+      const GHPair left_present = prefix[b];
       // Missing goes right (default_left = false).
       {
         const GHPair left = left_present;
@@ -39,10 +54,9 @@ SplitInfo SplitEvaluator::FindBestSplit(const BinnedMatrix& matrix,
           }
         }
       }
-      // Missing goes left (default_left = true). Skip when there are no
-      // missing rows in this node: it would duplicate the case above.
-      if (missing.g != 0.0 || missing.h != 0.0) {
-        const GHPair right = right_present;
+      // Missing goes left (default_left = true).
+      if (has_missing) {
+        const GHPair right = present_total - left_present;
         const GHPair left = node_sum - right;
         if (SatisfiesChildWeight(left) && SatisfiesChildWeight(right)) {
           const double gain = SplitGain(node_sum, left, right);

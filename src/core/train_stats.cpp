@@ -47,10 +47,20 @@ std::string TrainStats::Report() const {
       HumanBytes(static_cast<double>(apply_bytes_moved)).c_str(),
       static_cast<long long>(apply_allocs));
   out += StrFormat(
-      "sync: threads=%d regions=%lld utilization=%.1f%% "
-      "barrier_overhead=%.1f%% spin_overhead=%.1f%% (acquires=%lld "
-      "contended=%lld)\n",
+      "grow: batches=%lld region_launches=%lld phase_barriers=%lld "
+      "(%.2f regions/batch)\n",
+      static_cast<long long>(topk_batches),
+      static_cast<long long>(grow_region_launches),
+      static_cast<long long>(grow_phase_barriers),
+      topk_batches == 0 ? 0.0
+                        : static_cast<double>(grow_region_launches) /
+                              static_cast<double>(topk_batches));
+  out += StrFormat(
+      "sync: threads=%d regions=%lld phase_barriers=%lld "
+      "utilization=%.1f%% barrier_overhead=%.1f%% spin_overhead=%.1f%% "
+      "(acquires=%lld contended=%lld)\n",
       sync.threads, static_cast<long long>(sync.parallel_regions),
+      static_cast<long long>(sync.phase_barriers),
       sync.Utilization(wall_ns) * 100.0, sync.BarrierOverhead() * 100.0,
       sync.SpinOverhead() * 100.0, static_cast<long long>(sync.spin_acquires),
       static_cast<long long>(sync.spin_contended));

@@ -51,6 +51,16 @@ struct TrainStats {
   int64_t apply_bytes_moved = 0;  // payload bytes written by scatters
   int64_t apply_allocs = 0;       // partitioner grow events
 
+  // Grow-phase scheduler accounting (pool Snapshot deltas taken around
+  // the grow loop of each tree). With the fused-step scheduler a TopK
+  // batch costs exactly ONE region launch and pays its synchronization as
+  // in-region phase barriers; the region-per-phase path launches >= 5
+  // regions per batch and records zero phase barriers. Table VI's
+  // barrier-overhead rows are regenerated from these.
+  int64_t topk_batches = 0;          // TopK batches popped (grow steps)
+  int64_t grow_region_launches = 0;  // RunOnAllThreads launches while growing
+  int64_t grow_phase_barriers = 0;   // in-region phase barriers while growing
+
   // Synchronization counters accumulated over the measured interval.
   SyncSnapshot sync;
 

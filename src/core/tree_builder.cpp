@@ -31,13 +31,36 @@ HarpTreeBuilder::HarpTreeBuilder(const BinnedMatrix& matrix,
       evaluator_(params),
       hists_(matrix.TotalBins()),
       partitioner_(matrix.num_rows(), params.use_membuf),
+      queue_(params.grow_policy),
       use_subtraction_(params.use_hist_subtraction &&
-                       params.mode != ParallelMode::kASYNC) {
+                       params.mode != ParallelMode::kASYNC),
+      use_fused_(params.use_fused_step &&
+                 params.mode != ParallelMode::kASYNC) {
   if (params.use_hist_subtraction && params.mode == ParallelMode::kASYNC) {
     HARP_LOG(Warning) << "histogram subtraction is not supported in ASYNC "
                          "mode (node tasks build children directly); "
                          "ignoring use_hist_subtraction";
   }
+  // FindSplit parallel grid: nodes x feature chunks. When feature blocks
+  // are configured reuse them; otherwise chunk so every thread has work
+  // even for small batches. Fixed here so fused find-task ids stay stable.
+  const uint32_t num_features = matrix_.num_features();
+  int fb_size = params_.feature_blk_size;
+  if (fb_size <= 0) {
+    fb_size = static_cast<int>(std::max<uint32_t>(
+        1, num_features / static_cast<uint32_t>(
+                              std::max(1, pool_.num_threads()))));
+  }
+  fblocks_ = MakeFeatureBlocks(num_features, fb_size);
+}
+
+size_t HarpTreeBuilder::ScratchCapacity() const {
+  return split_tasks_.capacity() + batch_.capacity() + children_.capacity() +
+         build_list_.capacity() + subtract_list_.capacity() +
+         found_.capacity() + find_partial_.capacity() +
+         find_hist_.capacity() + find_sums_.capacity() + slots_cap_ +
+         node_remaining_cap_ + build_pos_.capacity() +
+         build_child_pos_.capacity() + sub_of_build_.capacity();
 }
 
 ParallelMode HarpTreeBuilder::ChooseMode(size_t batch_nodes,
@@ -73,154 +96,165 @@ ParallelMode HarpTreeBuilder::ChooseMode(size_t batch_nodes,
                                            : ParallelMode::kMP;
 }
 
-std::vector<int> HarpTreeBuilder::ApplySplitBatch(
-    RegTree& tree, std::span<const Candidate> batch) {
-  std::vector<int> children;
-  children.reserve(batch.size() * 2);
-  for (const Candidate& cand : batch) {
+void HarpTreeBuilder::StageApply(RegTree& tree) {
+  children_.clear();
+  for (const Candidate& cand : batch_) {
     const float cut =
         matrix_.cuts().CutFor(cand.split.feature, cand.split.bin);
     const auto [left, right] = tree.ApplySplit(cand.node_id, cand.split, cut);
-    children.push_back(left);
-    children.push_back(right);
+    children_.push_back(left);
+    children_.push_back(right);
   }
+  split_tasks_.clear();
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    const Candidate& cand = batch_[i];
+    split_tasks_.push_back(SplitTask{cand.node_id, children_[2 * i],
+                                     children_[2 * i + 1], cand.split.feature,
+                                     cand.split.bin,
+                                     cand.split.default_left});
+  }
+}
 
+void HarpTreeBuilder::ApplySplitBatch(RegTree& tree) {
+  StageApply(tree);
   // Row partitioning: the whole TopK batch goes through the partitioner's
   // batched count/scatter — one pair of parallel regions for all K nodes
   // instead of regions (or a region of serial partitions) per node, the
   // ApplySplit-phase analogue of the barriers ∝ 2^D/K argument.
-  split_tasks_.clear();
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const Candidate& cand = batch[i];
-    split_tasks_.push_back(SplitTask{cand.node_id, children[2 * i],
-                                     children[2 * i + 1], cand.split.feature,
-                                     cand.split.bin,
-                                     cand.split.default_left});
-  }
   partitioner_.ApplySplitBatch(split_tasks_, matrix_, &pool_);
-  for (int child : children) {
+  for (int child : children_) {
     tree.mutable_node(child).num_rows = partitioner_.NodeSize(child);
   }
-  return children;
 }
 
-std::vector<Candidate> HarpTreeBuilder::FindSplitsBatch(
-    const RegTree& tree, std::span<const int> nodes) {
-  const uint32_t num_features = matrix_.num_features();
-  // FindSplit parallel grid: nodes x feature chunks. When feature blocks
-  // are configured reuse them; otherwise chunk so every thread has work
-  // even for small batches.
-  int fb_size = params_.feature_blk_size;
-  if (fb_size <= 0) {
-    fb_size = static_cast<int>(std::max<uint32_t>(
-        1, num_features / static_cast<uint32_t>(
-                              std::max(1, pool_.num_threads()))));
-  }
-  const auto fblocks = MakeFeatureBlocks(num_features, fb_size);
-  const size_t grid = nodes.size() * fblocks.size();
-
-  std::vector<SplitInfo> partial(grid);
-  std::vector<const GHPair*> hist_of(nodes.size());
-  std::vector<GHPair> sums(nodes.size());
+void HarpTreeBuilder::PrepareFind(const RegTree& tree,
+                                  std::span<const int> nodes) {
+  find_nodes_ = nodes;
+  const size_t grid = nodes.size() * fblocks_.size();
+  if (find_partial_.size() < grid) find_partial_.resize(grid);
+  if (find_hist_.size() < nodes.size()) find_hist_.resize(nodes.size());
+  if (find_sums_.size() < nodes.size()) find_sums_.resize(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
-    hist_of[i] = hists_.Get(nodes[i]);
-    sums[i] = tree.node(nodes[i]).sum;
+    find_hist_[i] = hists_.Get(nodes[i]);
+    find_sums_[i] = tree.node(nodes[i]).sum;
   }
+}
 
+void HarpTreeBuilder::RunFindTask(size_t grid_index) {
+  const size_t node_idx = grid_index / fblocks_.size();
+  const size_t fb_idx = grid_index % fblocks_.size();
+  const Range fb = fblocks_[fb_idx];
+  find_partial_[grid_index] = evaluator_.FindBestSplit(
+      matrix_, find_hist_[node_idx], find_sums_[node_idx], fb.first,
+      fb.second, column_mask_ != nullptr ? column_mask_->data() : nullptr);
+}
+
+void HarpTreeBuilder::MergeFound(const RegTree& tree) {
+  found_.clear();
+  const size_t nfb = fblocks_.size();
+  for (size_t i = 0; i < find_nodes_.size(); ++i) {
+    SplitInfo best;
+    for (size_t fb = 0; fb < nfb; ++fb) {
+      const SplitInfo& s = find_partial_[i * nfb + fb];
+      if (s.BetterThan(best)) best = s;
+    }
+    found_.push_back(
+        Candidate{find_nodes_[i], tree.node(find_nodes_[i]).depth, best});
+  }
+}
+
+void HarpTreeBuilder::FindSplitsBatch(const RegTree& tree,
+                                      std::span<const int> nodes) {
+  PrepareFind(tree, nodes);
+  const size_t grid = nodes.size() * fblocks_.size();
   pool_.ParallelForDynamic(
       static_cast<int64_t>(grid), 1, [&](int64_t begin, int64_t end, int) {
         for (int64_t g = begin; g < end; ++g) {
-          const size_t node_idx = static_cast<size_t>(g) / fblocks.size();
-          const size_t fb_idx = static_cast<size_t>(g) % fblocks.size();
-          const Range fb = fblocks[fb_idx];
-          partial[static_cast<size_t>(g)] = evaluator_.FindBestSplit(
-              matrix_, hist_of[node_idx], sums[node_idx], fb.first,
-              fb.second,
-              column_mask_ != nullptr ? column_mask_->data() : nullptr);
+          RunFindTask(static_cast<size_t>(g));
         }
       });
-
-  std::vector<Candidate> result(nodes.size());
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    SplitInfo best;
-    for (size_t fb = 0; fb < fblocks.size(); ++fb) {
-      const SplitInfo& s = partial[i * fblocks.size() + fb];
-      if (s.BetterThan(best)) best = s;
-    }
-    result[i] = Candidate{nodes[i], tree.node(nodes[i]).depth, best};
-  }
-  return result;
+  MergeFound(tree);
 }
 
-std::vector<Candidate> HarpTreeBuilder::BuildAndFind(
-    RegTree& tree, std::span<const Candidate> batch,
-    std::span<const int> children, TrainStats* stats) {
-  const size_t total_bins = matrix_.TotalBins();
-  const BuildContext ctx = Context();
-
+void HarpTreeBuilder::PlanBuild(RegTree& tree) {
   // Decide which children get a direct build. With subtraction, only the
   // smaller sibling is scanned; the larger one is parent - sibling.
-  std::vector<int> build_list;
-  struct SubtractJob {
-    int child;
-    int sibling;
-    int parent;
-  };
-  std::vector<SubtractJob> subtract_list;
-  for (size_t i = 0; i < batch.size(); ++i) {
-    const int left = children[2 * i];
-    const int right = children[2 * i + 1];
+  build_list_.clear();
+  build_child_pos_.clear();
+  subtract_list_.clear();
+  sub_of_build_.clear();
+  for (size_t i = 0; i < batch_.size(); ++i) {
+    const int left = children_[2 * i];
+    const int right = children_[2 * i + 1];
     if (!use_subtraction_) {
-      build_list.push_back(left);
-      build_list.push_back(right);
+      build_list_.push_back(left);
+      build_child_pos_.push_back(static_cast<uint32_t>(2 * i));
+      sub_of_build_.push_back(-1);
+      build_list_.push_back(right);
+      build_child_pos_.push_back(static_cast<uint32_t>(2 * i + 1));
+      sub_of_build_.push_back(-1);
       continue;
     }
     const bool left_smaller =
         tree.node(left).num_rows <= tree.node(right).num_rows;
     const int small = left_smaller ? left : right;
     const int large = left_smaller ? right : left;
-    build_list.push_back(small);
-    subtract_list.push_back(SubtractJob{large, small, batch[i].node_id});
+    build_list_.push_back(small);
+    build_child_pos_.push_back(
+        static_cast<uint32_t>(2 * i + (left_smaller ? 0 : 1)));
+    sub_of_build_.push_back(static_cast<int32_t>(subtract_list_.size()));
+    subtract_list_.push_back(SubtractJob{
+        large, small, batch_[i].node_id,
+        static_cast<uint32_t>(2 * i + (left_smaller ? 1 : 0)), nullptr,
+        nullptr, nullptr});
   }
 
-  for (int child : children) hists_.Acquire(child);
+  for (int child : children_) hists_.Acquire(child);
+  for (SubtractJob& job : subtract_list_) {
+    job.child_h = hists_.Get(job.child);
+    job.parent_h = hists_.Get(job.parent);
+    job.sibling_h = hists_.Get(job.sibling);
+  }
+
+  build_rows_ = 0;
+  for (int node : build_list_) build_rows_ += partitioner_.NodeSize(node);
+  plan_mode_ = ChooseMode(build_list_.size(), build_rows_);
+  hist_updates_ +=
+      build_rows_ * static_cast<int64_t>(matrix_.num_features());
+}
+
+void HarpTreeBuilder::BuildAndFind(RegTree& tree) {
+  const size_t total_bins = matrix_.TotalBins();
+  const BuildContext ctx = Context();
+  PlanBuild(tree);
 
   {
     const Stopwatch watch;
-    int64_t build_rows = 0;
-    for (int node : build_list) build_rows += partitioner_.NodeSize(node);
-    const ParallelMode mode =
-        ChooseMode(build_list.size(), build_rows);
-    if (mode == ParallelMode::kDP) {
-      reduce_ns_ += dp_.Build(ctx, build_list);
+    if (plan_mode_ == ParallelMode::kDP) {
+      reduce_ns_ += dp_.Build(ctx, build_list_);
     } else {
-      mp_.Build(ctx, build_list);
+      mp_.Build(ctx, build_list_);
     }
-    hist_updates_ +=
-        build_rows * static_cast<int64_t>(matrix_.num_features());
 
-    if (!subtract_list.empty()) {
+    if (!subtract_list_.empty()) {
       pool_.ParallelForDynamic(
-          static_cast<int64_t>(subtract_list.size()), 1,
+          static_cast<int64_t>(subtract_list_.size()), 1,
           [&](int64_t begin, int64_t end, int) {
             for (int64_t i = begin; i < end; ++i) {
-              const SubtractJob& job = subtract_list[static_cast<size_t>(i)];
-              SubtractHistogram(hists_.Get(job.child),
-                                hists_.Get(job.parent),
-                                hists_.Get(job.sibling), total_bins);
+              const SubtractJob& job = subtract_list_[static_cast<size_t>(i)];
+              SubtractHistogram(job.child_h, job.parent_h, job.sibling_h,
+                                total_bins);
             }
           });
       // Parent histograms have served their purpose.
-      for (const Candidate& cand : batch) hists_.Release(cand.node_id);
+      for (const Candidate& cand : batch_) hists_.Release(cand.node_id);
     }
     build_ns_ += watch.ElapsedNs();
   }
 
   const Stopwatch find_watch;
-  std::vector<Candidate> found = FindSplitsBatch(tree, children);
+  FindSplitsBatch(tree, children_);
   find_ns_ += find_watch.ElapsedNs();
-  (void)stats;
-  return found;
 }
 
 void HarpTreeBuilder::SyncGrow(RegTree& tree, GrowQueue& queue,
@@ -230,24 +264,28 @@ void HarpTreeBuilder::SyncGrow(RegTree& tree, GrowQueue& queue,
   const int max_depth = params_.MaxDepth();
 
   while (!queue.Empty() && leaves < max_leaves && !stop()) {
+    const size_t cap_before = ScratchCapacity();
     const int64_t remaining = max_leaves - leaves;
-    const std::vector<Candidate> batch = queue.PopBatch(
+    queue.PopBatchInto(
         params_.EffectiveTopK(),
-        static_cast<int>(std::min<int64_t>(remaining, 1 << 20)));
-    if (batch.empty()) break;
+        static_cast<int>(std::min<int64_t>(remaining, 1 << 20)), &batch_);
+    if (batch_.empty()) break;
+    ++topk_batches_;
 
-    const Stopwatch apply_watch;
-    const std::vector<int> children = ApplySplitBatch(tree, batch);
-    apply_ns_ += apply_watch.ElapsedNs();
-    leaves += static_cast<int64_t>(batch.size());
+    if (use_fused_) {
+      FusedStep(tree);
+    } else {
+      const Stopwatch apply_watch;
+      ApplySplitBatch(tree);
+      apply_ns_ += apply_watch.ElapsedNs();
+      BuildAndFind(tree);
+    }
+    leaves += static_cast<int64_t>(batch_.size());
     if (stats != nullptr) {
-      stats->nodes_split += static_cast<int64_t>(batch.size());
+      stats->nodes_split += static_cast<int64_t>(batch_.size());
     }
 
-    std::vector<Candidate> found = BuildAndFind(tree, batch, children, stats);
-
-    for (size_t i = 0; i < found.size(); ++i) {
-      const Candidate& cand = found[i];
+    for (const Candidate& cand : found_) {
       const bool eligible =
           cand.split.IsValid() && cand.depth < max_depth;
       if (eligible) {
@@ -258,6 +296,7 @@ void HarpTreeBuilder::SyncGrow(RegTree& tree, GrowQueue& queue,
         hists_.Release(cand.node_id);
       }
     }
+    if (ScratchCapacity() != cap_before) ++scratch_grows_;
   }
 }
 
@@ -272,6 +311,7 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
                                    TrainStats* stats) {
   build_ns_ = reduce_ns_ = find_ns_ = apply_ns_ = 0;
   hist_updates_ = 0;
+  topk_batches_ = 0;
   const PartitionStats apply_before = partitioner_.stats();
 
   const int64_t max_leaves = params_.MaxLeaves();
@@ -301,28 +341,30 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
     build_ns_ += watch.ElapsedNs();
   }
 
-  GrowQueue queue(params_.grow_policy);
+  queue_.Clear();
   int64_t leaves = 1;
   {
     const Stopwatch find_watch;
     const int root_nodes[] = {0};
-    std::vector<Candidate> root_cand = FindSplitsBatch(tree, root_nodes);
+    FindSplitsBatch(tree, root_nodes);
     find_ns_ += find_watch.ElapsedNs();
-    const bool eligible = root_cand[0].split.IsValid() && max_leaves > 1 &&
+    const bool eligible = found_[0].split.IsValid() && max_leaves > 1 &&
                           params_.MaxDepth() > 0;
     if (eligible) {
-      queue.Push(root_cand[0]);
+      queue_.Push(found_[0]);
       if (!use_subtraction_) hists_.Release(0);
     } else {
       hists_.Release(0);
     }
   }
 
+  const SyncSnapshot grow_before = pool_.Snapshot();
   if (params_.mode == ParallelMode::kASYNC) {
-    AsyncGrow(tree, queue, leaves, stats);
+    AsyncGrow(tree, queue_, leaves, stats);
   } else {
-    SyncGrow(tree, queue, leaves, stats, [] { return false; });
+    SyncGrow(tree, queue_, leaves, stats, [] { return false; });
   }
+  const SyncSnapshot grow_after = pool_.Snapshot();
 
   FinalizeLeaves(tree);
 
@@ -337,8 +379,17 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
         params_.mode == ParallelMode::kMP
             ? static_cast<size_t>(params_.node_blk_size)
             : 1;
+    // max, not =, for consistency with hist_peak_bytes: the value is a
+    // per-configuration constant, and accumulating with = silently kept
+    // only the last tree's (identical) value anyway.
     stats->write_region_bytes =
-        sizeof(GHPair) * bins_per_block * node_span;
+        std::max(stats->write_region_bytes,
+                 sizeof(GHPair) * bins_per_block * node_span);
+    stats->topk_batches += topk_batches_;
+    stats->grow_region_launches +=
+        grow_after.parallel_regions - grow_before.parallel_regions;
+    stats->grow_phase_barriers +=
+        grow_after.phase_barriers - grow_before.phase_barriers;
     stats->build_hist_ns += build_ns_;
     stats->reduce_ns += reduce_ns_;
     stats->find_split_ns += find_ns_;

@@ -2,8 +2,10 @@
 // four parallelism modes of Table II.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -72,6 +74,11 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   // Row membership of the most recently built tree (tests, diagnostics).
   const RowPartitioner& partitioner() const { return partitioner_; }
 
+  // Number of grow steps whose member scratch (batch / children / build
+  // plan / find grid vectors) changed capacity — 0 across steady-state
+  // trees once the working set has been reached (zero-alloc tests).
+  int64_t scratch_grow_events() const { return scratch_grows_; }
+
  private:
   BuildContext Context() {
     return BuildContext{matrix_, params_, pool_, partitioner_, hists_};
@@ -93,25 +100,58 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   void AsyncGrow(RegTree& tree, GrowQueue& queue, int64_t& leaves,
                  TrainStats* stats);
 
-  // Applies the batch's splits to tree + partitioner; returns children ids
-  // (pairs in batch order). Updates child num_rows.
-  std::vector<int> ApplySplitBatch(RegTree& tree,
-                                   std::span<const Candidate> batch);
+  // --- one grow step, region-per-phase path (the bit-identity oracle) ---
 
-  // Builds histograms for `children` (with parent subtraction when
-  // enabled), then finds their best splits. Returns one Candidate per
-  // child (possibly invalid). Manages histogram lifetimes.
-  std::vector<Candidate> BuildAndFind(RegTree& tree,
-                                      std::span<const Candidate> batch,
-                                      std::span<const int> children,
-                                      TrainStats* stats);
+  // Applies batch_'s splits to the tree and stages the partitioner tasks
+  // (serial; shared with the fused path).
+  void StageApply(RegTree& tree);
+  // StageApply + batched row partition + child num_rows (fills children_).
+  void ApplySplitBatch(RegTree& tree);
+  // Decides which children get a direct build vs. parent - sibling
+  // subtraction, acquires child histograms, picks the batch's DP/MP mode
+  // (fills build_list_ / subtract_list_ / plan_mode_; shared).
+  void PlanBuild(RegTree& tree);
+  // PlanBuild + histogram build + subtraction + FindSplitsBatch over the
+  // children (fills found_, one Candidate per child, possibly invalid).
+  void BuildAndFind(RegTree& tree);
+  // FindSplit for nodes whose histograms are live (fills found_).
+  void FindSplitsBatch(const RegTree& tree, std::span<const int> nodes);
 
-  // FindSplit for a set of nodes whose histograms are live.
-  std::vector<Candidate> FindSplitsBatch(const RegTree& tree,
-                                         std::span<const int> nodes);
+  // Shared find pieces: stage the nodes x feature-block grid, run one
+  // grid cell, serially merge the partials into found_ (fixed fb order,
+  // so the merge is schedule-independent).
+  void PrepareFind(const RegTree& tree, std::span<const int> nodes);
+  void RunFindTask(size_t grid_index);
+  void MergeFound(const RegTree& tree);
+
+  // --- one grow step, fused path (tree_builder_fused.cpp) ---
+
+  // Runs apply / build / subtract / find as phases of ONE FusedRegion:
+  // exactly one region launch per TopK batch. Bit-identical outputs to
+  // ApplySplitBatch + BuildAndFind.
+  void FusedStep(RegTree& tree);
+  // Barrier epilogue after the partition: child num_rows, PlanBuild, and
+  // (MP) overlap-graph staging.
+  void PlanAfterPartition(RegTree& tree);
+  // Stages the MP overlap work-graph: cube tasks, per-node drain
+  // counters, and the slot ring seeded with the build tasks.
+  void StageOverlap(const RegTree& tree);
+  // Per-thread overlap scheduler loop: pops the slot ring until all
+  // build + subtract + find tasks have run.
+  void OverlapRun(ThreadPool::FusedRegion& region, int thread_id);
+  void RunOverlapTask(const BuildContext& ctx, int32_t id);
+  void PushTask(int32_t id);
+  void PushFinds(uint32_t child_pos);
+  // Final barrier epilogue: merge find partials, release parent
+  // histograms, stamp the step-end timestamp.
+  void FinishStep(RegTree& tree);
 
   // Sets leaf_value on every leaf from its gradient sum.
   void FinalizeLeaves(RegTree& tree) const;
+
+  // Capacity fingerprint of the per-step member scratch (zero-alloc
+  // accounting; see scratch_grow_events()).
+  size_t ScratchCapacity() const;
 
   const BinnedMatrix& matrix_;
   const TrainParams& params_;
@@ -121,11 +161,59 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   RowPartitioner partitioner_;
   HistBuilderDP dp_;
   HistBuilderMP mp_;
+  GrowQueue queue_;
   bool use_subtraction_;  // forced off for ASYNC (see .cpp)
+  bool use_fused_;        // forced off for ASYNC (own scheduler)
   const std::vector<uint8_t>* column_mask_ = nullptr;
-  // Per-batch SplitTask staging for the partitioner's batched apply
-  // (grow-only, reused across batches).
+
+  // Per-step member scratch (grow-only; steady-state growth reuses it
+  // without allocating).
   std::vector<SplitTask> split_tasks_;
+  std::vector<Candidate> batch_;
+  std::vector<int> children_;
+  std::vector<int> build_list_;
+  struct SubtractJob {
+    int child;            // large child: parent - sibling
+    int sibling;          // small child (directly built)
+    int parent;
+    uint32_t child_pos;   // index of `child` in children_
+    GHPair* child_h;      // resolved in PlanBuild, after Acquire
+    GHPair* parent_h;
+    GHPair* sibling_h;
+  };
+  std::vector<SubtractJob> subtract_list_;
+  std::vector<Candidate> found_;
+  int64_t build_rows_ = 0;
+  ParallelMode plan_mode_ = ParallelMode::kDP;
+
+  // Find grid scratch. fblocks_ is fixed at construction (params and
+  // thread count never change), which keeps find task ids stable.
+  std::vector<Range> fblocks_;
+  std::span<const int> find_nodes_;
+  std::vector<SplitInfo> find_partial_;
+  std::vector<const GHPair*> find_hist_;
+  std::vector<GHPair> find_sums_;
+
+  // MP overlap work-graph state. Task ids: [0, B) = staged MP cubes,
+  // [B, B+S) = subtract jobs, [B+S, B+S+F) = find grid cells (node-major,
+  // so find id f maps to find_partial_[f]). slots_ is a single-pass ring:
+  // every task id is pushed exactly once (builds pre-seeded, the rest
+  // pushed by the event that makes them runnable) and popped exactly once
+  // via qhead_.
+  std::unique_ptr<std::atomic<int32_t>[]> slots_;
+  size_t slots_cap_ = 0;
+  std::unique_ptr<std::atomic<int32_t>[]> node_remaining_;
+  size_t node_remaining_cap_ = 0;
+  std::vector<int32_t> build_pos_;        // node id -> build_list_ index
+  std::vector<uint32_t> build_child_pos_; // build_list_ index -> children_ index
+  std::vector<int32_t> sub_of_build_;     // build_list_ index -> subtract index or -1
+  alignas(64) std::atomic<int64_t> qhead_{0};
+  alignas(64) std::atomic<int64_t> qtail_{0};
+  std::atomic<int32_t> builds_left_{0};
+  std::atomic<int64_t> t_build_done_{0};
+  int64_t overlap_total_ = 0;
+  int32_t overlap_builds_ = 0;
+  int32_t overlap_subs_ = 0;
 
   // Phase accumulators for the current BuildTree call.
   int64_t build_ns_ = 0;
@@ -133,6 +221,12 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   int64_t find_ns_ = 0;
   int64_t apply_ns_ = 0;
   int64_t hist_updates_ = 0;
+  // Fused-step phase boundary timestamps (written in barrier epilogues).
+  int64_t t_apply_end_ = 0;
+  int64_t t_build_end_ = 0;
+  int64_t t_find_end_ = 0;
+  int64_t topk_batches_ = 0;
+  int64_t scratch_grows_ = 0;
 };
 
 }  // namespace harp

@@ -1,0 +1,76 @@
+// Sense-reversing phase barrier for the fused-step execution layer.
+//
+// A ThreadPool region launch costs a cond-var sleep/wake/teardown cycle per
+// phase (Section III: barrier overhead ∝ 2^D per tree). Inside a fused
+// region the threads are already resident, so consecutive phases only need
+// a lightweight rendezvous: an atomic arrival counter plus a generation
+// word the waiters spin on. Reusable immediately — the last arrival resets
+// the counter before bumping the generation, and a thread re-entering the
+// next Wait is ordered after the release it observed (per-variable
+// coherence), so it can never confuse generations.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace harp {
+
+// All `num_threads` participants call Wait; the LAST arrival runs the
+// epilogue before releasing the others. The epilogue is the serial glue
+// slot between two phases: every peer is parked at the barrier while it
+// runs, so it may touch shared state without locks, and its writes
+// happen-before anything the released threads do (acq_rel arrival RMWs +
+// release generation store / acquire generation loads).
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int num_threads) : num_threads_(num_threads) {}
+
+  PhaseBarrier(const PhaseBarrier&) = delete;
+  PhaseBarrier& operator=(const PhaseBarrier&) = delete;
+
+  // Returns true when released by the last arrival, false when Abort() cut
+  // the wait short (the caller must unwind; the barrier is dead). The last
+  // arrival always runs `epilogue` and returns normally-released status of
+  // the abort flag so even the aborting rendezvous stays consistent.
+  template <typename Fn>
+  bool Wait(Fn&& epilogue) {
+    const uint32_t gen = generation_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        num_threads_) {
+      epilogue();
+      arrived_.store(0, std::memory_order_relaxed);
+      generation_.store(gen + 1, std::memory_order_release);
+      return !abort_.load(std::memory_order_relaxed);
+    }
+    int spins = 0;
+    while (generation_.load(std::memory_order_acquire) == gen) {
+      if (abort_.load(std::memory_order_acquire)) return false;
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    return true;
+  }
+
+  bool Wait() {
+    return Wait([] {});
+  }
+
+  // Releases every current and future waiter with a false return. Used for
+  // exception unwinding: a thread that failed inside a phase can never
+  // reach the next Wait, so peers must not park there forever.
+  void Abort() { abort_.store(true, std::memory_order_release); }
+  bool aborted() const { return abort_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 1 << 12;
+
+  const int num_threads_;
+  std::atomic<int> arrived_{0};
+  std::atomic<uint32_t> generation_{0};
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace harp

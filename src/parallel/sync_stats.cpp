@@ -23,6 +23,7 @@ double SyncSnapshot::SpinOverhead() const {
 SyncSnapshot SyncSnapshot::operator-(const SyncSnapshot& earlier) const {
   SyncSnapshot d = *this;
   d.parallel_regions -= earlier.parallel_regions;
+  d.phase_barriers -= earlier.phase_barriers;
   d.busy_ns -= earlier.busy_ns;
   d.barrier_wait_ns -= earlier.barrier_wait_ns;
   d.tasks -= earlier.tasks;

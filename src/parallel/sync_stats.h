@@ -29,6 +29,10 @@ struct alignas(64) WorkerCounters {
 struct SyncSnapshot {
   int threads = 1;
   int64_t parallel_regions = 0;  // each region ends in exactly one barrier
+  // In-region phase barriers (ThreadPool::FusedRegion rendezvous). These
+  // replace region launches under the fused-step scheduler: comparing the
+  // two columns is exactly the Table VI region-vs-phase accounting.
+  int64_t phase_barriers = 0;
   int64_t busy_ns = 0;
   int64_t barrier_wait_ns = 0;
   int64_t tasks = 0;

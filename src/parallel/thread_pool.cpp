@@ -113,6 +113,35 @@ void ThreadPool::RunOnAllThreads(const std::function<void(int)>& fn) {
   }
 }
 
+void ThreadPool::FusedRegion::Run(const std::function<void(int)>& body) {
+  cursor_.store(0, std::memory_order_relaxed);
+  pool_.RunOnAllThreads([&](int thread_id) {
+    try {
+      body(thread_id);
+    } catch (const AbortTag&) {
+      // A peer failed; this thread was released from a spin loop and
+      // unwound cleanly. The real exception is rethrown below.
+    } catch (...) {
+      RecordException();
+      barrier_.Abort();
+    }
+  });
+  if (exception_) {
+    // Single-threaded again (the region joined), so no lock is needed.
+    std::exception_ptr rethrown;
+    std::swap(rethrown, exception_);
+    std::rethrow_exception(rethrown);
+  }
+}
+
+void ThreadPool::FusedRegion::RecordException() {
+  {
+    std::lock_guard<std::mutex> lock(exception_mutex_);
+    if (!exception_) exception_ = std::current_exception();
+  }
+  failed_.store(true, std::memory_order_release);
+}
+
 void ThreadPool::ParallelFor(int64_t n, const RangeFn& fn) {
   if (n <= 0) return;
   const int64_t chunk =
@@ -161,6 +190,7 @@ SyncSnapshot ThreadPool::Snapshot() const {
     snapshot.barrier_wait_ns += c.barrier_wait_ns;
     snapshot.tasks += c.tasks;
   }
+  snapshot.phase_barriers = phase_barriers_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   snapshot.parallel_regions = parallel_regions_;
   snapshot.spin_acquires = extra_spin_.acquires;
@@ -171,6 +201,7 @@ SyncSnapshot ThreadPool::Snapshot() const {
 
 void ThreadPool::ResetStats() {
   for (auto& c : counters_) c.Reset();
+  phase_barriers_.store(0, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(stats_mutex_);
   parallel_regions_ = 0;
   extra_spin_ = SpinCounters{};

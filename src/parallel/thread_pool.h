@@ -15,6 +15,8 @@
 // ParallelFor must not start another region on the same pool (checked).
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -23,6 +25,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/timer.h"
+#include "parallel/phase_barrier.h"
 #include "parallel/sync_stats.h"
 
 namespace harp {
@@ -68,6 +72,129 @@ class ThreadPool {
   // inside a region (used by builders that do their own task accounting).
   void CountTask(int thread_id) { ++counters_[thread_id].tasks; }
 
+  // Records one in-region phase-barrier rendezvous (FusedRegion calls this
+  // from the last-arriving thread; reported as SyncSnapshot::phase_barriers
+  // next to parallel_regions so the two schedulers' costs are comparable).
+  void CountPhaseBarrier() {
+    phase_barriers_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Keeps every pool thread resident inside ONE parallel region while the
+  // caller sequences multiple phases through in-region barriers — the
+  // fused-step primitive. One Run replaces a region launch per phase with
+  // a PhaseBarrier rendezvous per phase.
+  //
+  // Collective contract: the body passed to Run executes on every thread,
+  // and all threads must invoke the same FusedRegion services (Barrier /
+  // ForDynamic / ForStatic) in the same order. At most one ForDynamic may
+  // run between consecutive Barriers: the shared chunk cursor is reset at
+  // Run entry and by every barrier, never by ForDynamic itself. Nesting
+  // rules are unchanged — the body must not start another region on the
+  // same pool (RunOnAllThreads' in_region_ check still fires).
+  //
+  // Exceptions: a throw from the body or a barrier epilogue aborts the
+  // region. Peers are released from their spin loops, unwind via an
+  // internal tag exception that Run's wrapper swallows, and the first real
+  // exception is rethrown from Run on the caller. A FusedRegion that threw
+  // must not be reused.
+  class FusedRegion {
+   public:
+    explicit FusedRegion(ThreadPool& pool)
+        : pool_(pool), barrier_(pool.num_threads()) {}
+
+    int num_threads() const { return pool_.num_threads(); }
+
+    // Runs body(thread_id) on every pool thread inside one region (counts
+    // as exactly one parallel region launch, like RunOnAllThreads).
+    void Run(const std::function<void(int)>& body);
+
+    // In-region rendezvous. `epilogue` runs on the LAST arriving thread
+    // while every peer is still parked — the serial glue slot between two
+    // phases (scan publication, next-phase task staging, ...): it may
+    // touch shared state without locks and its writes happen-before
+    // everything the released threads do. Waiters' park time is recorded
+    // as barrier wait, keeping utilization/overhead metrics honest.
+    template <typename Fn>
+    void Barrier(int thread_id, Fn&& epilogue) {
+      const int64_t start = NowNs();
+      bool last = false;
+      const bool released = barrier_.Wait([&] {
+        last = true;
+        if (!failed_.load(std::memory_order_relaxed)) {
+          try {
+            epilogue();
+          } catch (...) {
+            RecordException();
+          }
+        }
+        cursor_.store(0, std::memory_order_relaxed);
+        pool_.CountPhaseBarrier();
+      });
+      if (!last && released) {
+        pool_.ReclassifyBusyAsWait(thread_id, NowNs() - start);
+      }
+      if (!released || failed_.load(std::memory_order_acquire)) {
+        throw AbortTag{};
+      }
+    }
+    void Barrier(int thread_id) {
+      Barrier(thread_id, [] {});
+    }
+
+    // Dynamic-schedule loop over [0, n) in `chunk`-sized pieces via the
+    // region's shared cursor (the in-region ParallelForDynamic analogue).
+    template <typename Fn>
+    void ForDynamic(int thread_id, int64_t n, int64_t chunk, Fn&& fn) {
+      const int64_t step = std::max<int64_t>(1, chunk);
+      for (;;) {
+        if (failed_.load(std::memory_order_acquire)) throw AbortTag{};
+        const int64_t begin =
+            cursor_.fetch_add(step, std::memory_order_relaxed);
+        if (begin >= n) return;
+        fn(begin, std::min<int64_t>(n, begin + step), thread_id);
+        pool_.CountTask(thread_id);
+      }
+    }
+
+    // Static-schedule loop: the ParallelFor chunking (contiguous per-thread
+    // ranges) without a region launch. No cursor use, so it composes with
+    // a preceding ForDynamic in the same barrier window if ever needed.
+    template <typename Fn>
+    void ForStatic(int thread_id, int64_t n, Fn&& fn) {
+      if (failed_.load(std::memory_order_acquire)) throw AbortTag{};
+      if (n <= 0) return;
+      const int64_t chunk =
+          (n + static_cast<int64_t>(num_threads()) - 1) / num_threads();
+      const int64_t begin = static_cast<int64_t>(thread_id) * chunk;
+      const int64_t end = std::min<int64_t>(n, begin + chunk);
+      if (begin < end) {
+        fn(begin, end, thread_id);
+        pool_.CountTask(thread_id);
+      }
+    }
+
+    // For custom in-region schedulers (e.g. the builder's overlap queue):
+    // spin loops must poll failed() so a peer's exception releases them.
+    bool failed() const { return failed_.load(std::memory_order_acquire); }
+    void ThrowIfFailed() const {
+      if (failed()) throw AbortTag{};
+    }
+
+   private:
+    // Thrown to unwind peers after another thread failed; swallowed by
+    // Run's wrapper (the real exception is rethrown from Run).
+    struct AbortTag {};
+
+    void RecordException();
+
+    ThreadPool& pool_;
+    PhaseBarrier barrier_;
+    alignas(64) std::atomic<int64_t> cursor_{0};
+    std::atomic<bool> failed_{false};
+    std::exception_ptr exception_;
+    std::mutex exception_mutex_;
+  };
+
   // Reclassifies `ns` of thread `thread_id`'s region time from busy to
   // barrier wait. The ASYNC builder uses this for worker starvation (spins
   // on an empty queue while peers finish): it is wait, not work, and must
@@ -110,6 +237,9 @@ class ThreadPool {
   std::mutex exception_mutex_;
 
   int64_t parallel_regions_ = 0;
+  // Relaxed atomic (not under stats_mutex_): bumped from inside regions by
+  // the last thread of every FusedRegion barrier.
+  std::atomic<int64_t> phase_barriers_{0};
   SpinCounters extra_spin_;
   mutable std::mutex stats_mutex_;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/row_partitioner.h"
+#include "core/tree_builder.h"
 #include "parallel/thread_pool.h"
 #include "test_util.h"
 
@@ -272,6 +273,41 @@ TEST(RowPartitioner, SteadyStateAllocatesNothingAcrossTrees) {
     }
     EXPECT_EQ(partitioner.stats().grow_events, warm)
         << "membuf=" << membuf << ": steady-state trees must not allocate";
+  }
+}
+
+// The same guarantee one layer up: HarpTreeBuilder's per-batch staging
+// vectors (split tasks, build/subtract/find lists, overlap ring) live in
+// reused member scratch, so repeated identical trees leave both the
+// partitioner's grow counter and the builder's scratch fingerprint alone.
+TEST(RowPartitioner, BuilderSteadyStateAllocatesNothingAcrossTrees) {
+  const uint32_t rows = 20000;
+  const Dataset ds = MakeDataset(rows, 8, 0.8, 121);
+  const BinnedMatrix matrix =
+      BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 16));
+  const auto gh = MakeGradients(rows, 122);
+  ThreadPool pool(4);
+
+  for (ParallelMode mode : {ParallelMode::kSYNC, ParallelMode::kMP}) {
+    TrainParams p;
+    p.grow_policy = GrowPolicy::kTopK;
+    p.topk = 8;
+    p.tree_size = 6;
+    p.min_split_loss = 0.0;
+    p.min_child_weight = 0.1;
+    p.mode = mode;
+    p.use_hist_subtraction = true;
+    p.num_threads = 4;
+    HarpTreeBuilder builder(matrix, p, pool);
+    TrainStats stats;
+    builder.BuildTree(gh, &stats);  // warm-up: scratch reaches high water
+    const int64_t warm_builder = builder.scratch_grow_events();
+    const int64_t warm_partitioner = builder.partitioner().stats().grow_events;
+    for (int tree = 0; tree < 3; ++tree) builder.BuildTree(gh, &stats);
+    EXPECT_EQ(builder.scratch_grow_events(), warm_builder)
+        << ToString(mode) << ": builder scratch must stop growing";
+    EXPECT_EQ(builder.partitioner().stats().grow_events, warm_partitioner)
+        << ToString(mode) << ": partitioner must stay allocation-free";
   }
 }
 

@@ -196,6 +196,98 @@ TEST(SplitEvaluator, FeatureRangeMergeIsDeterministic) {
   }
 }
 
+// Verbatim copy of the pre-prefix-scan FindBestSplit: a separate
+// present_total accumulation pass plus a per-bin missing check. The
+// rewritten single-pass version must reproduce it BIT FOR BIT — the prefix
+// array preserves the exact left-to-right accumulation order, so every
+// intermediate double is the same.
+SplitInfo ReferenceFindBestSplit(const SplitEvaluator& eval,
+                                 const BinnedMatrix& matrix,
+                                 const GHPair* hist, const GHPair& node_sum,
+                                 uint32_t feature_begin,
+                                 uint32_t feature_end) {
+  SplitInfo best;
+  for (uint32_t f = feature_begin; f < feature_end; ++f) {
+    const uint32_t offset = matrix.BinOffset(f);
+    const uint32_t num_bins = matrix.NumBins(f);
+    if (num_bins < 3) continue;
+    const GHPair missing = hist[offset];
+
+    GHPair present_total;
+    for (uint32_t b = 1; b < num_bins; ++b) present_total += hist[offset + b];
+
+    GHPair left_present;
+    for (uint32_t b = 1; b + 1 < num_bins; ++b) {
+      left_present += hist[offset + b];
+      const GHPair right_present = present_total - left_present;
+
+      {
+        const GHPair left = left_present;
+        const GHPair right = node_sum - left;
+        if (eval.SatisfiesChildWeight(left) &&
+            eval.SatisfiesChildWeight(right)) {
+          const double gain = eval.SplitGain(node_sum, left, right);
+          SplitInfo candidate{gain, f, b, /*default_left=*/false, left, right};
+          if (candidate.IsValid() && candidate.BetterThan(best)) {
+            best = candidate;
+          }
+        }
+      }
+      if (missing.g != 0.0 || missing.h != 0.0) {
+        const GHPair right = right_present;
+        const GHPair left = node_sum - right;
+        if (eval.SatisfiesChildWeight(left) &&
+            eval.SatisfiesChildWeight(right)) {
+          const double gain = eval.SplitGain(node_sum, left, right);
+          SplitInfo candidate{gain, f, b, /*default_left=*/true, left, right};
+          if (candidate.IsValid() && candidate.BetterThan(best)) {
+            best = candidate;
+          }
+        }
+      }
+    }
+  }
+  return best;
+}
+
+TEST(SplitEvaluator, SinglePassMatchesTwoPassReferenceBitwise) {
+  TrainParams p = BaseParams();
+  p.min_child_weight = 0.2;
+  const SplitEvaluator eval(p);
+
+  // density 1.0 exercises the hoisted no-missing fast path; the sparse
+  // cases exercise the default-left branch with real missing mass.
+  struct Case {
+    double density;
+    uint64_t seed;
+  };
+  for (const Case& c : {Case{1.0, 51}, Case{0.75, 52}, Case{0.4, 53}}) {
+    const Dataset ds = MakeDataset(400, 7, c.density, c.seed, /*distinct=*/12);
+    const BinnedMatrix matrix =
+        BinnedMatrix::Build(ds, QuantileCuts::Compute(ds, 32));
+    const auto gh = MakeGradients(400, c.seed + 100);
+    const auto rows = AllRows(400);
+    const auto hist = NaiveHist(matrix, gh, rows);
+    const GHPair total = SumGh(gh, rows);
+
+    const SplitInfo got = eval.FindBestSplit(matrix, hist.data(), total, 0,
+                                             matrix.num_features());
+    const SplitInfo want = ReferenceFindBestSplit(
+        eval, matrix, hist.data(), total, 0, matrix.num_features());
+
+    ASSERT_EQ(got.IsValid(), want.IsValid()) << "density " << c.density;
+    // Bitwise: == on doubles, not NEAR. Same accumulation order, same bits.
+    EXPECT_EQ(got.gain, want.gain);
+    EXPECT_EQ(got.feature, want.feature);
+    EXPECT_EQ(got.bin, want.bin);
+    EXPECT_EQ(got.default_left, want.default_left);
+    EXPECT_EQ(got.left_sum.g, want.left_sum.g);
+    EXPECT_EQ(got.left_sum.h, want.left_sum.h);
+    EXPECT_EQ(got.right_sum.g, want.right_sum.g);
+    EXPECT_EQ(got.right_sum.h, want.right_sum.h);
+  }
+}
+
 TEST(SplitInfoTest, BetterThanIsStrictTotalOrder) {
   SplitInfo a;
   a.gain = 1.0;
