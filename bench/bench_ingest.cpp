@@ -1,0 +1,227 @@
+// Text ingestion throughput: seed serial parsers vs the chunked parallel
+// pipeline, plus binary cache v2 round-trip speed.
+//
+// Generates synthetic CSV and LibSVM documents in memory (no disk in the
+// timed region), verifies that every chunked configuration produces a
+// bit-identical Dataset to the serial oracle, then times:
+//   serial      the seed parser (Split + ParseDouble, line-at-a-time)
+//   chunked x1  the new parser, one chunk (in-place scan + ParseFloat)
+//   chunked xN  the new parser, N chunks on N threads
+//
+// Knobs: HARP_BENCH_INGEST_MB  document size per format (default 50)
+//        HARP_BENCH_THREADS    worker threads (default 4)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_common.h"
+#include "common/random.h"
+#include "data/csv_reader.h"
+#include "data/libsvm_reader.h"
+#include "data/text_chunker.h"
+
+namespace {
+
+using namespace harp;
+
+size_t TargetBytes() {
+  return static_cast<size_t>(GetEnvDouble("HARP_BENCH_INGEST_MB", 50.0) *
+                             1024.0 * 1024.0);
+}
+
+std::string MakeCsvText(size_t target_bytes, int columns, uint64_t seed) {
+  Rng rng(seed);
+  std::string doc;
+  doc.reserve(target_bytes + 256);
+  while (doc.size() < target_bytes) {
+    doc += rng.Bernoulli(0.3) ? '1' : '0';
+    for (int c = 0; c < columns; ++c) {
+      doc += ',';
+      const uint64_t kind = rng.NextBelow(20);
+      if (kind == 0) {
+        // missing value spellings
+        doc += (rng.NextBelow(2) == 0) ? "" : "NA";
+      } else if (kind == 1) {
+        doc += StrFormat("%.3e", rng.Normal() * 1e-4);
+      } else {
+        doc += StrFormat("%.6f", rng.Normal() * 100.0);
+      }
+    }
+    doc += '\n';
+  }
+  return doc;
+}
+
+std::string MakeLibsvmText(size_t target_bytes, uint64_t seed) {
+  Rng rng(seed);
+  std::string doc;
+  doc.reserve(target_bytes + 256);
+  while (doc.size() < target_bytes) {
+    doc += rng.Bernoulli(0.5) ? "1" : "-1";
+    int feature = 0;
+    const int entries = 4 + static_cast<int>(rng.NextBelow(16));
+    for (int e = 0; e < entries; ++e) {
+      feature += 1 + static_cast<int>(rng.NextBelow(8));
+      doc += StrFormat(" %d:%.5f", feature, rng.NextDouble() * 10.0);
+    }
+    doc += '\n';
+  }
+  return doc;
+}
+
+// memcmp only on non-empty vectors: empty ones have a null data().
+template <typename T>
+bool SameBytes(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+void RequireIdentical(const Dataset& a, const Dataset& b, const char* what) {
+  const bool same =
+      a.num_rows() == b.num_rows() && a.num_features() == b.num_features() &&
+      a.layout() == b.layout() && a.row_ptr() == b.row_ptr() &&
+      SameBytes(a.labels(), b.labels()) &&
+      SameBytes(a.dense_values(), b.dense_values()) &&
+      SameBytes(a.entries(), b.entries());
+  if (!same) {
+    std::fprintf(stderr, "FATAL: %s output differs from serial oracle\n",
+                 what);
+    std::abort();
+  }
+}
+
+// Best-of-3 wall time for one parse configuration.
+template <typename Fn>
+double BestSeconds(Fn&& parse) {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const Stopwatch watch;
+    parse();
+    best = std::min(best, NsToSec(watch.ElapsedNs()));
+  }
+  return best;
+}
+
+void PrintRow(const char* name, size_t bytes, uint64_t rows,
+              double seconds, double baseline_seconds) {
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  std::printf("%-14s %8.3fs  %8.1f MB/s  %10.0f rows/s  %5.2fx\n", name,
+              seconds, mb / seconds,
+              static_cast<double>(rows) / seconds,
+              baseline_seconds / seconds);
+}
+
+void BenchFormat(const char* format, const std::string& doc,
+                 bool is_csv, int threads) {
+  ThreadPool pool(threads);
+  const int n_chunks = PickChunkCount(doc.size(), threads);
+  if (threads > 1 && n_chunks < 2) {
+    std::fprintf(stderr,
+                 "FATAL: %s N-thread path picked %d chunk(s); "
+                 "input too small to exercise the parallel parser\n",
+                 format, n_chunks);
+    std::abort();
+  }
+
+  const CsvOptions csv_options;
+  const LibsvmOptions libsvm_options;
+  Dataset serial;
+  std::string error;
+  bool ok = is_csv ? ParseCsv(doc, csv_options, &serial, &error)
+                   : ParseLibsvm(doc, libsvm_options, &serial, &error);
+  if (!ok) {
+    std::fprintf(stderr, "FATAL: serial %s parse failed: %s\n", format,
+                 error.c_str());
+    std::abort();
+  }
+
+  // Correctness gate before any timing: every chunk count the timed
+  // configurations use must reproduce the serial bytes exactly.
+  for (int chunks : {1, n_chunks}) {
+    Dataset chunked;
+    ok = is_csv ? ParseCsvChunked(doc, csv_options, chunks, &pool, &chunked,
+                                  &error)
+                : ParseLibsvmChunked(doc, libsvm_options, chunks, &pool,
+                                     &chunked, &error);
+    if (!ok) {
+      std::fprintf(stderr, "FATAL: chunked %s parse failed: %s\n", format,
+                   error.c_str());
+      std::abort();
+    }
+    RequireIdentical(serial, chunked, format);
+  }
+
+  std::printf("\n%s: %.1f MB, %u rows, %d threads, %d chunks\n", format,
+              static_cast<double>(doc.size()) / (1024.0 * 1024.0),
+              serial.num_rows(), threads, n_chunks);
+  std::printf("%-14s %9s  %13s  %12s  %6s\n", "parser", "time", "throughput",
+              "rows", "speedup");
+
+  Dataset out;
+  const double serial_s = BestSeconds([&] {
+    is_csv ? ParseCsv(doc, csv_options, &out, &error)
+           : ParseLibsvm(doc, libsvm_options, &out, &error);
+  });
+  PrintRow("serial (seed)", doc.size(), serial.num_rows(), serial_s,
+           serial_s);
+  const double one_chunk_s = BestSeconds([&] {
+    is_csv ? ParseCsvChunked(doc, csv_options, 1, nullptr, &out, &error)
+           : ParseLibsvmChunked(doc, libsvm_options, 1, nullptr, &out,
+                                &error);
+  });
+  PrintRow("chunked x1", doc.size(), serial.num_rows(), one_chunk_s,
+           serial_s);
+  const double parallel_s = BestSeconds([&] {
+    is_csv ? ParseCsvChunked(doc, csv_options, n_chunks, &pool, &out,
+                             &error)
+           : ParseLibsvmChunked(doc, libsvm_options, n_chunks, &pool, &out,
+                                &error);
+  });
+  PrintRow(StrFormat("chunked x%d", n_chunks).c_str(), doc.size(),
+           serial.num_rows(), parallel_s, serial_s);
+
+  // Cache v2 round-trip on the parsed dataset.
+  const std::string cache_path =
+      StrFormat("/tmp/harp_bench_ingest_%s.bin", format);
+  const double write_s = BestSeconds([&] {
+    if (!WriteDatasetCache(cache_path, serial, &error)) {
+      std::fprintf(stderr, "FATAL: cache write failed: %s\n", error.c_str());
+      std::abort();
+    }
+  });
+  Dataset cached;
+  const double read_s = BestSeconds([&] {
+    if (!ReadDatasetCache(cache_path, &cached, &error)) {
+      std::fprintf(stderr, "FATAL: cache read failed: %s\n", error.c_str());
+      std::abort();
+    }
+  });
+  RequireIdentical(serial, cached, "cache v2");
+  const double cache_mb =
+      static_cast<double>(serial.MemoryBytes()) / (1024.0 * 1024.0);
+  std::printf("cache v2:      write %.1f MB/s, read %.1f MB/s (%.1f MB, "
+              "read is %.1fx the x1 parse)\n",
+              cache_mb / write_s, cache_mb / read_s, cache_mb,
+              one_chunk_s / read_s);
+  std::remove(cache_path.c_str());
+}
+
+}  // namespace
+
+int main() {
+  const int threads = harp::bench::Threads();
+  const size_t target = TargetBytes();
+  harp::bench::PrintTitle(
+      "INGEST", "text parse + cache throughput",
+      "parallel chunked parsing is bit-identical to the serial parser and "
+      "several times faster");
+
+  BenchFormat("csv", MakeCsvText(target, 27, 0x1234), /*is_csv=*/true,
+              threads);
+  BenchFormat("libsvm", MakeLibsvmText(target, 0x5678), /*is_csv=*/false,
+              threads);
+  std::printf("\nall chunked outputs verified bit-identical to serial\n");
+  return 0;
+}

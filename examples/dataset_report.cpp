@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/timer.h"
 #include "harpgbdt.h"
 
 int main(int argc, char** argv) {
@@ -28,10 +29,20 @@ int main(int argc, char** argv) {
   ThreadPool pool(ThreadPool::DefaultThreads());
   for (const Row& row : rows) {
     const Dataset ds = GenerateSynthetic(row.spec, &pool);
-    const BinnedMatrix matrix = BinnedMatrix::Build(
-        ds, QuantileCuts::Compute(ds, 256, &pool), &pool);
+    IngestStats ingest;
+    ingest.rows = ds.num_rows();
+    ingest.bytes = ds.MemoryBytes();
+    ingest.threads = pool.num_threads();
+    const Stopwatch sketch_watch;
+    QuantileCuts cuts = QuantileCuts::Compute(ds, 256, &pool);
+    ingest.sketch_ns = sketch_watch.ElapsedNs();
+    const Stopwatch bin_watch;
+    const BinnedMatrix matrix =
+        BinnedMatrix::Build(ds, std::move(cuts), &pool);
+    ingest.bin_ns = bin_watch.ElapsedNs();
     const DatasetShape shape = ComputeShape(row.spec.name, ds, matrix);
     std::printf("%s  %s\n", FormatShapeRow(shape).c_str(), row.paper);
+    std::printf("  %s\n", ingest.Summary().c_str());
   }
   return 0;
 }

@@ -80,19 +80,24 @@ bool ParseArgs(int argc, char** argv, Args* args) {
   return true;
 }
 
-bool LoadData(const Args& args, const std::string& path, Dataset* out) {
+bool LoadData(const Args& args, const std::string& path, Dataset* out,
+              IngestStats* ingest = nullptr) {
   std::string error;
   const std::string format = args.Get("format", "csv");
+  // --threads governs parsing too; the readers spin up a transient pool
+  // when the file is large enough for more than one chunk.
+  const int threads = args.GetInt("threads", 0);
+  ThreadPool pool(threads > 0 ? threads : ThreadPool::DefaultThreads());
   bool ok = false;
   if (format == "csv") {
     CsvOptions options;
     options.label_column = args.GetInt("label-column", 0);
     options.has_header = args.Has("header");
-    ok = ReadCsv(path, options, out, &error);
+    ok = ReadCsv(path, options, out, &error, ingest, &pool);
   } else if (format == "libsvm") {
     LibsvmOptions options;
     options.zero_based = args.Has("zero-based");
-    ok = ReadLibsvm(path, options, out, &error);
+    ok = ReadLibsvm(path, options, out, &error, ingest, &pool);
   } else {
     error = "unknown format " + format;
   }
@@ -103,7 +108,8 @@ bool LoadData(const Args& args, const std::string& path, Dataset* out) {
 
 int CmdTrain(const Args& args) {
   Dataset train;
-  if (!LoadData(args, args.Get("data", ""), &train)) return 1;
+  IngestStats ingest;
+  if (!LoadData(args, args.Get("data", ""), &train, &ingest)) return 1;
   std::printf("loaded %u rows x %u features (S=%.2f)\n", train.num_rows(),
               train.num_features(), train.Sparseness());
 
@@ -145,7 +151,9 @@ int CmdTrain(const Args& args) {
 
   TrainStats stats;
   GbdtTrainer trainer(p);
-  const GbdtModel model = trainer.Train(train, &stats, {}, eval_ptr);
+  const GbdtModel model = trainer.Train(train, &stats, {}, eval_ptr,
+                                        &ingest);
+  std::printf("%s\n", ingest.Summary().c_str());
   std::printf("%s", stats.Report().c_str());
   if (eval_ptr != nullptr && !eval.history.empty()) {
     std::printf("validation metric: first=%.5f best=%.5f (iter %d) "
@@ -174,7 +182,8 @@ int CmdPredict(const Args& args) {
     return 1;
   }
   Dataset data;
-  if (!LoadData(args, args.Get("data", ""), &data)) return 1;
+  IngestStats ingest;
+  if (!LoadData(args, args.Get("data", ""), &data, &ingest)) return 1;
 
   const int threads = args.GetInt("threads", 0);
   ThreadPool pool(threads > 0 ? threads : ThreadPool::DefaultThreads());
@@ -188,10 +197,13 @@ int CmdPredict(const Args& args) {
   if (args.Has("raw")) {
     margins = predictor.PredictMargins(data, &pool);
   } else {
+    const Stopwatch bin_watch;
     const BinnedMatrix binned = model.BinDataset(data, &pool);
+    ingest.bin_ns = bin_watch.ElapsedNs();
     margins = predictor.PredictMargins(binned, &pool);
   }
   const double seconds = watch.ElapsedSec();
+  std::fprintf(stderr, "%s\n", ingest.Summary().c_str());
   std::fprintf(stderr,
                "predicted %u rows in %.3fs (%.0f rows/sec, %s path, "
                "%d threads)\n",

@@ -1,0 +1,55 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace harp {
+
+bool ReadFileToString(const std::string& path, std::string* out,
+                      std::string* error) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  const std::streamoff size = file.tellg();
+  if (size < 0) {
+    *error = "cannot stat " + path;
+    return false;
+  }
+  out->resize(static_cast<size_t>(size));
+  file.seekg(0, std::ios::beg);
+  if (size > 0) {
+    file.read(out->data(), static_cast<std::streamsize>(size));
+    if (file.gcount() != static_cast<std::streamsize>(size)) {
+      *error = "short read from " + path;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      *error = "cannot open " + tmp;
+      return false;
+    }
+    file.write(content.data(),
+               static_cast<std::streamsize>(content.size()));
+    if (!file.good()) {
+      *error = "write failed for " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "rename failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace harp

@@ -1,0 +1,20 @@
+// Whole-file IO helpers shared by the text readers and the binary cache.
+#pragma once
+
+#include <string>
+
+namespace harp {
+
+// Reads the entire file at `path` into *out with a single read() into a
+// pre-sized buffer (no stream double-copy). Returns false with a message
+// in *error on open/read failure; *out is unspecified then.
+bool ReadFileToString(const std::string& path, std::string* out,
+                      std::string* error);
+
+// Writes `content` to `path` in one write through a tmp file + rename, so
+// readers never observe a partially written file. Returns false with a
+// message in *error on failure.
+bool WriteStringToFile(const std::string& path, const std::string& content,
+                       std::string* error);
+
+}  // namespace harp

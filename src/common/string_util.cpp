@@ -2,7 +2,10 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdarg>
+#include <limits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,6 +67,32 @@ bool ParseDouble(std::string_view text, double* out) {
   const double value = std::strtod(buf, &end);
   if (end != buf + text.size() || errno == ERANGE) return false;
   *out = value;
+  return true;
+}
+
+bool detail::ParseFloatFallback(std::string_view text, float* out) {
+#if defined(__cpp_lib_to_chars)
+  {
+    double value = 0.0;
+    const char* begin = text.data();
+    const char* end = begin + text.size();
+    const auto result = std::from_chars(begin, end, value);
+    if (result.ec == std::errc() && result.ptr == end) {
+      // Subnormal results fall through to the strtod path: glibc flags
+      // them ERANGE and ParseDouble rejects, and the two paths must agree.
+      if (value == 0.0 ||
+          std::fabs(value) >= std::numeric_limits<double>::min()) {
+        *out = static_cast<float>(value);
+        return true;
+      }
+    } else if (result.ec == std::errc::result_out_of_range) {
+      return false;
+    }
+  }
+#endif
+  double value = 0.0;
+  if (!ParseDouble(text, &value)) return false;
+  *out = static_cast<float>(value);
   return true;
 }
 

@@ -150,13 +150,18 @@ GbdtTrainer::GbdtTrainer(TrainParams params) : params_(std::move(params)) {
 }
 
 GbdtModel GbdtTrainer::Train(const Dataset& dataset, TrainStats* stats,
-                             const IterCallback& callback, EvalSet* eval) {
+                             const IterCallback& callback, EvalSet* eval,
+                             IngestStats* ingest) {
   const int threads = params_.num_threads > 0 ? params_.num_threads
                                               : ThreadPool::DefaultThreads();
   ThreadPool pool(threads);
+  const Stopwatch sketch_watch;
   QuantileCuts cuts = QuantileCuts::Compute(dataset, params_.max_bins, &pool);
+  if (ingest != nullptr) ingest->sketch_ns = sketch_watch.ElapsedNs();
+  const Stopwatch bin_watch;
   const BinnedMatrix matrix =
       BinnedMatrix::Build(dataset, std::move(cuts), &pool);
+  if (ingest != nullptr) ingest->bin_ns = bin_watch.ElapsedNs();
   HarpTreeBuilder builder(matrix, params_, pool);
   return RunBoosting(matrix, dataset.labels(), params_, pool, builder, stats,
                      callback, eval);

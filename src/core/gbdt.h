@@ -17,6 +17,7 @@
 #include "core/tree_builder.h"
 #include "data/binned_matrix.h"
 #include "data/dataset.h"
+#include "data/ingest_stats.h"
 #include "parallel/thread_pool.h"
 
 namespace harp {
@@ -65,10 +66,13 @@ class GbdtTrainer {
  public:
   explicit GbdtTrainer(TrainParams params);
 
-  // End-to-end: quantile cuts, binning, boosting.
+  // End-to-end: quantile cuts, binning, boosting. When `ingest` is
+  // non-null its sketch/bin wall times are filled in (the parse phases
+  // were already recorded by whichever reader produced `dataset`), so
+  // callers can print one ingest summary covering the whole pipeline.
   GbdtModel Train(const Dataset& dataset, TrainStats* stats = nullptr,
                   const IterCallback& callback = {},
-                  EvalSet* eval = nullptr);
+                  EvalSet* eval = nullptr, IngestStats* ingest = nullptr);
 
   // Boosting only, on a pre-binned matrix (benchmarks pre-bin once so
   // "training time ... excludes data loading and one-time initialization").

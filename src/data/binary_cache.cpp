@@ -1,110 +1,169 @@
 #include "data/binary_cache.h"
 
 #include <cstdint>
-#include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <vector>
+
+#include "common/file_util.h"
 
 namespace harp {
 namespace {
 
-constexpr uint64_t kMagic = 0x48415250474231ULL;  // "HARPGB1"
+constexpr uint64_t kMagicV1 = 0x48415250474231ULL;  // "HARPGB1"
+constexpr uint64_t kMagicV2 = 0x48415250474232ULL;  // "HARPGB2"
 
-template <typename T>
-bool WriteVector(std::ofstream& out, const std::vector<T>& v) {
-  const uint64_t size = v.size();
-  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
-  if (size > 0) {
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(size * sizeof(T)));
+// Header = magic + rows + features + layout; footer = checksum.
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 1;
+constexpr size_t kFooterBytes = 8;
+
+// FNV-1a folded over 8-byte words (byte-wise on the tail): deterministic,
+// fast enough to keep cache loads IO-bound, and any flipped payload bit
+// changes the result.
+uint64_t HashBytes(const char* data, size_t n) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  constexpr uint64_t kPrime = 0x100000001b3ULL;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t word;
+    std::memcpy(&word, data + i, 8);
+    hash = (hash ^ word) * kPrime;
   }
-  return out.good();
+  for (; i < n; ++i) {
+    hash = (hash ^ static_cast<unsigned char>(data[i])) * kPrime;
+  }
+  return hash;
+}
+
+void AppendRaw(std::string* buf, const void* data, size_t n) {
+  buf->append(static_cast<const char*>(data), n);
 }
 
 template <typename T>
-bool ReadVector(std::ifstream& in, std::vector<T>* v) {
-  uint64_t size = 0;
-  in.read(reinterpret_cast<char*>(&size), sizeof(size));
-  if (!in.good()) return false;
-  // 1 billion elements is far beyond any dataset this repo generates;
-  // treat it as corruption rather than attempting the allocation.
-  if (size > (1ULL << 30)) return false;
-  v->resize(size);
-  if (size > 0) {
-    in.read(reinterpret_cast<char*>(v->data()),
-            static_cast<std::streamsize>(size * sizeof(T)));
-  }
-  return in.good();
+void AppendSection(std::string* buf, const std::vector<T>& v) {
+  const uint64_t bytes = v.size() * sizeof(T);
+  AppendRaw(buf, &bytes, sizeof(bytes));
+  if (bytes > 0) AppendRaw(buf, v.data(), static_cast<size_t>(bytes));
 }
+
+// Cursor over the in-memory image's section area [kHeaderBytes, size -
+// kFooterBytes). Every read is bounds-checked against that window.
+class SectionReader {
+ public:
+  SectionReader(const std::string& blob)
+      : data_(blob.data()), pos_(kHeaderBytes),
+        limit_(blob.size() - kFooterBytes) {}
+
+  // Reads one section into *v, requiring exactly `expected` elements
+  // (byte count and element size must agree — a byte count that is not a
+  // multiple of sizeof(T), overruns the section area, or disagrees with
+  // the expected element count is corruption).
+  template <typename T>
+  bool ReadSection(std::vector<T>* v, uint64_t expected) {
+    if (pos_ + 8 > limit_) return false;
+    uint64_t bytes = 0;
+    std::memcpy(&bytes, data_ + pos_, 8);
+    pos_ += 8;
+    if (bytes % sizeof(T) != 0 || bytes > limit_ - pos_) return false;
+    if (bytes / sizeof(T) != expected) return false;
+    v->resize(static_cast<size_t>(expected));
+    if (bytes > 0) {
+      std::memcpy(v->data(), data_ + pos_, static_cast<size_t>(bytes));
+      pos_ += static_cast<size_t>(bytes);
+    }
+    return true;
+  }
+
+  // True when every byte of the section area has been consumed.
+  bool AtEnd() const { return pos_ == limit_; }
+
+ private:
+  const char* data_;
+  size_t pos_;
+  size_t limit_;
+};
 
 }  // namespace
 
 bool WriteDatasetCache(const std::string& path, const Dataset& dataset,
                        std::string* error) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      *error = "cannot open " + tmp;
-      return false;
-    }
-    const uint64_t magic = kMagic;
-    const uint32_t rows = dataset.num_rows();
-    const uint32_t features = dataset.num_features();
-    const uint8_t layout =
-        dataset.layout() == Dataset::Layout::kDense ? 0 : 1;
-    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
-    out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
-    out.write(reinterpret_cast<const char*>(&features), sizeof(features));
-    out.write(reinterpret_cast<const char*>(&layout), sizeof(layout));
-    bool ok = WriteVector(out, dataset.labels());
-    if (layout == 0) {
-      ok = ok && WriteVector(out, dataset.dense_values());
-    } else {
-      ok = ok && WriteVector(out, dataset.row_ptr());
-      ok = ok && WriteVector(out, dataset.entries());
-    }
-    if (!ok) {
-      *error = "write failed for " + tmp;
-      return false;
-    }
+  std::string image;
+  // values (dense) or entries (sparse) dominate; labels + row_ptr + header
+  // fit in the slack of one extra row per element section.
+  image.reserve(kHeaderBytes + kFooterBytes + 64 +
+                dataset.dense_values().size() * sizeof(float) +
+                dataset.entries().size() * sizeof(Entry) +
+                dataset.row_ptr().size() * sizeof(uint32_t) +
+                dataset.labels().size() * sizeof(float));
+  const uint64_t magic = kMagicV2;
+  const uint32_t rows = dataset.num_rows();
+  const uint32_t features = dataset.num_features();
+  const uint8_t layout =
+      dataset.layout() == Dataset::Layout::kDense ? 0 : 1;
+  AppendRaw(&image, &magic, sizeof(magic));
+  AppendRaw(&image, &rows, sizeof(rows));
+  AppendRaw(&image, &features, sizeof(features));
+  AppendRaw(&image, &layout, sizeof(layout));
+  AppendSection(&image, dataset.labels());
+  if (layout == 0) {
+    AppendSection(&image, dataset.dense_values());
+  } else {
+    AppendSection(&image, dataset.row_ptr());
+    AppendSection(&image, dataset.entries());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    *error = "rename failed for " + path;
-    return false;
-  }
-  return true;
+  const uint64_t checksum = HashBytes(image.data(), image.size());
+  AppendRaw(&image, &checksum, sizeof(checksum));
+  return WriteStringToFile(path, image, error);
 }
 
 bool ReadDatasetCache(const std::string& path, Dataset* out,
                       std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    *error = "cannot open " + path;
+  std::string blob;
+  if (!ReadFileToString(path, &blob, error)) return false;
+  if (blob.size() < kHeaderBytes + kFooterBytes) {
+    *error = "truncated cache file " + path;
     return false;
   }
   uint64_t magic = 0;
   uint32_t rows = 0;
   uint32_t features = 0;
   uint8_t layout = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
-  in.read(reinterpret_cast<char*>(&features), sizeof(features));
-  in.read(reinterpret_cast<char*>(&layout), sizeof(layout));
-  if (!in.good() || magic != kMagic) {
+  std::memcpy(&magic, blob.data(), 8);
+  std::memcpy(&rows, blob.data() + 8, 4);
+  std::memcpy(&features, blob.data() + 12, 4);
+  std::memcpy(&layout, blob.data() + 16, 1);
+  if (magic == kMagicV1) {
+    *error = path + " uses cache format v1; delete it and re-generate cache";
+    return false;
+  }
+  if (magic != kMagicV2 || layout > 1) {
     *error = "bad header in " + path;
     return false;
   }
+  uint64_t stored = 0;
+  std::memcpy(&stored, blob.data() + blob.size() - kFooterBytes, 8);
+  if (HashBytes(blob.data(), blob.size() - kFooterBytes) != stored) {
+    *error = "checksum mismatch in " + path +
+             " (corrupt cache; delete it and re-generate cache)";
+    return false;
+  }
+  // Element counts are fully determined by the header; any disagreement
+  // (including a short final section or bytes left over before the
+  // checksum) is corruption.
+  SectionReader reader(blob);
   std::vector<float> labels;
-  if (!ReadVector(in, &labels) || labels.size() != rows) {
+  if (!reader.ReadSection(&labels, rows)) {
     *error = "bad labels in " + path;
     return false;
   }
   if (layout == 0) {
     std::vector<float> values;
-    if (!ReadVector(in, &values) ||
-        values.size() != static_cast<size_t>(rows) * features) {
+    if (!reader.ReadSection(&values,
+                            static_cast<uint64_t>(rows) * features)) {
       *error = "bad values in " + path;
+      return false;
+    }
+    if (!reader.AtEnd()) {
+      *error = "trailing garbage in " + path;
       return false;
     }
     *out = Dataset::FromDense(rows, features, std::move(values),
@@ -112,9 +171,17 @@ bool ReadDatasetCache(const std::string& path, Dataset* out,
   } else {
     std::vector<uint32_t> row_ptr;
     std::vector<Entry> entries;
-    if (!ReadVector(in, &row_ptr) || row_ptr.size() != rows + 1 ||
-        !ReadVector(in, &entries) || entries.size() != row_ptr.back()) {
+    if (!reader.ReadSection(&row_ptr, static_cast<uint64_t>(rows) + 1) ||
+        row_ptr.back() > (1ULL << 31)) {
       *error = "bad CSR data in " + path;
+      return false;
+    }
+    if (!reader.ReadSection(&entries, row_ptr.back())) {
+      *error = "bad CSR data in " + path;
+      return false;
+    }
+    if (!reader.AtEnd()) {
+      *error = "trailing garbage in " + path;
       return false;
     }
     *out = Dataset::FromCsr(rows, features, std::move(row_ptr),

@@ -1,9 +1,22 @@
-// Binary dataset cache.
+// Binary dataset cache (format v2).
 //
 // Benchmarks regenerate the same synthetic datasets many times; caching
 // the generated Dataset to disk makes re-runs start in milliseconds
 // ("training time ... excludes the time spent on data loading and one-time
 // initialization", Section V-A4).
+//
+// v2 layout (all little-endian, no padding):
+//   u64  magic "HARPGB2"
+//   u32  rows, u32 features, u8 layout (0 = dense, 1 = CSR)
+//   per section: u64 byte count, then the raw payload bytes
+//     dense:  labels, values
+//     sparse: labels, row_ptr, entries
+//   u64  FNV-1a checksum of every preceding byte
+// Writes are buffered (the whole image is serialized in memory and written
+// once, through a tmp file + rename). Loads read the file in one call,
+// verify the checksum, and reject truncation, trailing garbage and v1
+// files (with a "re-generate" message — v1 had no checksum, so a crafted
+// short read of the last vector could pass its size checks).
 #pragma once
 
 #include <string>
@@ -18,7 +31,7 @@ bool WriteDatasetCache(const std::string& path, const Dataset& dataset,
                        std::string* error);
 
 // Loads a dataset previously written by WriteDatasetCache. Returns false
-// on missing/corrupt files (callers then regenerate).
+// on missing/corrupt/stale-format files (callers then regenerate).
 bool ReadDatasetCache(const std::string& path, Dataset* out,
                       std::string* error);
 

@@ -1,10 +1,15 @@
 #include "data/csv_reader.h"
 
-#include <fstream>
+#include <algorithm>
+#include <cstring>
 #include <sstream>
 
+#include "common/file_util.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/timer.h"
+#include "data/text_chunker.h"
+#include "parallel/thread_pool.h"
 
 namespace harp {
 
@@ -71,16 +76,247 @@ bool ParseCsv(const std::string& content, const CsvOptions& options,
   return true;
 }
 
-bool ReadCsv(const std::string& path, const CsvOptions& options, Dataset* out,
-             std::string* error) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) {
-    *error = "cannot open " + path;
+namespace {
+
+// Serial pre-scan: locates the start of the data region (after the
+// optional header) and establishes the column count from the first data
+// row, exactly as the serial parser's first iterations would.
+struct CsvPrescan {
+  size_t data_begin = 0;     // chunking starts here (a line start)
+  int64_t lines_before = 0;  // physical lines in [0, data_begin)
+  int num_columns = 0;
+};
+
+bool PrescanCsv(std::string_view content, const CsvOptions& options,
+                CsvPrescan* out, std::string* error) {
+  bool skipped_header = !options.has_header;
+  bool found = false;
+  size_t pos = 0;
+  int64_t lines = 0;
+  const size_t n = content.size();
+  while (pos < n && !found) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(content.data() + pos, '\n', n - pos));
+    const size_t line_end = nl ? static_cast<size_t>(nl - content.data()) : n;
+    const size_t next = nl ? line_end + 1 : n;
+    ++lines;
+    const std::string_view trimmed = Trim(content.substr(pos, line_end - pos));
+    if (trimmed.empty()) {
+      pos = next;
+      continue;
+    }
+    if (!skipped_header) {
+      skipped_header = true;
+      out->data_begin = next;
+      out->lines_before = lines;
+      pos = next;
+      continue;
+    }
+    int columns = 1;
+    for (char c : trimmed) {
+      if (c == options.delimiter) ++columns;
+    }
+    if (options.label_column >= columns) {
+      *error = StrFormat("label column %d out of range (%d columns)",
+                         options.label_column, columns);
+      return false;
+    }
+    out->num_columns = columns;
+    found = true;
+  }
+  if (!found) {
+    *error = "no data rows";
     return false;
   }
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ParseCsv(buffer.str(), options, out, error);
+  return true;
+}
+
+struct CsvChunkCounts {
+  int64_t lines = 0;  // physical lines in the chunk
+  int64_t rows = 0;   // non-empty (data) lines
+};
+
+CsvChunkCounts CountCsvChunk(std::string_view content, TextChunk chunk) {
+  CsvChunkCounts counts;
+  counts.lines = ForEachLine(content, chunk.begin, chunk.end,
+                             [&](std::string_view line) {
+                               if (!Trim(line).empty()) ++counts.rows;
+                               return true;
+                             });
+  return counts;
+}
+
+struct CsvChunkError {
+  int64_t line = -1;    // 1-based, relative to the chunk start
+  std::string message;  // without the "line N: " prefix
+};
+
+// Scans one chunk's lines in place, writing parsed rows directly into the
+// final arrays at `row_base` (no fragment copies — the count pass already
+// fixed every chunk's output position). Field splitting walks delimiters
+// with no Split vector; the field count is verified before any value is
+// parsed, matching the serial parser's error order.
+bool ParseCsvChunk(std::string_view content, TextChunk chunk,
+                   const CsvOptions& options, int num_columns,
+                   int64_t row_base, float* values, float* labels,
+                   CsvChunkError* err) {
+  const int64_t num_features = num_columns - 1;
+  float* value_out = values + row_base * num_features;
+  float* label_out = labels + row_base;
+  int64_t line_idx = 0;
+  bool ok = true;
+  ForEachLine(content, chunk.begin, chunk.end, [&](std::string_view raw) {
+    ++line_idx;
+    const std::string_view line = Trim(raw);
+    if (line.empty()) return true;
+    // Single walk over the line: fields are split and parsed as they are
+    // found. The serial parser reports a field-count mismatch before any
+    // bad field on the same line, so failures fall through to a recount
+    // that decides which error wins (lines are short; the slow path only
+    // runs on the erroring line).
+    const char* bad_kind = nullptr;  // "label" or "value"
+    std::string_view bad_field;
+    size_t fpos = 0;
+    int c = 0;
+    for (; c < num_columns && fpos <= line.size(); ++c) {
+      size_t fend = line.find(options.delimiter, fpos);
+      if (fend == std::string_view::npos) fend = line.size();
+      const std::string_view field = Trim(line.substr(fpos, fend - fpos));
+      fpos = fend + 1;
+      float parsed = 0.0f;
+      if (c == options.label_column) {
+        if (!ParseFloat(field, &parsed)) {
+          bad_kind = "label";
+          bad_field = field;
+          break;
+        }
+        *label_out++ = parsed;
+      } else if (field.empty() || field == "NA" || field == "nan") {
+        *value_out++ = kMissingValue;
+      } else if (ParseFloat(field, &parsed)) {
+        *value_out++ = parsed;
+      } else {
+        bad_kind = "value";
+        bad_field = field;
+        break;
+      }
+    }
+    // fpos == line.size() + 1 exactly when the last field ended at
+    // end-of-line with no trailing delimiter: all columns consumed.
+    if (bad_kind == nullptr && c == num_columns && fpos == line.size() + 1) {
+      return true;
+    }
+    int columns = 1;
+    for (char ch : line) {
+      if (ch == options.delimiter) ++columns;
+    }
+    err->line = line_idx;
+    if (columns != num_columns) {
+      err->message =
+          StrFormat("expected %d fields, got %d", num_columns, columns);
+    } else {
+      err->message = StrFormat("bad %s '%.*s'", bad_kind,
+                               static_cast<int>(bad_field.size()),
+                               bad_field.data());
+    }
+    ok = false;
+    return false;
+  });
+  return ok;
+}
+
+}  // namespace
+
+bool ParseCsvChunked(std::string_view content, const CsvOptions& options,
+                     int num_chunks, ThreadPool* pool, Dataset* out,
+                     std::string* error, IngestStats* stats) {
+  CsvPrescan pre;
+  if (!PrescanCsv(content, options, &pre, error)) return false;
+
+  const std::vector<TextChunk> chunks =
+      ChunkLines(content, pre.data_begin, num_chunks);
+  const int c = static_cast<int>(chunks.size());
+
+  // Pass 1: per-chunk line/row counts, giving every chunk its exact output
+  // slot (row base) and error line base.
+  std::vector<CsvChunkCounts> counts(chunks.size());
+  RunChunks(pool, c, [&](int i) {
+    counts[static_cast<size_t>(i)] =
+        CountCsvChunk(content, chunks[static_cast<size_t>(i)]);
+  });
+  std::vector<int64_t> row_base(chunks.size() + 1, 0);
+  std::vector<int64_t> line_base(chunks.size() + 1, pre.lines_before);
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    row_base[i + 1] = row_base[i] + counts[i].rows;
+    line_base[i + 1] = line_base[i] + counts[i].lines;
+  }
+  const int64_t total_rows = row_base.back();
+  if (total_rows == 0) {
+    *error = "no data rows";
+    return false;
+  }
+
+  // Pass 2: parse every chunk straight into the final arrays.
+  const uint32_t num_features = static_cast<uint32_t>(pre.num_columns - 1);
+  std::vector<float> values(static_cast<size_t>(total_rows) * num_features);
+  std::vector<float> labels(static_cast<size_t>(total_rows));
+  std::vector<CsvChunkError> errors(chunks.size());
+  std::vector<uint8_t> chunk_ok(chunks.size(), 1);
+  RunChunks(pool, c, [&](int i) {
+    const size_t k = static_cast<size_t>(i);
+    chunk_ok[k] = ParseCsvChunk(content, chunks[k], options, pre.num_columns,
+                                row_base[k], values.data(), labels.data(),
+                                &errors[k])
+                      ? 1
+                      : 0;
+  });
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    if (!chunk_ok[i]) {
+      // The lowest-indexed failing chunk holds the first error in document
+      // order — the one the serial parser would have stopped at.
+      *error = StrFormat("line %d: %s",
+                         static_cast<int>(line_base[i] + errors[i].line),
+                         errors[i].message.c_str());
+      return false;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rows = static_cast<uint64_t>(total_rows);
+    stats->chunks = c;
+  }
+  *out = Dataset::FromDense(static_cast<uint32_t>(total_rows), num_features,
+                            std::move(values), std::move(labels));
+  return true;
+}
+
+bool ReadCsv(const std::string& path, const CsvOptions& options, Dataset* out,
+             std::string* error, IngestStats* stats, ThreadPool* pool) {
+  std::string content;
+  const Stopwatch read_watch;
+  if (!ReadFileToString(path, &content, error)) return false;
+  const int64_t read_ns = read_watch.ElapsedNs();
+
+  const int threads =
+      pool != nullptr ? pool->num_threads() : ThreadPool::DefaultThreads();
+  const int num_chunks = PickChunkCount(content.size(), threads);
+  const Stopwatch parse_watch;
+  bool ok;
+  if (num_chunks > 1 && pool == nullptr) {
+    ThreadPool local_pool(threads);
+    ok = ParseCsvChunked(content, options, num_chunks, &local_pool, out,
+                         error, stats);
+  } else {
+    ok = ParseCsvChunked(content, options, num_chunks, pool, out, error,
+                         stats);
+  }
+  if (stats != nullptr) {
+    stats->bytes = content.size();
+    stats->read_ns = read_ns;
+    stats->parse_ns = parse_watch.ElapsedNs();
+    stats->threads = num_chunks > 1 ? threads : 1;
+  }
+  return ok;
 }
 
 }  // namespace harp

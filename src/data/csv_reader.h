@@ -1,13 +1,26 @@
 // CSV loader: one row per line, label in a configurable column, empty
 // fields = missing. Used by the examples so real downloaded datasets
 // (e.g. the actual HIGGS csv) can be trained on directly.
+//
+// Two parsers produce bit-identical Datasets:
+//   ParseCsv        — the original serial getline parser, kept as the
+//                     correctness oracle for tests and bench_ingest;
+//   ParseCsvChunked — splits the buffer at newline boundaries into
+//                     chunks, scans fields in place (no per-line Split
+//                     vectors, no field copies) on a ThreadPool, and
+//                     stitches per-chunk fragments in chunk order.
+// ReadCsv loads the file with one read() and runs the chunked parser.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "data/dataset.h"
+#include "data/ingest_stats.h"
 
 namespace harp {
+
+class ThreadPool;
 
 struct CsvOptions {
   char delimiter = ',';
@@ -15,13 +28,28 @@ struct CsvOptions {
   bool has_header = false;
 };
 
-// Loads `path`; CHECK-fails on unreadable files, returns false only for
-// structurally malformed content (inconsistent column counts, bad floats).
+// Loads `path` with a single pre-sized read and parses it with the chunked
+// parser (chunk count scales with file size up to the pool width; `pool`
+// may be null — a transient pool is created for inputs big enough to
+// matter). Returns false for unreadable files or structurally malformed
+// content (inconsistent column counts, bad floats). Fills *stats when
+// non-null.
 bool ReadCsv(const std::string& path, const CsvOptions& options,
-             Dataset* out, std::string* error);
+             Dataset* out, std::string* error,
+             IngestStats* stats = nullptr, ThreadPool* pool = nullptr);
 
-// Parses CSV content from a string (testing / in-memory data).
+// Serial oracle parser (testing / in-memory data). Error messages carry
+// exact 1-based line numbers.
 bool ParseCsv(const std::string& content, const CsvOptions& options,
               Dataset* out, std::string* error);
+
+// Chunked parallel parser: output (including error messages and their
+// line numbers) is identical to ParseCsv for every input. `num_chunks` is
+// an upper bound — short inputs produce fewer chunks. `pool` may be null,
+// in which case chunks are scanned sequentially (still through the
+// chunked stitching path).
+bool ParseCsvChunked(std::string_view content, const CsvOptions& options,
+                     int num_chunks, ThreadPool* pool, Dataset* out,
+                     std::string* error, IngestStats* stats = nullptr);
 
 }  // namespace harp

@@ -91,6 +91,14 @@ class Dataset {
   const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
   const std::vector<Entry>& entries() const { return entries_; }
 
+  // In-memory payload size (values + CSR arrays + labels), for ingest
+  // throughput reporting.
+  size_t MemoryBytes() const {
+    return dense_.size() * sizeof(float) +
+           row_ptr_.size() * sizeof(uint32_t) +
+           entries_.size() * sizeof(Entry) + labels_.size() * sizeof(float);
+  }
+
  private:
   uint32_t num_rows_ = 0;
   uint32_t num_features_ = 0;

@@ -1,0 +1,47 @@
+#include "data/ingest_stats.h"
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace harp {
+
+double IngestStats::ParseMBps() const {
+  if (parse_ns <= 0) return 0.0;
+  return static_cast<double>(bytes) / (1024.0 * 1024.0) / NsToSec(parse_ns);
+}
+
+std::string IngestStats::Summary() const {
+  std::string s = StrFormat(
+      "ingest: %llu rows, %s in %s",
+      static_cast<unsigned long long>(rows),
+      HumanBytes(static_cast<double>(bytes)).c_str(),
+      HumanDuration(NsToSec(TotalNs())).c_str());
+  if (parse_ns > 0) {
+    s += StrFormat(" (%.1fMB/s parse", ParseMBps());
+  } else {
+    s += " (";
+  }
+  const char* sep = parse_ns > 0 ? "; " : "";
+  if (read_ns > 0) {
+    s += StrFormat("%sread %s", sep, HumanDuration(NsToSec(read_ns)).c_str());
+    sep = ", ";
+  }
+  if (parse_ns > 0) {
+    s += StrFormat("%sparse %s", sep,
+                   HumanDuration(NsToSec(parse_ns)).c_str());
+    sep = ", ";
+  }
+  if (sketch_ns > 0) {
+    s += StrFormat("%ssketch %s", sep,
+                   HumanDuration(NsToSec(sketch_ns)).c_str());
+    sep = ", ";
+  }
+  if (bin_ns > 0) {
+    s += StrFormat("%sbin %s", sep, HumanDuration(NsToSec(bin_ns)).c_str());
+    sep = ", ";
+  }
+  s += StrFormat("%s%d threads, %d chunks)", sep, threads, chunks);
+  return s;
+}
+
+}  // namespace harp

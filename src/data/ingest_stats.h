@@ -1,0 +1,38 @@
+// Per-load ingestion instrumentation, the data-pipeline counterpart of
+// TrainStats: how many bytes/rows came in and where the wall time went
+// (file read, text parse, quantile sketch, binning). Filled by the
+// readers and GbdtTrainer::Train, printed by harp_cli and
+// examples/dataset_report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace harp {
+
+struct IngestStats {
+  uint64_t bytes = 0;  // raw input bytes (file size for the text readers)
+  uint64_t rows = 0;   // dataset rows produced
+
+  int threads = 1;  // worker threads used by the parse phase
+  int chunks = 1;   // newline-aligned chunks the input was split into
+
+  // Phase wall times; zero means the phase did not run in this load.
+  int64_t read_ns = 0;    // file -> memory
+  int64_t parse_ns = 0;   // text -> Dataset
+  int64_t sketch_ns = 0;  // quantile cut computation
+  int64_t bin_ns = 0;     // raw values -> BinnedMatrix
+
+  int64_t TotalNs() const { return read_ns + parse_ns + sketch_ns + bin_ns; }
+
+  // Parse throughput in MB/s (bytes / parse time); 0 when unmeasured.
+  double ParseMBps() const;
+
+  // One-line human-readable summary, e.g.
+  //   ingest: 1000000 rows, 47.6MB in 0.31s (182.4MB/s parse; read 12.1ms,
+  //   parse 261.0ms, sketch 21.4ms, bin 18.0ms; 4 threads, 4 chunks)
+  // Phases that did not run are omitted.
+  std::string Summary() const;
+};
+
+}  // namespace harp

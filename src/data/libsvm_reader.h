@@ -1,12 +1,25 @@
 // LIBSVM sparse-format loader: "label idx:value idx:value ...", indices
 // 1-based by default. Absent features are missing; output is CSR.
+//
+// Two parsers produce bit-identical Datasets:
+//   ParseLibsvm        — the original serial getline parser, kept as the
+//                        correctness oracle for tests and bench_ingest;
+//   ParseLibsvmChunked — splits the buffer at newline boundaries, scans
+//                        tokens in place (no per-line Split vectors) into
+//                        per-chunk CSR fragments on a ThreadPool, then
+//                        stitches the fragments in chunk order.
+// ReadLibsvm loads the file with one read() and runs the chunked parser.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "data/dataset.h"
+#include "data/ingest_stats.h"
 
 namespace harp {
+
+class ThreadPool;
 
 struct LibsvmOptions {
   bool zero_based = false;  // feature indices start at 0 instead of 1
@@ -14,10 +27,22 @@ struct LibsvmOptions {
   uint32_t num_features = 0;
 };
 
+// Loads `path` with a single pre-sized read and parses it with the chunked
+// parser (`pool` may be null — a transient pool is created for inputs big
+// enough to matter). Fills *stats when non-null.
 bool ReadLibsvm(const std::string& path, const LibsvmOptions& options,
-                Dataset* out, std::string* error);
+                Dataset* out, std::string* error,
+                IngestStats* stats = nullptr, ThreadPool* pool = nullptr);
 
+// Serial oracle parser (testing / in-memory data).
 bool ParseLibsvm(const std::string& content, const LibsvmOptions& options,
                  Dataset* out, std::string* error);
+
+// Chunked parallel parser: output (including error messages and their
+// line numbers) is identical to ParseLibsvm for every input.
+bool ParseLibsvmChunked(std::string_view content,
+                        const LibsvmOptions& options, int num_chunks,
+                        ThreadPool* pool, Dataset* out, std::string* error,
+                        IngestStats* stats = nullptr);
 
 }  // namespace harp

@@ -1,0 +1,102 @@
+// Newline-aligned chunking for the parallel text parsers.
+//
+// A chunk is a half-open byte range [begin, end) of the input buffer that
+// starts at a line start (offset 0 or one past a '\n') and ends one past a
+// '\n' (or at end-of-buffer for the final chunk). No line ever spans two
+// chunks, so each chunk can be scanned independently and the per-chunk
+// results stitched back in chunk order.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+
+namespace harp {
+
+struct TextChunk {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+// Splits text[start, text.size()) into at most `max_chunks` newline-aligned
+// chunks of roughly equal byte size. Returns fewer chunks when the region
+// has fewer lines than requested (possibly just one), and an empty vector
+// for an empty region.
+inline std::vector<TextChunk> ChunkLines(std::string_view text, size_t start,
+                                         int max_chunks) {
+  std::vector<TextChunk> chunks;
+  const size_t n = text.size();
+  if (start >= n) return chunks;
+  if (max_chunks < 1) max_chunks = 1;
+  const size_t span = n - start;
+  size_t pos = start;
+  for (int i = 1; i < max_chunks && pos < n; ++i) {
+    // Ideal cut for an equal-byte split, advanced to the next line start.
+    size_t goal = start + span * static_cast<size_t>(i) /
+                              static_cast<size_t>(max_chunks);
+    if (goal < pos) goal = pos;
+    if (goal >= n) break;
+    const char* nl = static_cast<const char*>(
+        std::memchr(text.data() + goal, '\n', n - goal));
+    if (nl == nullptr) break;
+    const size_t cut = static_cast<size_t>(nl - text.data()) + 1;
+    if (cut > pos && cut < n) {
+      chunks.push_back(TextChunk{pos, cut});
+      pos = cut;
+    }
+  }
+  chunks.push_back(TextChunk{pos, n});
+  return chunks;
+}
+
+// Calls fn(line, line_end_offset) for every '\n'-separated segment of
+// text[begin, end), exactly mirroring std::getline: the '\n' is not part
+// of the line, a trailing '\n' does not create an extra empty line, and a
+// final segment without '\n' is still a line. Returns the number of lines
+// visited. `fn` returns false to stop early (the aborted line still
+// counts).
+template <typename Fn>
+inline int64_t ForEachLine(std::string_view text, size_t begin, size_t end,
+                           Fn&& fn) {
+  int64_t lines = 0;
+  size_t pos = begin;
+  while (pos < end) {
+    const char* nl = static_cast<const char*>(
+        std::memchr(text.data() + pos, '\n', end - pos));
+    const size_t line_end =
+        nl ? static_cast<size_t>(nl - text.data()) : end;
+    ++lines;
+    if (!fn(text.substr(pos, line_end - pos))) return lines;
+    pos = nl ? line_end + 1 : end;
+  }
+  return lines;
+}
+
+// Runs fn(chunk_index) for every chunk, on the pool when one is given
+// (each chunk writes only its own result slot, so no synchronization
+// beyond the region barrier is needed).
+template <typename Fn>
+inline void RunChunks(ThreadPool* pool, int num_chunks, const Fn& fn) {
+  if (pool != nullptr && num_chunks > 1) {
+    pool->ParallelFor(num_chunks, [&](int64_t begin, int64_t end, int) {
+      for (int64_t i = begin; i < end; ++i) fn(static_cast<int>(i));
+    });
+  } else {
+    for (int i = 0; i < num_chunks; ++i) fn(i);
+  }
+}
+
+// Chunk-count heuristic for the file readers: one chunk per 256KB up to
+// the thread budget, so small files skip thread fan-out entirely.
+inline int PickChunkCount(size_t bytes, int threads) {
+  const int64_t by_size = static_cast<int64_t>(bytes >> 18);
+  return static_cast<int>(
+      std::max<int64_t>(1, std::min<int64_t>(threads, by_size)));
+}
+
+}  // namespace harp

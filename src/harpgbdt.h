@@ -24,6 +24,7 @@
 #include "data/csv_reader.h"    // ReadCsv
 #include "data/dataset.h"       // Dataset
 #include "data/dataset_stats.h" // ComputeShape
+#include "data/ingest_stats.h"  // IngestStats
 #include "data/libsvm_reader.h" // ReadLibsvm
 #include "data/quantile.h"      // QuantileCuts
 #include "data/synthetic.h"     // GenerateSynthetic + shape presets

@@ -102,6 +102,66 @@ TEST(BinaryCache, TruncatedFileRejected) {
   std::remove(path.c_str());
 }
 
+TEST(BinaryCache, ChecksumFlipRejected) {
+  SyntheticSpec spec;
+  spec.rows = 300;
+  spec.features = 6;
+  const Dataset original = GenerateSynthetic(spec);
+  const std::string path = "/tmp/harp_cache_bitflip.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one payload bit in the middle of the value section.
+  content[content.size() / 2] ^= 0x04;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+  Dataset ds;
+  EXPECT_FALSE(ReadDatasetCache(path, &ds, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+  EXPECT_NE(error.find("re-generate"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, TrailingGarbageRejected) {
+  SyntheticSpec spec;
+  spec.rows = 100;
+  spec.features = 4;
+  const Dataset original = GenerateSynthetic(spec);
+  const std::string path = "/tmp/harp_cache_garbage.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra bytes after the footer";
+  }
+  Dataset ds;
+  EXPECT_FALSE(ReadDatasetCache(path, &ds, &error));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, V1FormatRejectedWithRegenerateHint) {
+  const std::string path = "/tmp/harp_cache_v1.bin";
+  {
+    const uint64_t v1_magic = 0x48415250474231ULL;  // "HARPGB1"
+    std::ofstream out(path, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(&v1_magic), sizeof(v1_magic));
+    const std::string padding(64, '\0');
+    out.write(padding.data(), static_cast<std::streamsize>(padding.size()));
+  }
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ReadDatasetCache(path, &ds, &error));
+  EXPECT_NE(error.find("v1"), std::string::npos) << error;
+  EXPECT_NE(error.find("re-generate"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
 TEST(BinaryCache, UnwritablePathFails) {
   SyntheticSpec spec;
   spec.rows = 10;

@@ -2,11 +2,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <set>
 
 #include "common/aligned.h"
 #include "common/env.h"
+#include "common/file_util.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/string_util.h"
@@ -130,6 +133,63 @@ TEST(ParseDoubleTest, Invalid) {
   EXPECT_DOUBLE_EQ(v, 7.0);  // untouched on failure
 }
 
+TEST(ParseFloatTest, Valid) {
+  float v = 0.0f;
+  EXPECT_TRUE(ParseFloat("3.5", &v));
+  EXPECT_FLOAT_EQ(v, 3.5f);
+  EXPECT_TRUE(ParseFloat("-1e3", &v));
+  EXPECT_FLOAT_EQ(v, -1000.0f);
+  EXPECT_TRUE(ParseFloat("0.001953125", &v));
+  EXPECT_FLOAT_EQ(v, 0.001953125f);
+  EXPECT_TRUE(ParseFloat("nan", &v));
+  EXPECT_TRUE(std::isnan(v));
+  EXPECT_TRUE(ParseFloat("inf", &v));
+  EXPECT_TRUE(std::isinf(v));
+}
+
+TEST(ParseFloatTest, FallbackForms) {
+  // Forms std::from_chars rejects but strtod accepts; ParseFloat must
+  // accept them so it behaves exactly like ParseDouble-then-cast.
+  float v = 0.0f;
+  EXPECT_TRUE(ParseFloat("+1.5", &v));
+  EXPECT_FLOAT_EQ(v, 1.5f);
+  EXPECT_TRUE(ParseFloat("0x10", &v));
+  EXPECT_FLOAT_EQ(v, 16.0f);
+  EXPECT_TRUE(ParseFloat("0x1.8p+1", &v));
+  EXPECT_FLOAT_EQ(v, 3.0f);
+}
+
+TEST(ParseFloatTest, Invalid) {
+  float v = 7.0f;
+  EXPECT_FALSE(ParseFloat("", &v));
+  EXPECT_FALSE(ParseFloat("abc", &v));
+  EXPECT_FALSE(ParseFloat("1.5x", &v));
+  EXPECT_FALSE(ParseFloat("1e99999", &v));  // overflow, as in ParseDouble
+  EXPECT_FLOAT_EQ(v, 7.0f);  // untouched on failure
+}
+
+TEST(ParseFloatTest, AgreesWithParseDouble) {
+  const char* cases[] = {"0",     "-0.0",    "1",        "123.456",
+                         "1e-8",  "-2.5E+6", "99999999", ".5",
+                         "5.",    "1e308",   "4.9e-324", "2.2250738585072014e-308",
+                         "abc",   "1..2",    "--1",      "1 2",
+                         "1e",    "e5",      "+inf",     "-nan"};
+  for (const char* text : cases) {
+    double d = 0.0;
+    float f = 0.0f;
+    const bool ok_d = ParseDouble(text, &d);
+    const bool ok_f = ParseFloat(text, &f);
+    EXPECT_EQ(ok_d, ok_f) << "disagree on '" << text << "'";
+    if (ok_d && ok_f) {
+      const float expected = static_cast<float>(d);
+      const bool both_nan = std::isnan(expected) && std::isnan(f);
+      EXPECT_TRUE(both_nan || expected == f)
+          << "value mismatch on '" << text << "': " << expected << " vs "
+          << f;
+    }
+  }
+}
+
 TEST(ParseIntTest, ValidAndInvalid) {
   int64_t v = 0;
   EXPECT_TRUE(ParseInt("-42", &v));
@@ -156,6 +216,45 @@ TEST(HumanUnits, Bytes) {
   EXPECT_EQ(HumanBytes(512), "512B");
   EXPECT_EQ(HumanBytes(2048), "2.0KB");
   EXPECT_EQ(HumanBytes(3.5 * 1024 * 1024), "3.5MB");
+}
+
+// ---------- file_util ----------
+
+TEST(FileUtil, RoundtripIncludingBinary) {
+  const std::string path = "/tmp/harp_test_file_util.bin";
+  std::string content = "line1\nline2\r\n";
+  content += '\0';
+  content += "after-nul";
+  std::string error;
+  ASSERT_TRUE(WriteStringToFile(path, content, &error)) << error;
+  std::string loaded;
+  ASSERT_TRUE(ReadFileToString(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded, content);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, EmptyFile) {
+  const std::string path = "/tmp/harp_test_file_util_empty.bin";
+  std::string error;
+  ASSERT_TRUE(WriteStringToFile(path, "", &error)) << error;
+  std::string loaded = "stale";
+  ASSERT_TRUE(ReadFileToString(path, &loaded, &error)) << error;
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtil, MissingFileFails) {
+  std::string loaded;
+  std::string error;
+  EXPECT_FALSE(
+      ReadFileToString("/tmp/does_not_exist_harp_file_util", &loaded, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FileUtil, UnwritableDirFails) {
+  std::string error;
+  EXPECT_FALSE(WriteStringToFile("/nonexistent_dir/x.txt", "data", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 // ---------- env ----------

@@ -1,14 +1,93 @@
-// Tests for the CSV and LIBSVM text readers.
+// Tests for the CSV and LIBSVM text readers, including the chunked
+// parallel parsers' bit-identity against the serial oracles.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <string>
 
 #include "data/csv_reader.h"
 #include "data/libsvm_reader.h"
+#include "data/text_chunker.h"
+#include "parallel/thread_pool.h"
 
 namespace harp {
 namespace {
+
+// Bytewise vector equality (memcmp only when non-empty — a null data()
+// pointer from an empty vector is UB to pass to memcmp).
+template <typename T>
+bool SameBytes(const std::vector<T>& a, const std::vector<T>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+// Bitwise dataset equality: float payloads are compared as raw bytes so
+// NaN missing markers compare equal and any rounding difference fails.
+void ExpectBitIdentical(const Dataset& a, const Dataset& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_EQ(a.num_features(), b.num_features());
+  ASSERT_EQ(a.layout(), b.layout());
+  EXPECT_TRUE(SameBytes(a.labels(), b.labels()));
+  EXPECT_TRUE(SameBytes(a.dense_values(), b.dense_values()));
+  EXPECT_EQ(a.row_ptr(), b.row_ptr());
+  EXPECT_TRUE(SameBytes(a.entries(), b.entries()));
+}
+
+// Parses `content` with the serial oracle and the chunked parser at
+// several chunk counts and thread counts, requiring identical outcomes:
+// same Dataset bits on success, same error string on failure.
+void CheckCsvOracle(const std::string& content, const CsvOptions& options) {
+  Dataset serial;
+  std::string serial_error;
+  const bool serial_ok = ParseCsv(content, options, &serial, &serial_error);
+  for (int chunks : {1, 2, 3, 7}) {
+    for (int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      Dataset chunked;
+      std::string chunked_error;
+      const bool chunked_ok = ParseCsvChunked(
+          content, options, chunks, &pool, &chunked, &chunked_error);
+      ASSERT_EQ(serial_ok, chunked_ok)
+          << "chunks=" << chunks << " threads=" << threads << " serial='"
+          << serial_error << "' chunked='" << chunked_error << "'";
+      if (serial_ok) {
+        ExpectBitIdentical(serial, chunked);
+      } else {
+        EXPECT_EQ(serial_error, chunked_error)
+            << "chunks=" << chunks << " threads=" << threads;
+      }
+    }
+  }
+}
+
+void CheckLibsvmOracle(const std::string& content,
+                       const LibsvmOptions& options) {
+  Dataset serial;
+  std::string serial_error;
+  const bool serial_ok =
+      ParseLibsvm(content, options, &serial, &serial_error);
+  for (int chunks : {1, 2, 3, 7}) {
+    for (int threads : {1, 2, 4}) {
+      ThreadPool pool(threads);
+      Dataset chunked;
+      std::string chunked_error;
+      const bool chunked_ok = ParseLibsvmChunked(
+          content, options, chunks, &pool, &chunked, &chunked_error);
+      ASSERT_EQ(serial_ok, chunked_ok)
+          << "chunks=" << chunks << " threads=" << threads << " serial='"
+          << serial_error << "' chunked='" << chunked_error << "'";
+      if (serial_ok) {
+        ExpectBitIdentical(serial, chunked);
+      } else {
+        EXPECT_EQ(serial_error, chunked_error)
+            << "chunks=" << chunks << " threads=" << threads;
+      }
+    }
+  }
+}
 
 // ---------- CSV ----------
 
@@ -178,6 +257,277 @@ TEST(Libsvm, ReadsFromFile) {
   EXPECT_EQ(ds.num_rows(), 1u);
   std::remove(path.c_str());
   EXPECT_FALSE(ReadLibsvm(path, LibsvmOptions{}, &ds, &error));
+}
+
+// ---------- chunked parsers vs serial oracle ----------
+
+// A CSV document long enough that every chunk count in the sweep yields
+// multiple real chunks, with missing values, negatives, exponents and
+// blank lines sprinkled deterministically.
+std::string MakeCsvDoc(int rows, const char* eol = "\n") {
+  std::string doc;
+  for (int r = 0; r < rows; ++r) {
+    if (r % 11 == 5) {  // interleave blank / whitespace-only lines
+      doc += (r % 2 == 0) ? "" : "   ";
+      doc += eol;
+    }
+    doc += (r % 3 == 0) ? "1" : "0";
+    for (int c = 0; c < 5; ++c) {
+      doc += ',';
+      const int k = r * 5 + c;
+      if (k % 13 == 3) {
+        // missing field spellings
+        doc += (k % 2 == 0) ? "" : (k % 3 == 0 ? "NA" : "nan");
+      } else if (k % 7 == 2) {
+        doc += "-";
+        doc += std::to_string(k) + ".5e-2";
+      } else {
+        doc += std::to_string(k % 100) + "." + std::to_string(k % 997);
+      }
+    }
+    doc += eol;
+  }
+  return doc;
+}
+
+std::string MakeLibsvmDoc(int rows, const char* eol = "\n") {
+  std::string doc;
+  for (int r = 0; r < rows; ++r) {
+    if (r % 9 == 4) {
+      doc += "  ";
+      doc += eol;
+    }
+    doc += (r % 2 == 0) ? "1" : "-1";
+    if (r % 17 != 8) {  // some rows have no features at all
+      for (int c = 0; c < 1 + r % 4; ++c) {
+        const int feature = 1 + c * 3 + r % 3;
+        doc += " " + std::to_string(feature) + ":" +
+               std::to_string(r % 50) + "." + std::to_string(c + 1) + "25";
+      }
+    }
+    doc += eol;
+  }
+  return doc;
+}
+
+TEST(CsvChunked, BitIdenticalAcrossChunkAndThreadCounts) {
+  CheckCsvOracle(MakeCsvDoc(200), CsvOptions{});
+}
+
+TEST(CsvChunked, BitIdenticalWithHeaderAndLabelColumn) {
+  CsvOptions options;
+  options.has_header = true;
+  options.label_column = 3;
+  CheckCsvOracle("h0,h1,h2,h3,h4,h5\n" + MakeCsvDoc(97), options);
+}
+
+TEST(CsvChunked, CrlfMatchesLf) {
+  const std::string lf = MakeCsvDoc(83, "\n");
+  const std::string crlf = MakeCsvDoc(83, "\r\n");
+  Dataset from_lf, from_crlf;
+  std::string error;
+  ASSERT_TRUE(ParseCsv(lf, CsvOptions{}, &from_lf, &error)) << error;
+  ASSERT_TRUE(ParseCsv(crlf, CsvOptions{}, &from_crlf, &error)) << error;
+  ExpectBitIdentical(from_lf, from_crlf);
+  CheckCsvOracle(crlf, CsvOptions{});
+}
+
+TEST(CsvChunked, MissingTrailingNewline) {
+  std::string doc = MakeCsvDoc(59);
+  doc.pop_back();  // drop the final '\n'
+  CheckCsvOracle(doc, CsvOptions{});
+  std::string crlf = MakeCsvDoc(59, "\r\n");
+  crlf.resize(crlf.size() - 2);  // drop the final "\r\n" entirely...
+  crlf += "\r";                  // ...then end on a bare CR
+  CheckCsvOracle(crlf, CsvOptions{});
+}
+
+TEST(CsvChunked, SingleLineNoNewline) {
+  CheckCsvOracle("1,2,3", CsvOptions{});
+}
+
+TEST(CsvChunked, EmptyAndHeaderOnlyInputs) {
+  CheckCsvOracle("", CsvOptions{});
+  CheckCsvOracle("\n\n  \n", CsvOptions{});
+  CsvOptions with_header;
+  with_header.has_header = true;
+  CheckCsvOracle("label,f0,f1\n", with_header);
+  CheckCsvOracle("label,f0,f1", with_header);
+  CheckCsvOracle("\n\nlabel,f0,f1\n\n\n", with_header);
+}
+
+TEST(CsvChunked, ErrorLineNumbersFromLaterChunks) {
+  // 60 clean lines, then a bad value: every chunk count must report the
+  // same "line N" as the serial parser even when the bad line lands in a
+  // non-first chunk.
+  std::string doc = MakeCsvDoc(60);
+  doc += "1,2,xyz,4,5,6\n";
+  doc += MakeCsvDoc(10);
+  CheckCsvOracle(doc, CsvOptions{});
+  Dataset ds;
+  std::string error;
+  ASSERT_FALSE(ParseCsv(doc, CsvOptions{}, &ds, &error));
+  EXPECT_NE(error.find("bad value 'xyz'"), std::string::npos) << error;
+}
+
+TEST(CsvChunked, FieldCountErrorFromLaterChunks) {
+  std::string doc = MakeCsvDoc(48);
+  doc += "1,2,3\n";  // 3 fields instead of 6
+  doc += MakeCsvDoc(12);
+  CheckCsvOracle(doc, CsvOptions{});
+}
+
+TEST(CsvChunked, BadLabelErrorFromLaterChunks) {
+  std::string doc = MakeCsvDoc(52);
+  doc += "oops,1,2,3,4,5\n";
+  CheckCsvOracle(doc, CsvOptions{});
+}
+
+TEST(CsvChunked, LabelColumnOutOfRange) {
+  CsvOptions options;
+  options.label_column = 9;
+  CheckCsvOracle(MakeCsvDoc(20), options);
+}
+
+TEST(CsvChunked, AdversarialChunkBoundaries) {
+  // Mix of very short and very long lines so equal-byte cut points land
+  // inside lines, right on delimiters, and inside CRLF pairs.
+  std::string doc;
+  for (int r = 0; r < 40; ++r) {
+    doc += std::to_string(r % 2);
+    const int width = (r % 5 == 0) ? 40 : 1;
+    for (int c = 0; c < 2; ++c) {
+      doc += ",";
+      for (int k = 0; k < width; ++k) doc += "1";
+      doc += "." + std::to_string(r);
+    }
+    doc += (r % 4 == 0) ? "\r\n" : "\n";
+  }
+  for (int chunks = 1; chunks <= 9; ++chunks) {
+    Dataset serial, chunked;
+    std::string e1, e2;
+    ASSERT_TRUE(ParseCsv(doc, CsvOptions{}, &serial, &e1)) << e1;
+    ThreadPool pool(3);
+    ASSERT_TRUE(ParseCsvChunked(doc, CsvOptions{}, chunks, &pool, &chunked,
+                                &e2))
+        << e2;
+    ExpectBitIdentical(serial, chunked);
+  }
+}
+
+TEST(CsvChunked, NullPoolRunsSerially) {
+  Dataset serial, chunked;
+  std::string e1, e2;
+  const std::string doc = MakeCsvDoc(33);
+  ASSERT_TRUE(ParseCsv(doc, CsvOptions{}, &serial, &e1)) << e1;
+  ASSERT_TRUE(
+      ParseCsvChunked(doc, CsvOptions{}, 5, nullptr, &chunked, &e2))
+      << e2;
+  ExpectBitIdentical(serial, chunked);
+}
+
+TEST(LibsvmChunked, BitIdenticalAcrossChunkAndThreadCounts) {
+  CheckLibsvmOracle(MakeLibsvmDoc(150), LibsvmOptions{});
+  LibsvmOptions zero_based;
+  zero_based.zero_based = true;
+  CheckLibsvmOracle(MakeLibsvmDoc(150), zero_based);
+}
+
+TEST(LibsvmChunked, CrlfMatchesLf) {
+  const std::string lf = MakeLibsvmDoc(77, "\n");
+  const std::string crlf = MakeLibsvmDoc(77, "\r\n");
+  Dataset from_lf, from_crlf;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm(lf, LibsvmOptions{}, &from_lf, &error)) << error;
+  ASSERT_TRUE(ParseLibsvm(crlf, LibsvmOptions{}, &from_crlf, &error))
+      << error;
+  ExpectBitIdentical(from_lf, from_crlf);
+  CheckLibsvmOracle(crlf, LibsvmOptions{});
+}
+
+TEST(LibsvmChunked, MissingTrailingNewline) {
+  std::string doc = MakeLibsvmDoc(41);
+  doc.pop_back();
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+}
+
+TEST(LibsvmChunked, EmptyInputs) {
+  CheckLibsvmOracle("", LibsvmOptions{});
+  CheckLibsvmOracle("\n \n\t\n", LibsvmOptions{});
+}
+
+TEST(LibsvmChunked, ErrorLineNumbersFromLaterChunks) {
+  std::string doc = MakeLibsvmDoc(64);
+  doc += "1 a:b\n";
+  doc += MakeLibsvmDoc(8);
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+  Dataset ds;
+  std::string error;
+  ASSERT_FALSE(ParseLibsvm(doc, LibsvmOptions{}, &ds, &error));
+  EXPECT_NE(error.find("bad entry 'a:b'"), std::string::npos) << error;
+}
+
+TEST(LibsvmChunked, OrderAndBaseErrorsMatchSerial) {
+  std::string doc = MakeLibsvmDoc(30);
+  doc += "1 3:1 2:2\n";  // non-increasing indices
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+  doc = MakeLibsvmDoc(30);
+  doc += "1 0:7\n";  // below 1-based base
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+  doc = MakeLibsvmDoc(30);
+  doc += "1 1:2:3\n";  // too many colons
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+}
+
+TEST(LibsvmChunked, ForcedFeatureCountMatchesSerial) {
+  LibsvmOptions options;
+  options.num_features = 64;
+  CheckLibsvmOracle(MakeLibsvmDoc(90), options);
+  options.num_features = 2;  // too small -> same error as serial
+  CheckLibsvmOracle(MakeLibsvmDoc(90), options);
+}
+
+// ---------- IngestStats from the file readers ----------
+
+TEST(IngestStatsTest, FilledByReadCsv) {
+  const std::string path = "/tmp/harp_test_ingest_csv.csv";
+  const std::string doc = MakeCsvDoc(100);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << doc;
+  }
+  Dataset ds;
+  std::string error;
+  IngestStats stats;
+  ASSERT_TRUE(ReadCsv(path, CsvOptions{}, &ds, &error, &stats)) << error;
+  EXPECT_EQ(stats.bytes, doc.size());
+  EXPECT_EQ(stats.rows, ds.num_rows());
+  EXPECT_GE(stats.read_ns, 0);
+  EXPECT_GT(stats.parse_ns, 0);
+  EXPECT_GE(stats.chunks, 1);
+  const std::string summary = stats.Summary();
+  EXPECT_NE(summary.find("ingest:"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("rows"), std::string::npos) << summary;
+  std::remove(path.c_str());
+}
+
+TEST(IngestStatsTest, FilledByReadLibsvm) {
+  const std::string path = "/tmp/harp_test_ingest_libsvm.txt";
+  const std::string doc = MakeLibsvmDoc(80);
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << doc;
+  }
+  Dataset ds;
+  std::string error;
+  IngestStats stats;
+  ThreadPool pool(2);
+  ASSERT_TRUE(
+      ReadLibsvm(path, LibsvmOptions{}, &ds, &error, &stats, &pool))
+      << error;
+  EXPECT_EQ(stats.bytes, doc.size());
+  EXPECT_EQ(stats.rows, ds.num_rows());
+  std::remove(path.c_str());
 }
 
 }  // namespace
