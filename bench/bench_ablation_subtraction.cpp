@@ -25,6 +25,10 @@ int main() {
         p.use_hist_subtraction = subtraction;
         TrainStats stats;
         GbdtTrainer(p).TrainBinned(data.matrix, data.train.labels(), &stats);
+        ReportStats("ablation_subtraction",
+                    StrFormat("%s_D%d_sub_%s", ToString(mode).c_str(), d,
+                              subtraction ? "on" : "off"),
+                    stats);
         std::printf("%-10s %6d %12s %12.1fms %14lld %12s\n",
                     ToString(mode).c_str(), d, subtraction ? "on" : "off",
                     MsPerTree(stats),

@@ -184,4 +184,74 @@ inline void PrintSeries(const std::string& name,
   std::printf("   (%.2fs total)\n", series.empty() ? 0.0 : series.back().seconds);
 }
 
+// ---- machine-readable results ----
+//
+// Every bench binary reports each measurement through ReportResult, which
+// prints one `BENCH_JSON {...}` line to stdout (so CI and scripts can grep
+// results out of the human-readable tables) and, when HARP_BENCH_JSON_DIR
+// is set, appends the same object to $HARP_BENCH_JSON_DIR/BENCH_<bench>.json
+// (JSON-lines, one object per measurement). Fields:
+//   bench       bench id (one file per binary)
+//   name        measurement label (config under test)
+//   reps        repetitions averaged into `ns` (trees, passes, ...)
+//   ns          nanoseconds per repetition
+//   throughput  items per second (bench-specific item: rows, updates, ...)
+//   auc         only for accuracy measurements (omitted when < 0)
+
+// Labels are built from enum names and format strings; strip the two JSON
+// metacharacters rather than pulling in a full escaper.
+inline std::string JsonSafe(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '"' || c == '\\') c = '_';
+  }
+  return out;
+}
+
+inline void ReportResult(const std::string& bench, const std::string& name,
+                         int64_t reps, double ns, double throughput,
+                         double auc = -1.0) {
+  std::string obj = StrFormat(
+      "{\"bench\":\"%s\",\"name\":\"%s\",\"reps\":%lld,\"ns\":%.1f,"
+      "\"throughput\":%.4f",
+      JsonSafe(bench).c_str(), JsonSafe(name).c_str(),
+      static_cast<long long>(reps), ns, throughput);
+  if (auc >= 0.0) obj += StrFormat(",\"auc\":%.6f", auc);
+  obj += "}";
+  std::printf("BENCH_JSON %s\n", obj.c_str());
+  const std::string dir = GetEnvString("HARP_BENCH_JSON_DIR", "");
+  if (!dir.empty()) {
+    const std::string path = dir + "/BENCH_" + JsonSafe(bench) + ".json";
+    if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+      std::fprintf(f, "%s\n", obj.c_str());
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "(json archive skipped: cannot open %s)\n",
+                   path.c_str());
+    }
+  }
+}
+
+// TrainStats convenience: reps = trees, ns = per tree, throughput =
+// histogram updates per second (the memory-bound figure of merit).
+inline void ReportStats(const std::string& bench, const std::string& name,
+                        const TrainStats& stats) {
+  const int trees = std::max(1, stats.trees);
+  ReportResult(bench, name, trees,
+               static_cast<double>(stats.wall_ns) / trees,
+               static_cast<double>(stats.hist_updates) /
+                   std::max(1e-12, NsToSec(stats.wall_ns)));
+}
+
+// Convergence convenience: reps = trees, ns = per tree, throughput =
+// trees per second, auc = final held-out AUC.
+inline void ReportSeries(const std::string& bench, const std::string& name,
+                         const std::vector<ConvergencePoint>& series) {
+  if (series.empty()) return;
+  const ConvergencePoint& last = series.back();
+  const double seconds = std::max(1e-12, last.seconds);
+  ReportResult(bench, name, last.trees, seconds * 1e9 / last.trees,
+               static_cast<double>(last.trees) / seconds, last.auc);
+}
+
 }  // namespace harp::bench

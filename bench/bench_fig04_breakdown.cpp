@@ -56,6 +56,10 @@ int main() {
     }
   }
 
+  for (const Row& r : rows) {
+    ReportStats("fig04", StrFormat("%s_D%d", r.trainer.c_str(), r.d),
+                r.stats);
+  }
   std::printf("%-10s %3s %12s %12s %12s %12s %10s %8s\n", "trainer", "D",
               "BuildHist", "FindSplit", "ApplySplit", "ms/tree", "regions",
               "leaves");
@@ -124,6 +128,8 @@ int main() {
     p.use_fused_step = fused;
     TrainStats stats;
     GbdtTrainer(p).TrainBinned(data.matrix, data.train.labels(), &stats);
+    ReportStats("fig04", fused ? "harp_sync_fused" : "harp_sync_phase",
+                stats);
     const double per_tree = 1.0 / std::max(1, stats.trees);
     const double per_batch =
         1.0 / static_cast<double>(std::max<int64_t>(1, stats.topk_batches));

@@ -38,14 +38,13 @@ int main() {
           k == 1 ? GrowPolicy::kLeafwise : GrowPolicy::kTopK, k);
       p.num_trees = trees;
       GbdtTrainer trainer(p);
-      PrintSeries(StrFormat("K=%d", k),
-                  TrackConvergence(data.test,
-                                   [&](const IterCallback& cb) {
-                                     trainer.TrainBinned(
-                                         data.matrix, data.train.labels(),
-                                         nullptr, cb);
-                                   }),
-                  checkpoints);
+      const auto series =
+          TrackConvergence(data.test, [&](const IterCallback& cb) {
+            trainer.TrainBinned(data.matrix, data.train.labels(), nullptr,
+                                cb);
+          });
+      PrintSeries(StrFormat("K=%d", k), series, checkpoints);
+      ReportSeries("fig09", StrFormat("%s_K%d", dc.name, k), series);
     }
   }
   std::printf("\nshape check: final-column AUCs agree within noise across "

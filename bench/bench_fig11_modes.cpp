@@ -59,6 +59,10 @@ int main() {
       std::printf("%-8s", ToString(mode).c_str());
       for (int d : sizes) {
         const TrainStats stats = run(mode, d, row_blk);
+        ReportStats("fig11",
+                    StrFormat("%s_D%d_rowblk%lld", ToString(mode).c_str(), d,
+                              static_cast<long long>(row_blk)),
+                    stats);
         std::printf("  %7.1f (%4lld)", MsPerTree(stats),
                     static_cast<long long>(stats.sync.parallel_regions /
                                            std::max(1, stats.trees)));

@@ -24,7 +24,11 @@ int main() {
   auto print_row = [&](const char* name, auto&& runner) {
     std::printf("%-14s", name);
     for (int d : sizes) {
-      std::printf("  %9.1fms", runner(d) * 1e3);
+      const double sec = runner(d);
+      ReportResult("fig12", StrFormat("%s_D%d", name, d), Trees(),
+                   sec * 1e9,
+                   static_cast<double>(data.train.num_rows()) / sec);
+      std::printf("  %9.1fms", sec * 1e3);
     }
     std::printf("\n");
   };

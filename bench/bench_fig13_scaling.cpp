@@ -61,6 +61,7 @@ int main() {
     std::printf("%-10s", name);
     for (int t : thread_counts) {
       const TrainStats s = run(name, strong_data, t);
+      ReportStats("fig13", StrFormat("strong_%s_T%d", name, t), s);
       const double eff =
           static_cast<double>(s.sync.busy_ns) /
           std::max<int64_t>(1, s.sync.busy_ns + s.sync.barrier_wait_ns +
@@ -93,6 +94,7 @@ int main() {
           data.train, QuantileCuts::Compute(data.train, 256, &pool), &pool);
       data.matrix.EnsureColumnMajor(&pool);
       const TrainStats s = run(name, data, t);
+      ReportStats("fig13", StrFormat("weak_%s_T%d", name, t), s);
       if (t == thread_counts.front()) t1_sec = s.SecondsPerTree();
       std::printf("  %6.3fs (%3.0f%%)", s.SecondsPerTree(),
                   100.0 * t1_sec / std::max(1e-12, s.SecondsPerTree()));

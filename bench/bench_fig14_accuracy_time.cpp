@@ -56,6 +56,8 @@ int main() {
     std::vector<SeriesRow> all;
     for (const char* name : {"XGB-Leaf", "LightGBM", "HarpGBDT"}) {
       all.push_back({name, series_for(name)});
+      ReportSeries("fig14", StrFormat("D%d_%s", d, name),
+                   all.back().series);
     }
 
     // Milestones: fractions of the best AUC any system reaches.

@@ -58,6 +58,10 @@ int main() {
         GbdtTrainer(p).TrainBinned(data.matrix, data.train.labels(),
                                    &harp_stats);
       }
+      ReportStats("fig15", StrFormat("%s_D%d_XGB-Leaf", dc.name, d), xgb);
+      ReportStats("fig15", StrFormat("%s_D%d_LightGBM", dc.name, d), lgbm);
+      ReportStats("fig15", StrFormat("%s_D%d_HarpGBDT", dc.name, d),
+                  harp_stats);
       const double sx = xgb.SecondsPerTree() / harp_stats.SecondsPerTree();
       const double sl = lgbm.SecondsPerTree() / harp_stats.SecondsPerTree();
       vs_xgb.push_back(sx);

@@ -68,6 +68,9 @@ int main() {
     const auto xgb = series_for(0);
     const auto lgbm = series_for(1);
     const auto harp_series = series_for(2);
+    ReportSeries("fig16", StrFormat("%s_XGB-Leaf", dc.name), xgb);
+    ReportSeries("fig16", StrFormat("%s_LightGBM", dc.name), lgbm);
+    ReportSeries("fig16", StrFormat("%s_HarpGBDT", dc.name), harp_series);
 
     // Common goal: the minimum of the three final AUCs (every system
     // reaches it), slightly discounted for noise.

@@ -159,6 +159,11 @@ void BenchFormat(const char* format, const std::string& doc,
   std::printf("%-14s %9s  %13s  %12s  %6s\n", "parser", "time", "throughput",
               "rows", "speedup");
 
+  auto report = [&](const char* parser, double seconds) {
+    harp::bench::ReportResult(
+        "ingest", StrFormat("%s_%s", format, parser), 3, seconds * 1e9,
+        static_cast<double>(doc.size()) / seconds);
+  };
   Dataset out;
   const double serial_s = BestSeconds([&] {
     is_csv ? ParseCsv(doc, csv_options, &out, &error)
@@ -166,6 +171,7 @@ void BenchFormat(const char* format, const std::string& doc,
   });
   PrintRow("serial (seed)", doc.size(), serial.num_rows(), serial_s,
            serial_s);
+  report("serial", serial_s);
   const double one_chunk_s = BestSeconds([&] {
     is_csv ? ParseCsvChunked(doc, csv_options, 1, nullptr, &out, &error)
            : ParseLibsvmChunked(doc, libsvm_options, 1, nullptr, &out,
@@ -173,6 +179,7 @@ void BenchFormat(const char* format, const std::string& doc,
   });
   PrintRow("chunked x1", doc.size(), serial.num_rows(), one_chunk_s,
            serial_s);
+  report("chunked_x1", one_chunk_s);
   const double parallel_s = BestSeconds([&] {
     is_csv ? ParseCsvChunked(doc, csv_options, n_chunks, &pool, &out,
                              &error)
@@ -181,6 +188,7 @@ void BenchFormat(const char* format, const std::string& doc,
   });
   PrintRow(StrFormat("chunked x%d", n_chunks).c_str(), doc.size(),
            serial.num_rows(), parallel_s, serial_s);
+  report("chunked_xN", parallel_s);
 
   // Cache v2 round-trip on the parsed dataset.
   const std::string cache_path =
@@ -199,6 +207,8 @@ void BenchFormat(const char* format, const std::string& doc,
     }
   });
   RequireIdentical(serial, cached, "cache v2");
+  report("cache_write", write_s);
+  report("cache_read", read_s);
   const double cache_mb =
       static_cast<double>(serial.MemoryBytes()) / (1024.0 * 1024.0);
   std::printf("cache v2:      write %.1f MB/s, read %.1f MB/s (%.1f MB, "

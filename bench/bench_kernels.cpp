@@ -7,12 +7,18 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "harpgbdt.h"
 #include "common/random.h"
 #include "core/hist_builder.h"
 #include "core/hist_kernels.h"
+#include "core/quantize.h"
+#include "core/simd.h"
 
 namespace {
 
@@ -24,6 +30,8 @@ struct KernelFixture {
   std::vector<GradientPair> gh;
   std::vector<MemBufEntry> entries;  // MemBuf row list over all rows
   std::vector<uint32_t> row_ids;     // gather row list over all rows
+  QuantScales scales;                // round scales over `gh`
+  AlignedVector<int32_t> packed;     // per-row packed quantized pairs
 
   static const KernelFixture& Get() {
     static KernelFixture* fixture = [] {
@@ -49,6 +57,10 @@ struct KernelFixture {
         f->entries[r] = MemBufEntry{r, f->gh[r].g, f->gh[r].h};
         f->row_ids[r] = r;
       }
+      f->scales = ComputeQuantScales(f->gh, nullptr);
+      QuantizeGradients(f->gh, f->scales, /*stochastic=*/false, 0,
+                        static_cast<int>(SimdLevel::kScalar), nullptr,
+                        &f->packed);
       return f;
     }();
     return *fixture;
@@ -83,22 +95,41 @@ BENCHMARK(BM_BuildHistFeatureBlocks)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 // The generic scalar AccumulateRow path (what the builders ran before the
 // hist_kernels layer) against every specialized kernel, on the same 60k x
 // 64 MemBuf/gather row lists. Variant 0 is the baseline; the others are
-// SelectHistKernel results. Compare the per-variant items/s against
-// variant 0 to read the kernel-layer speedup.
+// SelectHistKernel/SelectQuantHistKernel results. Compare the per-variant
+// items/s against variant 0 (or variant 1, the f64 DP hot path) to read
+// the kernel-layer and quantization speedups. Every non-baseline variant
+// self-verifies against the scalar f64 reference before any timing: f64
+// variants must be bit-identical, quantized variants must dequantize
+// within the per-slot analytic rounding bound AND match the scalar
+// quantized kernel bit-for-bit.
 struct KernelVariant {
   const char* label;
   bool membuf;
   bool full_bins;
   bool full_features;
+  bool quant;
+  SimdLevel level;
 };
 constexpr KernelVariant kVariants[] = {
-    {"generic_scalar_membuf", true, true, true},       // baseline path
-    {"kernel_membuf_full", true, true, true},          // the DP hot path
-    {"kernel_membuf_full_tiled", true, true, false},   // feature-tiled
-    {"kernel_membuf_filtered", true, false, true},     // bin-filtered
-    {"kernel_gather_full", false, true, true},
-    {"kernel_gather_full_tiled", false, true, false},
-    {"kernel_gather_filtered", false, false, true},
+    // baseline path
+    {"generic_scalar_membuf", true, true, true, false, SimdLevel::kScalar},
+    // the DP hot path (the PR 1 comparison anchor)
+    {"kernel_membuf_full", true, true, true, false, SimdLevel::kScalar},
+    {"kernel_membuf_full_tiled", true, true, false, false,
+     SimdLevel::kScalar},
+    {"kernel_membuf_filtered", true, false, true, false, SimdLevel::kScalar},
+    {"kernel_gather_full", false, true, true, false, SimdLevel::kScalar},
+    {"kernel_gather_full_tiled", false, true, false, false,
+     SimdLevel::kScalar},
+    {"kernel_gather_filtered", false, false, true, false,
+     SimdLevel::kScalar},
+    // explicit-AVX2 f64 and the quantized int64-cell path (the
+    // quant_membuf_full_avx2 row is the ISSUE acceptance comparison
+    // against kernel_membuf_full)
+    {"kernel_membuf_full_avx2", true, true, true, false, SimdLevel::kAVX2},
+    {"quant_membuf_full_scalar", true, true, true, true, SimdLevel::kScalar},
+    {"quant_membuf_full_avx2", true, true, true, true, SimdLevel::kAVX2},
+    {"quant_gather_full_avx2", false, true, true, true, SimdLevel::kAVX2},
 };
 
 void BM_AccumulateRowKernels(benchmark::State& state) {
@@ -106,6 +137,10 @@ void BM_AccumulateRowKernels(benchmark::State& state) {
   const size_t variant = static_cast<size_t>(state.range(0));
   const KernelVariant& v = kVariants[variant];
   state.SetLabel(v.label);
+  if (!SimdSupported(v.level)) {
+    state.SkipWithError("simd level not available on this binary/CPU");
+    return;
+  }
 
   const uint32_t rows = f.matrix.num_rows();
   const uint32_t features = f.matrix.num_features();
@@ -119,33 +154,119 @@ void BM_AccumulateRowKernels(benchmark::State& state) {
   m.bin_offsets = f.matrix.BinOffsetsData();
   m.num_features = features;
   m.gradients = f.gh.data();
+  m.qgradients = f.packed.data();
   HistRowSource src;
   if (v.membuf) {
     src.entries = f.entries.data();
   } else {
     src.row_ids = f.row_ids.data();
   }
+  const size_t total_bins = f.matrix.TotalBins();
   const HistKernelFn kernel =
-      SelectHistKernel(v.membuf, v.full_bins, v.full_features);
+      SelectHistKernel(v.membuf, v.full_bins, v.full_features, v.level);
+  const QuantKernelFn qkernel =
+      SelectQuantHistKernel(v.membuf, v.full_bins, v.full_features, v.level);
 
-  std::vector<GHPair> hist(f.matrix.TotalBins());
-  for (auto _ : state) {
-    state.PauseTiming();
-    std::fill(hist.begin(), hist.end(), GHPair{});
-    state.ResumeTiming();
-    if (variant == 0) {
-      // Pre-kernel-layer inner loop: one scalar AccumulateRow per row.
-      for (uint32_t r = 0; r < rows; ++r) {
-        const MemBufEntry& e = f.entries[r];
-        AccumulateRow(f.matrix.RowBins(e.rid), e.g, e.h, f.matrix,
-                      hist.data(), {0u, features}, bins);
+  // ---- correctness gate (untimed): scalar f64 reference over the same
+  // feature blocks / bin filter this variant will run with ----
+  if (variant != 0) {
+    std::vector<GHPair> ref(total_bins);
+    const HistKernelFn ref_kernel = SelectHistKernel(
+        v.membuf, v.full_bins, v.full_features, SimdLevel::kScalar);
+    for (const Range& fb : blocks) {
+      ref_kernel(m, src, 0, rows, ref.data(), fb, bins);
+    }
+    if (!v.quant) {
+      std::vector<GHPair> got(total_bins);
+      for (const Range& fb : blocks) {
+        kernel(m, src, 0, rows, got.data(), fb, bins);
+      }
+      if (std::memcmp(got.data(), ref.data(),
+                      total_bins * sizeof(GHPair)) != 0) {
+        std::fprintf(stderr, "FATAL: %s not bit-identical to scalar f64\n",
+                     v.label);
+        std::abort();
       }
     } else {
+      std::vector<int64_t> qref(total_bins, 0);
+      const QuantKernelFn qscalar = SelectQuantHistKernel(
+          v.membuf, v.full_bins, v.full_features, SimdLevel::kScalar);
       for (const Range& fb : blocks) {
-        kernel(m, src, 0, rows, hist.data(), fb, bins);
+        qscalar(m, src, 0, rows, qref.data(), fb, bins);
+      }
+      std::vector<int64_t> qgot(total_bins, 0);
+      for (const Range& fb : blocks) {
+        qkernel(m, src, 0, rows, qgot.data(), fb, bins);
+      }
+      if (std::memcmp(qgot.data(), qref.data(),
+                      total_bins * sizeof(int64_t)) != 0) {
+        std::fprintf(stderr,
+                     "FATAL: %s not bit-identical to scalar quant kernel\n",
+                     v.label);
+        std::abort();
+      }
+      // Dequantized cells vs the f64 reference: each slot absorbs at most
+      // count * half-step of rounding error per channel.
+      std::vector<uint32_t> counts(total_bins, 0);
+      for (uint32_t r = 0; r < rows; ++r) {
+        const uint8_t* row_bins = f.matrix.RowBins(r);
+        for (const Range& fb : blocks) {
+          for (uint32_t c = fb.first; c < fb.second; ++c) {
+            const uint32_t bin = row_bins[c];
+            if (bin < bins.first || bin >= bins.second) continue;
+            ++counts[m.bin_offsets[c] + bin];
+          }
+        }
+      }
+      std::vector<GHPair> deq(total_bins);
+      DequantizeHistogram(qgot.data(), deq.data(), total_bins, f.scales,
+                          static_cast<int>(v.level));
+      constexpr double kSlack = 1.0 + 1e-6;
+      for (size_t s = 0; s < total_bins; ++s) {
+        const double bound = static_cast<double>(counts[s]) * 0.5 * kSlack;
+        if (std::abs(deq[s].g - ref[s].g) > bound * f.scales.g_inv ||
+            std::abs(deq[s].h - ref[s].h) > bound * f.scales.h_inv) {
+          std::fprintf(stderr,
+                       "FATAL: %s slot %zu outside quantization bound\n",
+                       v.label, s);
+          std::abort();
+        }
       }
     }
-    benchmark::DoNotOptimize(hist.data());
+  }
+
+  // ---- timed region ----
+  if (v.quant) {
+    std::vector<int64_t> qhist(total_bins, 0);
+    for (auto _ : state) {
+      state.PauseTiming();
+      std::fill(qhist.begin(), qhist.end(), int64_t{0});
+      state.ResumeTiming();
+      for (const Range& fb : blocks) {
+        qkernel(m, src, 0, rows, qhist.data(), fb, bins);
+      }
+      benchmark::DoNotOptimize(qhist.data());
+    }
+  } else {
+    std::vector<GHPair> hist(total_bins);
+    for (auto _ : state) {
+      state.PauseTiming();
+      std::fill(hist.begin(), hist.end(), GHPair{});
+      state.ResumeTiming();
+      if (variant == 0) {
+        // Pre-kernel-layer inner loop: one scalar AccumulateRow per row.
+        for (uint32_t r = 0; r < rows; ++r) {
+          const MemBufEntry& e = f.entries[r];
+          AccumulateRow(f.matrix.RowBins(e.rid), e.g, e.h, f.matrix,
+                        hist.data(), {0u, features}, bins);
+        }
+      } else {
+        for (const Range& fb : blocks) {
+          kernel(m, src, 0, rows, hist.data(), fb, bins);
+        }
+      }
+      benchmark::DoNotOptimize(hist.data());
+    }
   }
   state.SetItemsProcessed(state.iterations() * rows * features);
 }

@@ -146,6 +146,11 @@ int main() {
   std::printf("%-10s %16s %16s %10s\n", "path", "naive rows/s",
               "flat rows/s", "speedup");
   for (const Row& r : rows) {
+    const double n_rows = static_cast<double>(test.num_rows());
+    ReportResult("predict", std::string(r.name) + "_naive", 3,
+                 n_rows / r.naive.rows_per_sec * 1e9, r.naive.rows_per_sec);
+    ReportResult("predict", std::string(r.name) + "_flat", 3,
+                 n_rows / r.flat.rows_per_sec * 1e9, r.flat.rows_per_sec);
     std::printf("%-10s %14.0f/s %14.0f/s %9.2fx\n", r.name,
                 r.naive.rows_per_sec, r.flat.rows_per_sec,
                 r.flat.rows_per_sec / r.naive.rows_per_sec);

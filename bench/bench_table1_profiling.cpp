@@ -48,6 +48,7 @@ int main() {
       baselines::LightGbmTrainer(BaselineParams(8, GrowPolicy::kLeafwise))
           .TrainBinned(data.matrix, data.train.labels(), &stats);
     }
+    ReportStats("table1", c.name, stats);
     std::printf("%-10s %11.1f%% %11.1f%% %12.2fns %12lld %10lld | %9.1f%% %9.1f%%\n",
                 c.name, stats.sync.Utilization(stats.wall_ns) * 100.0,
                 stats.sync.BarrierOverhead() * 100.0, stats.NsPerHistUpdate(),

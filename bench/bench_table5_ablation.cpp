@@ -47,18 +47,28 @@ int main() {
       p.feature_blk_size =
           base_mode == ParallelMode::kMP ? 1 : 0;  // standard baselines
 
+      auto report_step = [&](const char* step, double sec) {
+        ReportResult(
+            "table5",
+            StrFormat("%s_D%d_%s", ToString(base_mode).c_str(), d, step),
+            Trees(), sec * 1e9,
+            static_cast<double>(data.train.num_rows()) / sec);
+      };
       double prev = seconds_per_tree(p);
+      report_step("base", prev);
       std::vector<StepResult> steps;
 
       // +Block
       p.feature_blk_size = base_mode == ParallelMode::kMP ? 4 : 32;
       double cur = seconds_per_tree(p);
+      report_step("+Block", cur);
       steps.push_back({"+Block", (prev / cur - 1.0) * 100.0});
       prev = cur;
 
       // +MemBuf
       p.use_membuf = true;
       cur = seconds_per_tree(p);
+      report_step("+MemBuf", cur);
       steps.push_back({"+MemBuf", (prev / cur - 1.0) * 100.0});
       prev = cur;
 
@@ -67,12 +77,14 @@ int main() {
       p.topk = 32;
       p.node_blk_size = base_mode == ParallelMode::kMP ? 32 : 4;
       cur = seconds_per_tree(p);
+      report_step("+K32", cur);
       steps.push_back({"+K32", (prev / cur - 1.0) * 100.0});
       prev = cur;
 
       // +MixMode: SYNC at D8, ASYNC at D12.
       p.mode = d == 8 ? ParallelMode::kSYNC : ParallelMode::kASYNC;
       cur = seconds_per_tree(p);
+      report_step("+MixMode", cur);
       steps.push_back({"+MixMode", (prev / cur - 1.0) * 100.0});
 
       std::printf("%-6s D%-4d", ToString(base_mode).c_str(), d);

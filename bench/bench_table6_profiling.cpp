@@ -54,6 +54,7 @@ int main() {
       GbdtTrainer(p).TrainBinned(data.matrix, data.train.labels(), &stats);
       const std::string label =
           std::string(c.name) + (has_fused ? (fused ? "/fused" : "/phase") : "");
+      ReportStats("table6", label, stats);
       std::printf(
           "%-17s %9.1f%% %9.1f%% %9.1f%% %10.2fns %12lld | %9.1f%% %9.1f%%\n",
           label.c_str(), stats.sync.Utilization(stats.wall_ns) * 100.0,

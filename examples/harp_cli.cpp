@@ -7,6 +7,11 @@
 //                    [--objective logistic|squared] [--subsample 1.0]
 //                    [--colsample 1.0] [--valid valid.csv]
 //                    [--early-stopping 0] [--label-column 0] [--header]
+//                    [--quantize] [--quant-stochastic] [--simd auto]
+//                    --quantize accumulates histograms in 16-bit
+//                    fixed-point (faster, accuracy within the
+//                    quantization error bound); --simd forces the
+//                    kernel dispatch level (auto|scalar|avx2).
 //   harp_cli predict --data test.csv --model in.model [--output preds.txt]
 //                    [--raw] [--threads N]
 //                    Batch inference via the flat block-wise Predictor.
@@ -70,7 +75,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     arg = arg.substr(2);
     // Boolean switches take no value.
     if (arg == "header" || arg == "zero-based" || arg == "membuf-off" ||
-        arg == "subtraction" || arg == "raw") {
+        arg == "subtraction" || arg == "raw" || arg == "quantize" ||
+        arg == "quant-stochastic") {
       args->flags[arg] = true;
     } else {
       if (i + 1 >= argc) return false;
@@ -126,6 +132,9 @@ int CmdTrain(const Args& args) {
   p.colsample_bytree = args.GetDouble("colsample", 1.0);
   p.use_membuf = !args.Has("membuf-off");
   p.use_hist_subtraction = args.Has("subtraction");
+  p.quantize_hist = args.Has("quantize");
+  p.quant_stochastic = args.Has("quant-stochastic");
+  p.simd = args.Get("simd", "auto");
   if (!ParseGrowPolicy(args.Get("grow", "topk"), &p.grow_policy)) {
     std::fprintf(stderr, "bad --grow\n");
     return 1;

@@ -16,6 +16,25 @@ namespace harp {
 
 inline constexpr size_t kCacheLineBytes = 64;
 
+// THE histogram-storage alignment: per-thread replica strides, padded
+// partial-sum structs (PaddedGHPair), and the quantized int64 accumulator
+// buffers all derive their padding from this one constant, so a future
+// alignment change cannot leave one of them behind.
+inline constexpr size_t kHistAlignBytes = kCacheLineBytes;
+
+// Rounds a slot count up so `n * sizeof(T)` is a whole number of aligned
+// lines. Used wherever per-thread buffers are carved out of one flat
+// allocation (replica strides): a boundary inside a line would put two
+// threads' accumulators on the same line — false sharing that would
+// masquerade as the memory-bound behaviour under study.
+template <typename T>
+constexpr size_t AlignedSlotCount(size_t n) {
+  static_assert(kHistAlignBytes % sizeof(T) == 0,
+                "histogram cell size must divide the alignment");
+  constexpr size_t per_line = kHistAlignBytes / sizeof(T);
+  return (n + per_line - 1) / per_line * per_line;
+}
+
 // Minimal aligned allocator for std::vector.
 template <typename T, size_t Alignment = kCacheLineBytes>
 class AlignedAllocator {

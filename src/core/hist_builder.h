@@ -32,6 +32,7 @@
 #include "core/hist_kernels.h"
 #include "core/histogram.h"
 #include "core/params.h"
+#include "core/quantize.h"
 #include "core/row_partitioner.h"
 #include "core/train_stats.h"
 #include "data/binned_matrix.h"
@@ -47,6 +48,13 @@ struct BuildContext {
   ThreadPool& pool;
   RowPartitioner& partitioner;
   HistogramPool& hists;
+  // Non-null selects the quantized accumulation path: kernels gather the
+  // packed pairs, accumulate int64 cells, and the builder dequantizes into
+  // the pool's f64 histograms before any reader (find / subtract) sees
+  // them. Null (the default) is the f64 accuracy-oracle path.
+  const QuantRound* quant = nullptr;
+  // Resolved kernel-table level for this tree (see core/simd.h).
+  SimdLevel simd = SimdLevel::kScalar;
 };
 
 // (`Range` — contiguous half-open [first, second) — comes from
@@ -147,9 +155,16 @@ class HistBuilderDP {
   void RunRowTask(const BuildContext& ctx, int thread_id, size_t task_index);
   void PrepReduce(const BuildContext& ctx);
   void ReduceRange(int64_t begin, int64_t end);
+  // Quantized-domain counterpart: sums contributors' int64 cells (order-
+  // independent) and dequantizes straight into the pool histograms.
+  void ReduceRangeQuant(int64_t begin, int64_t end);
   void UpdateLedger();
 
   AlignedVector<GHPair> replicas_;
+  // Quantized-mode replica storage (int64 cells; same layout/ledger as
+  // replicas_). A builder instance uses exactly one of the two arrays for
+  // its whole lifetime — the dirty ledger cannot mix cell types (checked).
+  AlignedVector<int64_t> qreplicas_;
   TouchedRegions touched_;
   // Dirtied-but-not-yet-cleared [begin, end) slot intervals of replicas_.
   // Flat offsets, so they survive layout (stride) changes across blocks.
@@ -161,12 +176,21 @@ class HistBuilderDP {
   std::vector<Range> feature_blocks_;
   HistKernelMatrix km_;
   HistKernelFn kernel_ = nullptr;
+  QuantKernelFn qkernel_ = nullptr;
+  const QuantRound* quant_ = nullptr;
+  SimdLevel simd_ = SimdLevel::kScalar;
+  int quant_mode_ = -1;  // -1 unset, else 0/1: fixed per instance
   std::span<const int> block_;
   std::vector<RowTask> tasks_;
   std::vector<HistRowSource> sources_;
   std::vector<GHPair*> dst_;
   std::vector<std::vector<int>> contributors_;
   size_t total_bins_ = 0;
+  // Slots actually holding histogram content per replica (block nodes x
+  // total bins): the reduce domain. replica_stride_ is this rounded up to
+  // a whole number of kHistAlignBytes lines so thread boundaries never
+  // share a cache line; the padding is never written and stays zero.
+  size_t content_slots_ = 0;
   size_t replica_stride_ = 0;
   int threads_ = 0;
   int64_t reduce_start_ns_ = 0;
@@ -188,6 +212,13 @@ class HistBuilderMP {
   // Nodes written by staged task `task_index` (its node block).
   std::span<const int> TaskNodes(size_t task_index) const;
 
+  // Quantized mode: converts `node`'s staged int64 accumulator into its
+  // pool f64 histogram (no-op otherwise). The fused overlap scheduler
+  // calls this from the cube-drain event, BEFORE publishing the node's
+  // subtract/find tasks — exactly one thread per node reaches that event,
+  // so no synchronization beyond the existing publish is needed.
+  void DequantizeNode(int node) const;
+
   int64_t grow_events() const { return grow_events_; }
 
  private:
@@ -208,6 +239,17 @@ class HistBuilderMP {
   std::vector<size_t> node_pos_;
   HistKernelMatrix km_;
   HistKernelFn kernel_ = nullptr;
+  QuantKernelFn qkernel_ = nullptr;
+  const QuantRound* quant_ = nullptr;
+  SimdLevel simd_ = SimdLevel::kScalar;
+  // Quantized mode: one flat arena of int64 accumulators, one aligned
+  // stride per staged node (cube tasks write disjoint regions of these
+  // instead of the shared f64 histograms; DequantizeNode converts).
+  AlignedVector<int64_t> qhists_;
+  std::vector<int64_t*> qhist_of_;
+  size_t qstride_ = 0;
+  size_t staged_nodes_ = 0;
+  size_t total_bins_ = 0;
   int64_t grow_events_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include <algorithm>
 #include <atomic>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -58,15 +59,32 @@ std::vector<std::span<const int>> MakeNodeBlocks(std::span<const int> nodes,
 void HistBuilderDP::BeginBuild(const BuildContext& ctx) {
   total_bins_ = ctx.matrix.TotalBins();
   threads_ = ctx.pool.num_threads();
+  quant_ = ctx.quant;
+  simd_ = ctx.simd;
+  // The dirty ledger tracks slot intervals of ONE storage array; letting a
+  // builder instance alternate between f64 and int64 replicas would leave
+  // stale garbage in whichever array the ledger was not tracking.
+  const int mode = quant_ != nullptr ? 1 : 0;
+  HARP_CHECK(quant_mode_ == -1 || quant_mode_ == mode)
+      << "a HistBuilderDP instance cannot switch histogram storage modes";
+  quant_mode_ = mode;
   FillFeatureBlocks(ctx.matrix.num_features(), ctx.params.feature_blk_size,
                     &feature_blocks_);
   // Kernel selected once per Build call. DP never bin-filters, so the full
   // bin-range variant applies; one feature block additionally drops the
   // fb-range indirection from the inner loop.
-  km_ = MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
-  kernel_ =
-      SelectHistKernel(ctx.partitioner.use_membuf(), /*full_bin_range=*/true,
-                       /*full_feature_block=*/feature_blocks_.size() == 1);
+  km_ = MakeHistKernelMatrix(ctx.matrix, ctx.partitioner,
+                             quant_ != nullptr ? quant_->packed.data()
+                                               : nullptr);
+  const bool full_features = feature_blocks_.size() == 1;
+  if (quant_ != nullptr) {
+    qkernel_ = SelectQuantHistKernel(ctx.partitioner.use_membuf(),
+                                     /*full_bin_range=*/true, full_features,
+                                     simd_);
+  } else {
+    kernel_ = SelectHistKernel(ctx.partitioner.use_membuf(),
+                               /*full_bin_range=*/true, full_features, simd_);
+  }
 }
 
 void HistBuilderDP::StageBlock(const BuildContext& ctx,
@@ -103,9 +121,18 @@ void HistBuilderDP::StageBlock(const BuildContext& ctx,
   // [thread][local_node][total_bins]. Storage persists across node
   // blocks and trees under the invariant that it is all-zero outside
   // Build, so no per-block assign/zeroing happens here — only growth.
-  replica_stride_ = block_nodes * total_bins_;
+  // The stride is padded to whole kHistAlignBytes lines (a multiple of 8
+  // slots covers both cell types) so thread boundaries never share a
+  // cache line; the padding slots are never written and stay zero.
+  content_slots_ = block_nodes * total_bins_;
+  replica_stride_ = AlignedSlotCount<int64_t>(content_slots_);
   const size_t needed = static_cast<size_t>(threads_) * replica_stride_;
-  if (replicas_.size() < needed) {
+  if (quant_ != nullptr) {
+    if (qreplicas_.size() < needed) {
+      qreplicas_.resize(needed, 0);
+      ++replica_stats_.grow_events;
+    }
+  } else if (replicas_.size() < needed) {
     replicas_.resize(needed, GHPair{});
     ++replica_stats_.grow_events;
   }
@@ -125,7 +152,13 @@ void HistBuilderDP::ClearThread(int thread_id) {
   for (const auto& [d_begin, d_end] : dirty_) {
     const size_t lo = std::max(d_begin, own_begin);
     const size_t hi = std::min(d_end, own_end);
-    if (lo < hi) ClearHistogram(replicas_.data() + lo, hi - lo);
+    if (lo < hi) {
+      if (quant_ != nullptr) {
+        ClearHistogramI64(qreplicas_.data() + lo, hi - lo);
+      } else {
+        ClearHistogram(replicas_.data() + lo, hi - lo);
+      }
+    }
   }
 }
 
@@ -134,15 +167,24 @@ void HistBuilderDP::RunRowTask(const BuildContext& ctx, int thread_id,
   (void)ctx;
   const RowTask& task = tasks_[task_index];
   touched_.Mark(thread_id, task.local_node);
-  GHPair* replica =
-      replicas_.data() + static_cast<size_t>(thread_id) * replica_stride_;
-  GHPair* node_hist = replica + task.local_node * total_bins_;
+  const size_t slot0 =
+      static_cast<size_t>(thread_id) * replica_stride_ +
+      task.local_node * total_bins_;
   const Range all_bins{0u, 256u};
   // Feature-block tiling: re-reads the row block once per feature
   // block but confines writes to the block's histogram region.
-  for (const Range& fb : feature_blocks_) {
-    kernel_(km_, sources_[task.local_node], task.begin, task.end,
-            node_hist, fb, all_bins);
+  if (quant_ != nullptr) {
+    int64_t* node_hist = qreplicas_.data() + slot0;
+    for (const Range& fb : feature_blocks_) {
+      qkernel_(km_, sources_[task.local_node], task.begin, task.end,
+               node_hist, fb, all_bins);
+    }
+  } else {
+    GHPair* node_hist = replicas_.data() + slot0;
+    for (const Range& fb : feature_blocks_) {
+      kernel_(km_, sources_[task.local_node], task.begin, task.end,
+              node_hist, fb, all_bins);
+    }
   }
 }
 
@@ -176,6 +218,43 @@ void HistBuilderDP::ReduceRange(int64_t begin, int64_t end) {
                        static_cast<size_t>(t) * replica_stride_ +
                        static_cast<size_t>(s),
                    len);
+    }
+    s += static_cast<int64_t>(len);
+  }
+}
+
+void HistBuilderDP::ReduceRangeQuant(int64_t begin, int64_t end) {
+  // Quantized reduction: per contiguous run, sum the contributors' int64
+  // cells into a stack buffer and dequantize straight into the pool's f64
+  // histogram. Integer addition is order-independent and dequantization is
+  // exact (integer x power of two), so the result is bit-identical for any
+  // thread count, schedule, and kernel table. Nodes no thread touched are
+  // skipped: their pool histogram is already zero from Acquire.
+  constexpr size_t kChunk = 1024;
+  alignas(kHistAlignBytes) int64_t tmp[kChunk];
+  const int simd = static_cast<int>(simd_);
+  int64_t s = begin;
+  while (s < end) {
+    const size_t local_node = static_cast<size_t>(s) / total_bins_;
+    const size_t slot = static_cast<size_t>(s) % total_bins_;
+    const size_t len = std::min(
+        {static_cast<size_t>(end - s), total_bins_ - slot, kChunk});
+    const std::vector<int>& contrib = contributors_[local_node];
+    if (!contrib.empty()) {
+      std::memcpy(tmp,
+                  qreplicas_.data() +
+                      static_cast<size_t>(contrib[0]) * replica_stride_ +
+                      static_cast<size_t>(s),
+                  len * sizeof(int64_t));
+      for (size_t c = 1; c < contrib.size(); ++c) {
+        AddHistogramI64(tmp,
+                        qreplicas_.data() +
+                            static_cast<size_t>(contrib[c]) * replica_stride_ +
+                            static_cast<size_t>(s),
+                        len, simd);
+      }
+      DequantizeHistogram(tmp, dst_[local_node] + slot, len, quant_->scales,
+                          simd);
     }
     s += static_cast<int64_t>(len);
   }
@@ -227,9 +306,13 @@ int64_t HistBuilderDP::Build(const BuildContext& ctx,
 
     const Stopwatch reduce_watch;
     PrepReduce(ctx);
-    ctx.pool.ParallelFor(
-        static_cast<int64_t>(replica_stride_),
-        [&](int64_t b, int64_t e, int) { ReduceRange(b, e); });
+    // The reduce domain is the CONTENT slots only — the alignment padding
+    // beyond them belongs to no node.
+    ctx.pool.ParallelFor(static_cast<int64_t>(content_slots_),
+                         [&](int64_t b, int64_t e, int) {
+                           quant_ != nullptr ? ReduceRangeQuant(b, e)
+                                             : ReduceRange(b, e);
+                         });
     reduce_ns += reduce_watch.ElapsedNs();
 
     UpdateLedger();
@@ -267,8 +350,11 @@ void HistBuilderDP::BuildInRegion(const BuildContext& ctx,
       reduce_start_ns_ = NowNs();
       PrepReduce(ctx);
     });
-    region.ForStatic(thread_id, static_cast<int64_t>(replica_stride_),
-                     [&](int64_t rb, int64_t re, int) { ReduceRange(rb, re); });
+    region.ForStatic(thread_id, static_cast<int64_t>(content_slots_),
+                     [&](int64_t rb, int64_t re, int) {
+                       quant_ != nullptr ? ReduceRangeQuant(rb, re)
+                                         : ReduceRange(rb, re);
+                     });
     region.Barrier(thread_id, [&] {
       *reduce_ns += NowNs() - reduce_start_ns_;
       UpdateLedger();

@@ -27,10 +27,21 @@ size_t HistBuilderMP::StageTasks(const BuildContext& ctx,
   // Kernel selected once per staging: with a single bin range there is no
   // filtering, and with a single feature block the fb indirection drops
   // out of the inner loop.
-  km_ = MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
-  kernel_ = SelectHistKernel(
-      ctx.partitioner.use_membuf(), /*full_bin_range=*/bin_ranges_.size() == 1,
-      /*full_feature_block=*/feature_blocks_.size() == 1);
+  quant_ = ctx.quant;
+  simd_ = ctx.simd;
+  total_bins_ = ctx.matrix.TotalBins();
+  km_ = MakeHistKernelMatrix(ctx.matrix, ctx.partitioner,
+                             quant_ != nullptr ? quant_->packed.data()
+                                               : nullptr);
+  const bool full_bins = bin_ranges_.size() == 1;
+  const bool full_features = feature_blocks_.size() == 1;
+  if (quant_ != nullptr) {
+    qkernel_ = SelectQuantHistKernel(ctx.partitioner.use_membuf(), full_bins,
+                                     full_features, simd_);
+  } else {
+    kernel_ = SelectHistKernel(ctx.partitioner.use_membuf(), full_bins,
+                               full_features, simd_);
+  }
 
   // Task = one <node_blk x feature_blk x bin_blk> cube. Distinct tasks
   // write disjoint regions of the shared histograms, so no replicas and no
@@ -59,6 +70,26 @@ size_t HistBuilderMP::StageTasks(const BuildContext& ctx,
     rows_of_[i] = ctx.partitioner.NodeSize(nodes[i]);
     node_pos_[static_cast<size_t>(nodes[i])] = i;
   }
+  // Quantized mode: cube tasks accumulate into a flat arena of int64
+  // cells (one aligned stride per node — cubes of different nodes must
+  // not share a cache line) instead of the pool's f64 histograms;
+  // DequantizeNode converts when a node's cubes have all drained. The
+  // arena is cleared here, in serial staging: it is the int64 analogue of
+  // the pool zeroing the f64 buffers at Acquire.
+  staged_nodes_ = nodes.size();
+  if (quant_ != nullptr) {
+    qstride_ = AlignedSlotCount<int64_t>(total_bins_);
+    const size_t needed = nodes.size() * qstride_;
+    if (qhists_.size() < needed) {
+      qhists_.resize(needed);
+      ++grow_events_;
+    }
+    if (qhist_of_.size() < nodes.size()) qhist_of_.resize(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      qhist_of_[i] = qhists_.data() + i * qstride_;
+    }
+    ClearHistogramI64(qhists_.data(), needed);
+  }
   const size_t cap_after =
       feature_blocks_.capacity() + bin_ranges_.capacity() +
       node_blocks_.capacity() + tasks_.capacity();
@@ -74,8 +105,21 @@ void HistBuilderMP::RunTask(const BuildContext& ctx,
   const Range bins = bin_ranges_[task.bin_range];
   for (int node : node_blocks_[task.node_block]) {
     const size_t pos = node_pos_[static_cast<size_t>(node)];
-    kernel_(km_, source_of_[pos], 0, rows_of_[pos], hist_of_[pos], fb, bins);
+    if (quant_ != nullptr) {
+      qkernel_(km_, source_of_[pos], 0, rows_of_[pos], qhist_of_[pos], fb,
+               bins);
+    } else {
+      kernel_(km_, source_of_[pos], 0, rows_of_[pos], hist_of_[pos], fb,
+              bins);
+    }
   }
+}
+
+void HistBuilderMP::DequantizeNode(int node) const {
+  if (quant_ == nullptr) return;
+  const size_t pos = node_pos_[static_cast<size_t>(node)];
+  DequantizeHistogram(qhist_of_[pos], hist_of_[pos], total_bins_,
+                      quant_->scales, static_cast<int>(simd_));
 }
 
 std::span<const int> HistBuilderMP::TaskNodes(size_t task_index) const {
@@ -92,16 +136,30 @@ void HistBuilderMP::Build(const BuildContext& ctx,
           RunTask(ctx, static_cast<size_t>(t));
         }
       });
+  if (quant_ != nullptr) {
+    ctx.pool.ParallelForDynamic(
+        static_cast<int64_t>(nodes.size()), 1,
+        [&](int64_t begin, int64_t end, int) {
+          for (int64_t i = begin; i < end; ++i) {
+            DequantizeNode(nodes[static_cast<size_t>(i)]);
+          }
+        });
+  }
 }
 
 void BuildHistSerial(const BuildContext& ctx, int node_id, GHPair* hist) {
+  // ASYNC node tasks never quantize (the tree builder gates it off); they
+  // do honour the resolved SIMD level for the f64 kernels.
+  HARP_CHECK(ctx.quant == nullptr)
+      << "BuildHistSerial has no quantized path";
   const auto feature_blocks = MakeFeatureBlocks(
       ctx.matrix.num_features(), ctx.params.feature_blk_size);
   const HistKernelMatrix km =
       MakeHistKernelMatrix(ctx.matrix, ctx.partitioner);
   const HistKernelFn kernel =
       SelectHistKernel(ctx.partitioner.use_membuf(), /*full_bin_range=*/true,
-                       /*full_feature_block=*/feature_blocks.size() == 1);
+                       /*full_feature_block=*/feature_blocks.size() == 1,
+                       ctx.simd);
   const HistRowSource src = MakeHistRowSource(ctx.partitioner, node_id);
   const uint32_t rows = ctx.partitioner.NodeSize(node_id);
   for (const Range& fb : feature_blocks) {

@@ -1,264 +1,64 @@
+// The scalar (portable-flags) kernel TU plus the dispatch glue shared by
+// both tables. The template bodies live in hist_kernels_impl.h, which
+// hist_kernels_avx2.cpp compiles a second time under -mavx2 -mfma; this
+// file must stay free of ISA-specific flags so every harp binary runs on
+// any baseline machine.
 #include "core/hist_kernels.h"
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
-#include <algorithm>
+#define HARP_KERNEL_NS kernels_scalar
+#include "core/hist_kernels_impl.h"
+#undef HARP_KERNEL_NS
 
 #include "common/logging.h"
 
 namespace harp {
-namespace {
 
-// Rows accumulated per inner iteration. Four gives one histogram sweep per
-// four rows and four independent add chains per feature; it is also the
-// group size the remainder-path tests exercise.
-constexpr uint32_t kRowGroup = 4;
-// Bin bytes (and gathered gradient pairs) are prefetched this many rows
-// ahead — two groups, far enough to cover a row's worth of accumulation.
-constexpr uint32_t kRowPrefetchDist = 2 * kRowGroup;
-// Two-level cache blocking for the full-feature kernels: rows are walked
-// in tiles small enough that their bin rows stay cache-resident while the
-// feature loop re-visits them, and features in tiles that confine the
-// histogram write window (16 features x 256 bins x 16 B = 64 KB worst
-// case, L1/L2-resident). Per-slot accumulation order is still ascending
-// row id — a slot belongs to exactly one feature — so tiling cannot
-// change results, only locality.
-constexpr uint32_t kRowTile = 2048;
-constexpr uint32_t kFeatureTile = 16;
-// Write-prefetching the histogram slots of the next row group measured as
-// a clear net loss on the bench fixture (the feature-tiled write window is
-// already cache-resident, so the extra 4 bin loads + 4 prefetches per
-// feature only cost ports). The code path is kept compiled behind this
-// switch for write windows that outgrow the cache.
-constexpr bool kPrefetchHistSlots = false;
+const HistKernelTables& ScalarKernelTables() {
+  return kernels_scalar::Tables();
+}
 
-#if defined(__GNUC__) || defined(__clang__)
-#define HARP_PREFETCH_READ(addr) __builtin_prefetch((addr), 0, 3)
-#define HARP_PREFETCH_WRITE(addr) __builtin_prefetch((addr), 1, 3)
+#if defined(HARP_HAVE_AVX2_TU)
+namespace kernels_avx2 {
+const HistKernelTables& Tables();
+}  // namespace kernels_avx2
+
+const HistKernelTables* Avx2KernelTables() { return &kernels_avx2::Tables(); }
 #else
-#define HARP_PREFETCH_READ(addr) ((void)(addr))
-#define HARP_PREFETCH_WRITE(addr) ((void)(addr))
+const HistKernelTables* Avx2KernelTables() { return nullptr; }
 #endif
 
-#if defined(__SSE2__)
-// One fused 16-byte load/add/store per slot update. addpd performs the
-// same two IEEE-754 double additions as GHPair::Add, so results stay
-// bit-identical to the scalar reference — only the instruction count per
-// update drops (1 load + 1 add + 1 store instead of 2 of each).
-struct GHVec {
-  __m128d v;
-  GHVec() = default;
-  explicit GHVec(float gf, float hf)
-      : v(_mm_set_pd(static_cast<double>(hf), static_cast<double>(gf))) {}
-  inline void AddTo(GHPair* slot) const {
-    _mm_storeu_pd(reinterpret_cast<double*>(slot),
-                  _mm_add_pd(_mm_loadu_pd(reinterpret_cast<double*>(slot)),
-                             v));
+const HistKernelTables& KernelTables(SimdLevel level) {
+  if (level == SimdLevel::kAVX2) {
+    const HistKernelTables* t = Avx2KernelTables();
+    HARP_CHECK(t != nullptr)
+        << "avx2 kernel table requested but not compiled in "
+           "(build with HARP_ENABLE_AVX2)";
+    return *t;
   }
-};
-#else
-struct GHVec {
-  double g, h;
-  GHVec() = default;
-  explicit GHVec(float gf, float hf)
-      : g(static_cast<double>(gf)), h(static_cast<double>(hf)) {}
-  inline void AddTo(GHPair* slot) const {
-    slot->g += g;
-    slot->h += h;
-  }
-};
-#endif
-
-template <bool kMemBuf>
-inline uint32_t RowIdAt(const HistKernelMatrix& m, const HistRowSource& src,
-                        uint32_t i) {
-  (void)m;
-  if constexpr (kMemBuf) {
-    return src.entries[i].rid;
-  } else {
-    return src.row_ids[i];
-  }
+  return ScalarKernelTables();
 }
-
-template <bool kMemBuf>
-inline void LoadRow(const HistKernelMatrix& m, const HistRowSource& src,
-                    uint32_t i, const uint8_t** row_bins, float* g, float* h) {
-  if constexpr (kMemBuf) {
-    const MemBufEntry& e = src.entries[i];
-    *row_bins = m.bins + static_cast<size_t>(e.rid) * m.num_features;
-    *g = e.g;
-    *h = e.h;
-  } else {
-    const uint32_t rid = src.row_ids[i];
-    *row_bins = m.bins + static_cast<size_t>(rid) * m.num_features;
-    *g = m.gradients[rid].g;
-    *h = m.gradients[rid].h;
-  }
-}
-
-// One row, scalar — the ramp-down path for groups smaller than kRowGroup.
-template <bool kFullBins>
-inline void AccumulateOne(const uint8_t* row_bins, float g, float h,
-                          const uint32_t* offsets, GHPair* hist,
-                          uint32_t f_begin, uint32_t f_end, uint32_t bin_lo,
-                          uint32_t bin_hi) {
-  for (uint32_t f = f_begin; f < f_end; ++f) {
-    const uint8_t bin = row_bins[f];
-    if constexpr (!kFullBins) {
-      if (bin < bin_lo || bin >= bin_hi) continue;
-    }
-    hist[offsets[f] + bin].Add(g, h);
-  }
-}
-
-// Feature sweep over one 4-row group. While the group is accumulated, the
-// histogram slots the NEXT group will touch are prefetched (pf[0..3] are
-// that group's bin rows); kPrefetchHist is compile-time so the common tail
-// group pays no per-feature branch.
-template <bool kFullBins, bool kPrefetchHist>
-inline void AccumulateGroup(const uint8_t* const b[kRowGroup],
-                            const float g[kRowGroup], const float h[kRowGroup],
-                            const uint8_t* const pf[kRowGroup],
-                            const uint32_t* offsets, GHPair* hist,
-                            uint32_t f_begin, uint32_t f_end, uint32_t bin_lo,
-                            uint32_t bin_hi) {
-  // float->double widening hoisted out of the feature sweep: once per
-  // group instead of once per slot update. (Constant-bound u loops below
-  // fully unroll at the kernel TU's -O3.)
-  GHVec vs[kRowGroup];
-  for (uint32_t u = 0; u < kRowGroup; ++u) vs[u] = GHVec(g[u], h[u]);
-  for (uint32_t f = f_begin; f < f_end; ++f) {
-    const uint32_t off = offsets[f];
-    if constexpr (kPrefetchHist) {
-      for (uint32_t u = 0; u < kRowGroup; ++u) {
-        HARP_PREFETCH_WRITE(hist + off + pf[u][f]);
-      }
-    }
-    if constexpr (kFullBins) {
-      for (uint32_t u = 0; u < kRowGroup; ++u) {
-        vs[u].AddTo(hist + off + b[u][f]);
-      }
-    } else {
-      // Slot order within the group is still ascending row index, so the
-      // filtered variant stays bit-identical to the scalar reference.
-      for (uint32_t u = 0; u < kRowGroup; ++u) {
-        const uint8_t bin = b[u][f];
-        if (bin >= bin_lo && bin < bin_hi) vs[u].AddTo(hist + off + bin);
-      }
-    }
-  }
-}
-
-// The 4-row interleaved sweep over one (row range, feature range) tile.
-template <bool kMemBuf, bool kFullBins>
-void AccumulateTile(const HistKernelMatrix& m, const HistRowSource& src,
-                    uint32_t begin, uint32_t end, GHPair* hist,
-                    uint32_t f_begin, uint32_t f_end, uint32_t bin_lo,
-                    uint32_t bin_hi) {
-  const uint32_t* const offsets = m.bin_offsets;
-
-  const uint8_t* b[kRowGroup];
-  const uint8_t* pf[kRowGroup];
-  float g[kRowGroup];
-  float h[kRowGroup];
-
-  uint32_t i = begin;
-  for (; i + kRowGroup <= end; i += kRowGroup) {
-    // Stream-ahead prefetch: bin bytes (and gathered gradients) of the
-    // group after next, so they are resident by the time it is loaded.
-    if (i + kRowPrefetchDist + kRowGroup <= end) {
-      for (uint32_t u = 0; u < kRowGroup; ++u) {
-        const uint32_t rid = RowIdAt<kMemBuf>(m, src, i + kRowPrefetchDist + u);
-        HARP_PREFETCH_READ(m.bins + static_cast<size_t>(rid) * m.num_features +
-                           f_begin);
-        if constexpr (!kMemBuf) HARP_PREFETCH_READ(m.gradients + rid);
-      }
-    }
-    for (uint32_t u = 0; u < kRowGroup; ++u) {
-      LoadRow<kMemBuf>(m, src, i + u, &b[u], &g[u], &h[u]);
-    }
-    if (kPrefetchHistSlots && i + 2 * kRowGroup <= end) {
-      for (uint32_t u = 0; u < kRowGroup; ++u) {
-        pf[u] = m.bins + static_cast<size_t>(RowIdAt<kMemBuf>(
-                             m, src, i + kRowGroup + u)) *
-                             m.num_features;
-      }
-      AccumulateGroup<kFullBins, true>(b, g, h, pf, offsets, hist, f_begin,
-                                       f_end, bin_lo, bin_hi);
-    } else {
-      AccumulateGroup<kFullBins, false>(b, g, h, b, offsets, hist, f_begin,
-                                        f_end, bin_lo, bin_hi);
-    }
-  }
-  // Remainder rows (row lists are rarely multiples of four).
-  for (; i < end; ++i) {
-    const uint8_t* row_bins;
-    float gr;
-    float hr;
-    LoadRow<kMemBuf>(m, src, i, &row_bins, &gr, &hr);
-    AccumulateOne<kFullBins>(row_bins, gr, hr, offsets, hist, f_begin, f_end,
-                             bin_lo, bin_hi);
-  }
-}
-
-template <bool kMemBuf, bool kFullBins, bool kFullFeatures>
-void AccumulateRange(const HistKernelMatrix& m, const HistRowSource& src,
-                     uint32_t begin, uint32_t end, GHPair* hist, Range fb,
-                     Range bins) {
-  const uint32_t bin_lo = bins.first;
-  const uint32_t bin_hi = bins.second;
-  if constexpr (kFullFeatures) {
-    // The kernel owns the whole feature space, so it is free to impose
-    // the cache blocking itself: feature tiles keep the histogram write
-    // window resident, row tiles keep the re-visited bin rows resident.
-    const uint32_t nf = m.num_features;
-    if (nf <= kFeatureTile) {
-      AccumulateTile<kMemBuf, kFullBins>(m, src, begin, end, hist, 0u, nf,
-                                         bin_lo, bin_hi);
-      return;
-    }
-    for (uint32_t r = begin; r < end; r += kRowTile) {
-      const uint32_t r_end = std::min(end, r + kRowTile);
-      for (uint32_t f = 0; f < nf; f += kFeatureTile) {
-        AccumulateTile<kMemBuf, kFullBins>(m, src, r, r_end, hist, f,
-                                           std::min(nf, f + kFeatureTile),
-                                           bin_lo, bin_hi);
-      }
-    }
-  } else {
-    // Caller-tiled feature block: accumulate it as one tile.
-    AccumulateTile<kMemBuf, kFullBins>(m, src, begin, end, hist, fb.first,
-                                       fb.second, bin_lo, bin_hi);
-  }
-}
-
-}  // namespace
 
 HistKernelFn SelectHistKernel(bool use_membuf, bool full_bin_range,
-                              bool full_feature_block) {
-  // [membuf][full bins][full features]
-  static constexpr HistKernelFn kTable[2][2][2] = {
-      {{&AccumulateRange<false, false, false>,
-        &AccumulateRange<false, false, true>},
-       {&AccumulateRange<false, true, false>,
-        &AccumulateRange<false, true, true>}},
-      {{&AccumulateRange<true, false, false>,
-        &AccumulateRange<true, false, true>},
-       {&AccumulateRange<true, true, false>,
-        &AccumulateRange<true, true, true>}},
-  };
-  return kTable[use_membuf][full_bin_range][full_feature_block];
+                              bool full_feature_block, SimdLevel level) {
+  return KernelTables(level).f64[use_membuf][full_bin_range]
+                                [full_feature_block];
+}
+
+QuantKernelFn SelectQuantHistKernel(bool use_membuf, bool full_bin_range,
+                                    bool full_feature_block, SimdLevel level) {
+  return KernelTables(level).quant[use_membuf][full_bin_range]
+                                  [full_feature_block];
 }
 
 HistKernelMatrix MakeHistKernelMatrix(const BinnedMatrix& matrix,
-                                      const RowPartitioner& partitioner) {
+                                      const RowPartitioner& partitioner,
+                                      const int32_t* qgradients) {
   HistKernelMatrix m;
   m.bins = matrix.BinData();
   m.bin_offsets = matrix.BinOffsetsData();
   m.num_features = matrix.num_features();
   m.gradients = partitioner.gradient_data();
+  m.qgradients = qgradients;
   HARP_CHECK(partitioner.use_membuf() || m.gradients != nullptr)
       << "gather kernels need the gradient array (call Reset first)";
   return m;

@@ -31,6 +31,7 @@
 
 #include "core/gh.h"
 #include "core/row_partitioner.h"
+#include "core/simd.h"
 #include "data/binned_matrix.h"
 
 namespace harp {
@@ -45,6 +46,11 @@ struct HistKernelMatrix {
   const uint32_t* bin_offsets = nullptr;  // per-feature histogram offsets
   uint32_t num_features = 0;              // row stride of `bins`
   const GradientPair* gradients = nullptr;  // gather source only
+  // Packed per-row quantized pairs (quantize.h layout), indexed by row id.
+  // Quantized kernels always gather through this array — the MemBuf
+  // entries' float g/h stay authoritative for the partitioner's fused
+  // child sums, so they cannot carry the packed bits.
+  const int32_t* qgradients = nullptr;
 };
 
 // One node's row list; exactly one pointer is set, matching the
@@ -65,15 +71,55 @@ using HistKernelFn = void (*)(const HistKernelMatrix& m,
                               uint32_t end, GHPair* hist, Range fb,
                               Range bins);
 
+// Quantized counterpart: accumulates WidenQuant(m.qgradients[rid]) addends
+// into 8-byte int64 cells (quantize.h layout) instead of 16-byte GHPairs.
+using QuantKernelFn = void (*)(const HistKernelMatrix& m,
+                               const HistRowSource& src, uint32_t begin,
+                               uint32_t end, int64_t* hist, Range fb,
+                               Range bins);
+
+// One compiled instantiation of the kernel layer. The scalar TU fills one
+// portably; the AVX2 TU (-mavx2 -mfma, HARP_ENABLE_AVX2) fills another.
+// Which table runs is a pure runtime decision (core/simd.h).
+struct HistKernelTables {
+  // [membuf][full bins][full features], as SelectHistKernel indexes.
+  HistKernelFn f64[2][2][2];
+  QuantKernelFn quant[2][2][2];
+  // Elementwise companions that share the table's ISA level:
+  // round-to-nearest-even quantization of [begin, end) rows,
+  void (*quantize_rows)(const GradientPair* gh, uint32_t begin, uint32_t end,
+                        float g_scale, float h_scale, int32_t* out);
+  // int64 cells -> f64 GHPairs (exact: integers times a power of two),
+  void (*dequantize)(const int64_t* cells, GHPair* out, size_t n,
+                     double g_inv, double h_inv);
+  // and the quantized-domain replica reduction.
+  void (*add_i64)(int64_t* dst, const int64_t* src, size_t n);
+};
+
+// The portable table (always available).
+const HistKernelTables& ScalarKernelTables();
+// The -mavx2 table, or nullptr when the binary was built without
+// HARP_ENABLE_AVX2. Availability on the running CPU is the dispatcher's
+// job (core/simd.h), not this accessor's.
+const HistKernelTables* Avx2KernelTables();
+// Table for a resolved level (level must be runnable; see SimdSupported).
+const HistKernelTables& KernelTables(SimdLevel level);
+
 // Picks the specialized kernel for a Build call. `full_bin_range` means the
 // bin filter passed to every call covers all bin ids the matrix produces;
 // `full_feature_block` means fb covers [0, num_features).
 HistKernelFn SelectHistKernel(bool use_membuf, bool full_bin_range,
-                              bool full_feature_block);
+                              bool full_feature_block,
+                              SimdLevel level = SimdLevel::kScalar);
+QuantKernelFn SelectQuantHistKernel(bool use_membuf, bool full_bin_range,
+                                    bool full_feature_block,
+                                    SimdLevel level = SimdLevel::kScalar);
 
-// Kernel-call views over the existing structures.
+// Kernel-call views over the existing structures. `qgradients` may be null
+// (f64 path); quantized kernel selection requires it.
 HistKernelMatrix MakeHistKernelMatrix(const BinnedMatrix& matrix,
-                                      const RowPartitioner& partitioner);
+                                      const RowPartitioner& partitioner,
+                                      const int32_t* qgradients = nullptr);
 HistRowSource MakeHistRowSource(const RowPartitioner& partitioner,
                                 int node_id);
 

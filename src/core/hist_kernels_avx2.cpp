@@ -1,0 +1,13 @@
+// The AVX2 kernel TU: the one translation unit in the whole build that is
+// compiled with -mavx2 -mfma (see the HARP_ENABLE_AVX2 option in
+// src/CMakeLists.txt). It re-instantiates the kernel layer from
+// hist_kernels_impl.h with the explicit-intrinsic paths enabled; nothing
+// here runs unless the runtime dispatcher (core/simd.h) selected kAVX2
+// after probing the CPU, so linking this TU never breaks portability.
+#if !defined(__AVX2__)
+#error "hist_kernels_avx2.cpp must be compiled with -mavx2 (HARP_ENABLE_AVX2)"
+#endif
+
+#define HARP_KERNEL_NS kernels_avx2
+#include "core/hist_kernels_impl.h"
+#undef HARP_KERNEL_NS

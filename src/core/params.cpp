@@ -51,6 +51,8 @@ const TrainParams& TrainParams::Validate() const {
   HARP_CHECK_LE(subsample, 1.0);
   HARP_CHECK_GT(colsample_bytree, 0.0);
   HARP_CHECK_LE(colsample_bytree, 1.0);
+  HARP_CHECK(simd == "auto" || simd == "scalar" || simd == "avx2")
+      << "simd must be auto|scalar|avx2, got '" << simd << "'";
   return *this;
 }
 

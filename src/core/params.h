@@ -65,6 +65,19 @@ struct TrainParams {
   // --- memory optimizations (Section IV-E) ---
   bool use_membuf = true;           // (rowid, g, h) node buffers, Fig. 7
   bool use_hist_subtraction = false;  // parent - sibling trick (ablatable)
+  // Quantized histograms (core/quantize.h): per-round fixed-point packing
+  // of (g, h) into one int32 and int64 accumulator cells, halving the hot
+  // loop's gradient-read and GHSum-write traffic. Off = the f64 accuracy
+  // oracle. Ignored (with a warning) by ASYNC. Results change within the
+  // quantization error bound, but are deterministic for a fixed config.
+  bool quantize_hist = false;
+  // Stochastic (unbiased, row-hashed) rounding instead of round-to-
+  // nearest-even when quantizing. Only meaningful with quantize_hist.
+  bool quant_stochastic = false;
+  // Histogram-kernel dispatch level: "auto" (cpuid probe, overridable via
+  // the HARP_SIMD env var), "scalar", or "avx2". Named levels that the
+  // binary/CPU cannot run fall back to scalar with a warning.
+  std::string simd = "auto";
 
   // --- stochastic boosting (excluded from the paper's controlled timing
   // experiments, Section V-A4, but part of any production GBDT) ---

@@ -68,10 +68,10 @@ struct MemBufEntry {
 // per-thread partial-sum buffer (NodeSum partials, the fused child sums of
 // the scatter pass) so concurrent writers never share a line regardless of
 // the GHPair layout.
-struct alignas(kCacheLineBytes) PaddedGHPair {
+struct alignas(kHistAlignBytes) PaddedGHPair {
   GHPair value;
 };
-static_assert(sizeof(PaddedGHPair) == kCacheLineBytes);
+static_assert(sizeof(PaddedGHPair) == kHistAlignBytes);
 
 // One split to apply: partition `node_id`'s rows between `left_id` and
 // `right_id` (bin 0 -> default side; else bin <= split_bin goes left).

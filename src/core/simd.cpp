@@ -1,0 +1,57 @@
+#include "core/simd.h"
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "core/hist_kernels.h"
+
+namespace harp {
+
+SimdLevel DetectSimdLevel() {
+  static const SimdLevel detected = [] {
+    if (Avx2KernelTables() == nullptr) return SimdLevel::kScalar;
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    if (__builtin_cpu_supports("avx2")) return SimdLevel::kAVX2;
+#endif
+    return SimdLevel::kScalar;
+  }();
+  return detected;
+}
+
+bool SimdSupported(SimdLevel level) {
+  return level == SimdLevel::kScalar || DetectSimdLevel() == SimdLevel::kAVX2;
+}
+
+std::string ToString(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar: return "scalar";
+    case SimdLevel::kAVX2: return "avx2";
+  }
+  return "?";
+}
+
+bool ParseSimdLevel(const std::string& text, SimdLevel* out) {
+  if (text == "scalar") { *out = SimdLevel::kScalar; return true; }
+  if (text == "avx2") { *out = SimdLevel::kAVX2; return true; }
+  return false;
+}
+
+SimdLevel ResolveSimdLevel(const std::string& request) {
+  std::string text = request;
+  if (text == "auto") {
+    text = GetEnvString("HARP_SIMD", "auto");
+    if (text == "auto") return DetectSimdLevel();
+  }
+  SimdLevel level = SimdLevel::kScalar;
+  HARP_CHECK(ParseSimdLevel(text, &level))
+      << "unknown simd level '" << text << "' (want auto|scalar|avx2)";
+  if (!SimdSupported(level)) {
+    HARP_LOG(Warning) << "simd level '" << text
+                      << "' not available in this binary/CPU; "
+                         "falling back to scalar kernels";
+    return SimdLevel::kScalar;
+  }
+  return level;
+}
+
+}  // namespace harp

@@ -1,0 +1,42 @@
+// Runtime SIMD dispatch for the histogram kernel layer.
+//
+// The kernel templates are compiled twice: once portably (the scalar TU,
+// hist_kernels.cpp) and once with -mavx2 -mfma (hist_kernels_avx2.cpp,
+// guarded by the HARP_ENABLE_AVX2 CMake option). No TU outside that one
+// uses AVX2 flags, so every binary runs on any x86-64 (or non-x86)
+// machine; which table executes is decided HERE, at runtime, from a cpuid
+// probe — overridable for testing via TrainParams::simd or the HARP_SIMD
+// environment variable ("scalar" / "avx2" / "auto").
+#pragma once
+
+#include <string>
+
+namespace harp {
+
+enum class SimdLevel {
+  kScalar = 0,  // portable build, no ISA assumptions beyond the baseline
+  kAVX2 = 1,    // the -mavx2 -mfma kernel TU (needs cpu + build support)
+};
+
+// Highest level this binary can actually run: requires both the AVX2
+// kernel TU to have been compiled in (HARP_ENABLE_AVX2) and the executing
+// CPU to report the feature. Probed once, cached.
+SimdLevel DetectSimdLevel();
+
+// True when `level`'s kernel table is available in this binary on this CPU.
+bool SimdSupported(SimdLevel level);
+
+// "scalar" / "avx2".
+std::string ToString(SimdLevel level);
+
+// Parses "scalar" / "avx2" (exact match); returns false otherwise.
+bool ParseSimdLevel(const std::string& text, SimdLevel* out);
+
+// Resolves a TrainParams::simd-style request to a runnable level:
+//   "auto"   -> HARP_SIMD env override if set, else DetectSimdLevel()
+//   "scalar" / "avx2" -> that level, downgraded (with a warning) to
+//                        kScalar when the binary/CPU cannot run it.
+// CHECK-fails on any other string (Validate() rejects them up front).
+SimdLevel ResolveSimdLevel(const std::string& request);
+
+}  // namespace harp

@@ -23,20 +23,22 @@ std::string TrainStats::Report() const {
                    SecondsPerTree() * 1e3);
   out += StrFormat(
       "phases: build_hist=%s reduce=%s find_split=%s apply_split=%s "
-      "gradients=%s update=%s\n",
+      "gradients=%s quantize=%s update=%s\n",
       HumanDuration(NsToSec(build_hist_ns)).c_str(),
       HumanDuration(NsToSec(reduce_ns)).c_str(),
       HumanDuration(NsToSec(find_split_ns)).c_str(),
       HumanDuration(NsToSec(apply_split_ns)).c_str(),
       HumanDuration(NsToSec(gradient_ns)).c_str(),
+      HumanDuration(NsToSec(quantize_ns)).c_str(),
       HumanDuration(NsToSec(update_ns)).c_str());
   out += StrFormat("tree: splits=%lld leaves=%lld max_depth=%d\n",
                    static_cast<long long>(nodes_split),
                    static_cast<long long>(leaves), max_tree_depth);
   out += StrFormat(
-      "memory: hist_updates=%lld (%.2f ns/update) hist_peak=%s "
+      "memory: hist_updates=%lld (%.2f ns/update) cell=%zuB hist_peak=%s "
       "write_region=%s\n",
       static_cast<long long>(hist_updates), NsPerHistUpdate(),
+      hist_cell_bytes,
       HumanBytes(static_cast<double>(hist_peak_bytes)).c_str(),
       HumanBytes(static_cast<double>(write_region_bytes)).c_str());
   out += StrFormat(

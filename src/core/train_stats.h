@@ -26,6 +26,8 @@ struct TrainStats {
   int64_t find_split_ns = 0;
   int64_t apply_split_ns = 0;
   int64_t gradient_ns = 0;    // per-iteration gradient computation
+  int64_t quantize_ns = 0;    // per-tree gradient quantization (scale scan
+                              // + packing; zero on the f64 path)
   int64_t update_ns = 0;      // margin updates after each tree
   int64_t wall_ns = 0;        // total training wall time
 
@@ -37,7 +39,9 @@ struct TrainStats {
   // Memory-behaviour proxies.
   int64_t hist_updates = 0;       // number of (row, feature) increments
   size_t hist_peak_bytes = 0;     // peak live histogram memory
-  size_t write_region_bytes = 0;  // 16B x bins in one task's write window
+  size_t hist_cell_bytes = 0;     // accumulator cell size the hot loop
+                                  // writes: 16 (f64 GHPair) or 8 (int64)
+  size_t write_region_bytes = 0;  // cell x bins in one task's write window
 
   // ApplySplit-phase counters (RowPartitioner PartitionStats deltas over
   // the measured interval). With the arena partitioner, bytes_moved is

@@ -35,11 +35,19 @@ HarpTreeBuilder::HarpTreeBuilder(const BinnedMatrix& matrix,
       use_subtraction_(params.use_hist_subtraction &&
                        params.mode != ParallelMode::kASYNC),
       use_fused_(params.use_fused_step &&
-                 params.mode != ParallelMode::kASYNC) {
+                 params.mode != ParallelMode::kASYNC),
+      use_quant_(params.quantize_hist &&
+                 params.mode != ParallelMode::kASYNC),
+      simd_level_(ResolveSimdLevel(params.simd)) {
   if (params.use_hist_subtraction && params.mode == ParallelMode::kASYNC) {
     HARP_LOG(Warning) << "histogram subtraction is not supported in ASYNC "
                          "mode (node tasks build children directly); "
                          "ignoring use_hist_subtraction";
+  }
+  if (params.quantize_hist && params.mode == ParallelMode::kASYNC) {
+    HARP_LOG(Warning) << "quantized histograms are not supported in ASYNC "
+                         "mode (serial node tasks use the f64 path); "
+                         "ignoring quantize_hist";
   }
   // FindSplit parallel grid: nodes x feature chunks. When feature blocks
   // are configured reuse them; otherwise chunk so every thread has work
@@ -309,7 +317,7 @@ void HarpTreeBuilder::FinalizeLeaves(RegTree& tree) const {
 
 RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
                                    TrainStats* stats) {
-  build_ns_ = reduce_ns_ = find_ns_ = apply_ns_ = 0;
+  build_ns_ = reduce_ns_ = find_ns_ = apply_ns_ = quantize_ns_ = 0;
   hist_updates_ = 0;
   topk_batches_ = 0;
   const PartitionStats apply_before = partitioner_.stats();
@@ -318,6 +326,22 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
   const int max_nodes = static_cast<int>(2 * max_leaves);
   partitioner_.Reset(gradients, max_nodes, &pool_);
   hists_.ReleaseAll();
+
+  if (use_quant_) {
+    // Fresh scales + packed rows every round: the gradient distribution
+    // shifts as boosting progresses, and a per-round power-of-two scale
+    // keeps the full int16 resolution on the current range. The seed
+    // varies per tree so stochastic rounding errors stay uncorrelated
+    // across rounds.
+    const Stopwatch quant_watch;
+    quant_round_.scales = ComputeQuantScales(gradients, &pool_);
+    QuantizeGradients(gradients, quant_round_.scales,
+                      params_.quant_stochastic,
+                      params_.seed + static_cast<uint64_t>(trees_built_),
+                      static_cast<int>(simd_level_), &pool_,
+                      &quant_round_.packed);
+    quantize_ns_ += quant_watch.ElapsedNs();
+  }
 
   RegTree tree;
   tree.mutable_nodes().reserve(static_cast<size_t>(max_nodes));
@@ -381,10 +405,15 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
             : 1;
     // max, not =, for consistency with hist_peak_bytes: the value is a
     // per-configuration constant, and accumulating with = silently kept
-    // only the last tree's (identical) value anyway.
+    // only the last tree's (identical) value anyway. Quantized mode
+    // halves the cell the hot loop writes (8-byte int64 vs 16-byte
+    // GHPair) — the Section III-B bytes-per-update lever this PR pulls.
+    const size_t cell_bytes =
+        use_quant_ ? sizeof(int64_t) : sizeof(GHPair);
+    stats->hist_cell_bytes = cell_bytes;
     stats->write_region_bytes =
         std::max(stats->write_region_bytes,
-                 sizeof(GHPair) * bins_per_block * node_span);
+                 cell_bytes * bins_per_block * node_span);
     stats->topk_batches += topk_batches_;
     stats->grow_region_launches +=
         grow_after.parallel_regions - grow_before.parallel_regions;
@@ -394,6 +423,7 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
     stats->reduce_ns += reduce_ns_;
     stats->find_split_ns += find_ns_;
     stats->apply_split_ns += apply_ns_;
+    stats->quantize_ns += quantize_ns_;
     stats->hist_updates += hist_updates_;
     const PartitionStats apply_after = partitioner_.stats();
     stats->apply_splits += apply_after.splits - apply_before.splits;
@@ -407,6 +437,7 @@ RegTree HarpTreeBuilder::BuildTree(const std::vector<GradientPair>& gradients,
     stats->hist_peak_bytes = std::max(stats->hist_peak_bytes,
                                       hists_.PeakBytes());
   }
+  ++trees_built_;
   return tree;
 }
 

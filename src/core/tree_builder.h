@@ -81,7 +81,13 @@ class HarpTreeBuilder final : public TreeBuilderBase {
 
  private:
   BuildContext Context() {
-    return BuildContext{matrix_, params_, pool_, partitioner_, hists_};
+    return BuildContext{matrix_,
+                        params_,
+                        pool_,
+                        partitioner_,
+                        hists_,
+                        use_quant_ ? &quant_round_ : nullptr,
+                        simd_level_};
   }
 
   // Picks DP or MP for one batch. For SYNC this implements the (DP, MP,
@@ -164,6 +170,11 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   GrowQueue queue_;
   bool use_subtraction_;  // forced off for ASYNC (see .cpp)
   bool use_fused_;        // forced off for ASYNC (own scheduler)
+  bool use_quant_;        // forced off for ASYNC (see .cpp)
+  SimdLevel simd_level_;  // resolved once from params.simd
+  // Per-tree quantization state (scales + packed rows); valid only while
+  // use_quant_ and refreshed at the top of every BuildTree.
+  QuantRound quant_round_;
   const std::vector<uint8_t>* column_mask_ = nullptr;
 
   // Per-step member scratch (grow-only; steady-state growth reuses it
@@ -220,6 +231,8 @@ class HarpTreeBuilder final : public TreeBuilderBase {
   int64_t reduce_ns_ = 0;
   int64_t find_ns_ = 0;
   int64_t apply_ns_ = 0;
+  int64_t quantize_ns_ = 0;
+  int64_t trees_built_ = 0;  // rounds completed (stochastic-rounding seed)
   int64_t hist_updates_ = 0;
   // Fused-step phase boundary timestamps (written in barrier epilogues).
   int64_t t_apply_end_ = 0;

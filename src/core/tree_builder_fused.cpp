@@ -128,6 +128,11 @@ void HarpTreeBuilder::RunOverlapTask(const BuildContext& ctx, int32_t id) {
       // cube's histogram writes (release sequence on the counter): the
       // finds/subtract it publishes observe the node's complete histogram.
       if (node_remaining_[j].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Quantized mode: the drained accumulator becomes the node's f64
+        // histogram HERE, before the subtract/find tasks that read it are
+        // published (their slot-ring release stores order the conversion
+        // before any consumer's acquire load).
+        mp_.DequantizeNode(node);
         PushFinds(build_child_pos_[j]);
         if (sub_of_build_[j] >= 0) {
           PushTask(num_builds + sub_of_build_[j]);
