@@ -1,9 +1,11 @@
 #include "common/stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 
 namespace harp {
 
@@ -31,6 +33,106 @@ double RunningStats::Stddev() const { return std::sqrt(Variance()); }
 double RunningStats::CV() const {
   if (count_ == 0 || mean_ == 0.0) return 0.0;
   return Stddev() / mean_;
+}
+
+int LatencyRecorder::BucketIndex(int64_t ns) {
+  if (ns < 0) ns = 0;
+  if (ns < (int64_t{1} << kSubBits)) return static_cast<int>(ns);
+  // ns lies in [2^k, 2^(k+1)); the top kSubBits bits after the leading one
+  // select the sub-bucket, so relative bucket width is 2^-kSubBits.
+  const int k = std::bit_width(static_cast<uint64_t>(ns)) - 1;
+  const int sub = static_cast<int>((ns >> (k - kSubBits)) -
+                                   (int64_t{1} << kSubBits));
+  return ((k - kSubBits + 1) << kSubBits) + sub;
+}
+
+void LatencyRecorder::BucketBounds(int index, int64_t* lo, int64_t* hi) {
+  if (index < (1 << kSubBits)) {
+    *lo = index;
+    *hi = index + 1;
+    return;
+  }
+  const int e = index >> kSubBits;
+  const int sub = index & ((1 << kSubBits) - 1);
+  const int k = e + kSubBits - 1;
+  *lo = (int64_t{1} << k) +
+        (static_cast<int64_t>(sub) << (k - kSubBits));
+  *hi = *lo + (int64_t{1} << (k - kSubBits));
+}
+
+void LatencyRecorder::Record(int64_t ns) {
+  if (ns < 0) ns = 0;
+  if (count_ == 0) {
+    min_ = ns;
+    max_ = ns;
+  } else {
+    min_ = std::min(min_, ns);
+    max_ = std::max(max_, ns);
+  }
+  ++count_;
+  sum_ += ns;
+  ++counts_[static_cast<size_t>(BucketIndex(ns))];
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts_[static_cast<size_t>(i)] +=
+        other.counts_[static_cast<size_t>(i)];
+  }
+}
+
+void LatencyRecorder::Reset() { *this = LatencyRecorder(); }
+
+double LatencyRecorder::MeanNs() const {
+  return count_ > 0 ? static_cast<double>(sum_) / static_cast<double>(count_)
+                    : 0.0;
+}
+
+double LatencyRecorder::PercentileNs(double q) const {
+  HARP_CHECK(q >= 0.0 && q <= 1.0);
+  if (count_ == 0) return 0.0;
+  if (q >= 1.0) return static_cast<double>(max_);
+  const double target =
+      std::max(1.0, q * static_cast<double>(count_));  // rank in [1, count]
+  double cum = 0.0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const int64_t c = counts_[static_cast<size_t>(i)];
+    if (c == 0) continue;
+    if (cum + static_cast<double>(c) >= target) {
+      int64_t lo = 0;
+      int64_t hi = 0;
+      BucketBounds(i, &lo, &hi);
+      // The bucket holds ranks (cum, cum + c]; place rank `target` at its
+      // position within [lo, hi) so a single-value bucket reports lo
+      // exactly (values below 2^kSubBits are therefore exact).
+      const double within =
+          std::max(0.0, (target - cum - 1.0) / static_cast<double>(c));
+      const double value =
+          static_cast<double>(lo) + static_cast<double>(hi - lo) * within;
+      return std::clamp(value, static_cast<double>(min_),
+                        static_cast<double>(max_));
+    }
+    cum += static_cast<double>(c);
+  }
+  return static_cast<double>(max_);
+}
+
+std::string LatencyRecorder::Summary(const std::string& label) const {
+  return StrFormat(
+      "%s: n=%lld p50=%.1fus p99=%.1fus p999=%.1fus max=%.1fus",
+      label.c_str(), static_cast<long long>(count_),
+      PercentileNs(0.50) * 1e-3, PercentileNs(0.99) * 1e-3,
+      PercentileNs(0.999) * 1e-3, static_cast<double>(MaxNs()) * 1e-3);
 }
 
 double Percentile(std::vector<double> values, double q) {

@@ -1,8 +1,11 @@
 // Small descriptive-statistics helpers shared by the data-shape reports
-// (Table III's S and CV columns) and the benchmark harness.
+// (Table III's S and CV columns), the benchmark harness, and the serving
+// layer's latency reporting.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace harp {
@@ -28,6 +31,50 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+// Log-bucketed latency histogram with cheap percentile extraction.
+//
+// Values (int64 nanoseconds, the library's time base) are bucketed exactly
+// below 32 ns and at 32 sub-buckets per power of two above, giving <= ~3%
+// relative bucket width — more than enough for p50/p99/p999 reporting —
+// while Record() stays a few ALU ops plus one array increment, cheap
+// enough to sit on a per-request serving path. A recorder is
+// single-writer; per-thread recorders are combined with Merge() at
+// reporting time (the pattern bench_serve and ServeStats use).
+class LatencyRecorder {
+ public:
+  void Record(int64_t ns);
+  void Merge(const LatencyRecorder& other);
+  void Reset();
+
+  int64_t Count() const { return count_; }
+  int64_t MinNs() const { return count_ > 0 ? min_ : 0; }
+  int64_t MaxNs() const { return count_ > 0 ? max_ : 0; }
+  double MeanNs() const;
+
+  // Percentile (q in [0, 1]) reconstructed by linear interpolation inside
+  // the covering bucket, clamped to the exact observed [min, max].
+  double PercentileNs(double q) const;
+
+  // One-line "label: n=... p50=...us p99=...us p999=...us max=...us"
+  // summary (IngestStats-style reporting).
+  std::string Summary(const std::string& label) const;
+
+  static constexpr int kSubBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kBuckets =
+      ((63 - kSubBits + 1) << kSubBits) + (1 << kSubBits);
+
+ private:
+  static int BucketIndex(int64_t ns);
+  // [lo, hi) value range covered by bucket `index`.
+  static void BucketBounds(int index, int64_t* lo, int64_t* hi);
+
+  std::array<int64_t, kBuckets> counts_{};
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
 };
 
 // Percentile of a sample using linear interpolation; q in [0, 1].

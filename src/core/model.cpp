@@ -7,6 +7,48 @@
 
 namespace harp {
 
+GbdtModel::GbdtModel(const GbdtModel& other)
+    : trees_(other.trees_),
+      objective_(other.objective_),
+      base_margin_(other.base_margin_),
+      cuts_(other.cuts_) {
+  std::lock_guard<std::mutex> lock(other.flat_mutex_);
+  flat_cache_ = other.flat_cache_;
+}
+
+GbdtModel& GbdtModel::operator=(const GbdtModel& other) {
+  if (this == &other) return *this;
+  trees_ = other.trees_;
+  objective_ = other.objective_;
+  base_margin_ = other.base_margin_;
+  cuts_ = other.cuts_;
+  std::shared_ptr<const FlatForest> cache;
+  {
+    std::lock_guard<std::mutex> lock(other.flat_mutex_);
+    cache = other.flat_cache_;
+  }
+  std::lock_guard<std::mutex> lock(flat_mutex_);
+  flat_cache_ = std::move(cache);
+  return *this;
+}
+
+GbdtModel::GbdtModel(GbdtModel&& other) noexcept
+    : trees_(std::move(other.trees_)),
+      objective_(other.objective_),
+      base_margin_(other.base_margin_),
+      cuts_(std::move(other.cuts_)),
+      flat_cache_(std::move(other.flat_cache_)) {}
+
+GbdtModel& GbdtModel::operator=(GbdtModel&& other) noexcept {
+  if (this == &other) return *this;
+  trees_ = std::move(other.trees_);
+  objective_ = other.objective_;
+  base_margin_ = other.base_margin_;
+  cuts_ = std::move(other.cuts_);
+  flat_cache_ = std::move(other.flat_cache_);
+  return *this;
+}
+
 double GbdtModel::PredictMarginRow(const Dataset& dataset, uint32_t row,
                                    size_t num_trees) const {
   const size_t limit =
@@ -20,11 +62,19 @@ double GbdtModel::PredictMarginRow(const Dataset& dataset, uint32_t row,
 
 FlatForest GbdtModel::Flatten() const { return FlatForest::Build(*this); }
 
+std::shared_ptr<const FlatForest> GbdtModel::FlatSnapshot() const {
+  std::lock_guard<std::mutex> lock(flat_mutex_);
+  if (!flat_cache_) {
+    flat_cache_ = std::make_shared<const FlatForest>(FlatForest::Build(*this));
+  }
+  return flat_cache_;
+}
+
 std::vector<double> GbdtModel::PredictMargins(const Dataset& dataset,
                                               ThreadPool* pool,
                                               size_t num_trees) const {
-  const FlatForest flat = Flatten();
-  return Predictor(flat).PredictMargins(dataset, pool, num_trees);
+  const std::shared_ptr<const FlatForest> flat = FlatSnapshot();
+  return Predictor(*flat).PredictMargins(dataset, pool, num_trees);
 }
 
 std::vector<double> GbdtModel::Predict(const Dataset& dataset,
@@ -39,8 +89,8 @@ std::vector<double> GbdtModel::Predict(const Dataset& dataset,
 std::vector<double> GbdtModel::PredictMarginsBinned(const BinnedMatrix& matrix,
                                                     ThreadPool* pool,
                                                     size_t num_trees) const {
-  const FlatForest flat = Flatten();
-  return Predictor(flat).PredictMargins(matrix, pool, num_trees);
+  const std::shared_ptr<const FlatForest> flat = FlatSnapshot();
+  return Predictor(*flat).PredictMargins(matrix, pool, num_trees);
 }
 
 BinnedMatrix GbdtModel::BinDataset(const Dataset& dataset,

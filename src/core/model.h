@@ -2,6 +2,8 @@
 // feature values.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,7 +27,18 @@ class GbdtModel {
         base_margin_(base_margin),
         cuts_(std::move(cuts)) {}
 
-  void AddTree(RegTree tree) { trees_.push_back(std::move(tree)); }
+  // Copies/moves transfer the cached flat snapshot (it is immutable and
+  // describes the same trees); the cache mutex itself is never
+  // transferred. Moves must not race with concurrent use of the source.
+  GbdtModel(const GbdtModel& other);
+  GbdtModel& operator=(const GbdtModel& other);
+  GbdtModel(GbdtModel&& other) noexcept;
+  GbdtModel& operator=(GbdtModel&& other) noexcept;
+
+  void AddTree(RegTree tree) {
+    trees_.push_back(std::move(tree));
+    InvalidateFlatCache();
+  }
 
   size_t NumTrees() const { return trees_.size(); }
   const RegTree& tree(size_t i) const { return trees_[i]; }
@@ -61,12 +74,18 @@ class GbdtModel {
                                            ThreadPool* pool = nullptr,
                                            size_t num_trees = 0) const;
 
-  // Flattens the ensemble into the SoA inference layout. The Predict*
-  // methods above build this per call; callers predicting repeatedly
-  // (serving loops, benches) should flatten once and drive a Predictor
-  // directly. The returned forest snapshots the current trees — rebuild
-  // after mutating the model.
+  // Flattens the ensemble into the SoA inference layout. Always builds a
+  // fresh forest; prefer FlatSnapshot() unless you need an independent
+  // copy (e.g. to mutate the model while keeping the old layout).
   FlatForest Flatten() const;
+
+  // Cached flat snapshot, built on first use and shared by every caller:
+  // repeated Predict* calls (and a model server's reload path) flatten
+  // once instead of per call. Any model mutation — AddTree, mutable_trees,
+  // set_base_margin, set_cuts — invalidates the cache; holders of the
+  // returned pointer keep the old (still-consistent) snapshot alive.
+  // Thread-safe: concurrent FlatSnapshot()/Predict* calls are fine.
+  std::shared_ptr<const FlatForest> FlatSnapshot() const;
 
   // Bins new raw data with the model's training-time cuts.
   BinnedMatrix BinDataset(const Dataset& dataset,
@@ -84,17 +103,34 @@ class GbdtModel {
   // Total node count across trees (model-size reporting).
   int64_t TotalNodes() const;
 
-  // Mutable access for model IO.
-  std::vector<RegTree>& mutable_trees() { return trees_; }
+  // Mutable access for model IO. Taking the reference conservatively
+  // drops the flat cache — the caller may mutate through it at any time.
+  std::vector<RegTree>& mutable_trees() {
+    InvalidateFlatCache();
+    return trees_;
+  }
   void set_objective(ObjectiveKind kind) { objective_ = kind; }
-  void set_base_margin(double margin) { base_margin_ = margin; }
-  void set_cuts(QuantileCuts cuts) { cuts_ = std::move(cuts); }
+  void set_base_margin(double margin) {
+    base_margin_ = margin;
+    InvalidateFlatCache();
+  }
+  void set_cuts(QuantileCuts cuts) {
+    cuts_ = std::move(cuts);
+    InvalidateFlatCache();
+  }
 
  private:
+  void InvalidateFlatCache() {
+    std::lock_guard<std::mutex> lock(flat_mutex_);
+    flat_cache_.reset();
+  }
+
   std::vector<RegTree> trees_;
   ObjectiveKind objective_ = ObjectiveKind::kLogistic;
   double base_margin_ = 0.0;
   QuantileCuts cuts_;
+  mutable std::mutex flat_mutex_;
+  mutable std::shared_ptr<const FlatForest> flat_cache_;
 };
 
 }  // namespace harp

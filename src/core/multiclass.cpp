@@ -35,10 +35,12 @@ std::vector<double> MulticlassModel::PredictProbs(const Dataset& dataset,
   BinnedMatrix binned;
   if (shared_cuts) binned = per_class_[0].BinDataset(dataset, pool);
 
-  // Per-class sigmoid scores (each flat forest walk is independent).
+  // Per-class sigmoid scores (each flat forest walk is independent);
+  // FlatSnapshot caches each class's flat layout across repeated calls.
   for (int c = 0; c < k; ++c) {
-    const FlatForest flat = per_class_[static_cast<size_t>(c)].Flatten();
-    const Predictor predictor(flat);
+    const std::shared_ptr<const FlatForest> flat =
+        per_class_[static_cast<size_t>(c)].FlatSnapshot();
+    const Predictor predictor(*flat);
     const std::vector<double> margins =
         shared_cuts ? predictor.PredictMargins(binned, pool)
                     : predictor.PredictMargins(dataset, pool);

@@ -30,6 +30,7 @@
 #include "data/synthetic.h"     // GenerateSynthetic + shape presets
 #include "predict/flat_forest.h"  // FlatForest (SoA inference layout)
 #include "predict/predictor.h"    // Predictor (block-wise batched inference)
+#include "serve/model_server.h"   // ModelServer (online serving, hot swap)
 
 #include "common/string_util.h"  // StrFormat, HumanBytes
 #include "distributed/dist_gbdt.h"  // DistributedGbdt (simulated cluster)

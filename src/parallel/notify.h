@@ -1,0 +1,62 @@
+// Sleep/wake notification primitives for the serving layer.
+//
+// The training-side pool keeps every thread busy inside parallel regions,
+// so it never needed a way to *sleep until told otherwise*. Serving does:
+// the admission flusher sleeps until a batch deadline (or an earlier
+// submit re-arms it), and dispatch workers sleep when the ready queue is
+// empty. Both are condvar waits wrapped so callers deal in the repo's
+// int64-nanosecond time base instead of chrono types.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace harp {
+
+// Auto-reset event: Set() releases at most one pending (or the next) Wait.
+// A Set() with no waiter is remembered once, so a signal between a
+// waiter's predicate check and its park is never lost — the classic
+// flusher race (submit opens a batch while the flusher is deciding how
+// long to sleep) is handled by re-arming instead of by spinning.
+class AutoResetEvent {
+ public:
+  void Set() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      signaled_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until Set() (consumes the signal).
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return signaled_; });
+    signaled_ = false;
+  }
+
+  // Blocks until Set() or `timeout_ns` elapses; returns true when the
+  // signal (not the timeout) ended the wait. Non-positive timeouts only
+  // poll the pending flag.
+  bool WaitFor(int64_t timeout_ns) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (timeout_ns <= 0) {
+      const bool was = signaled_;
+      signaled_ = false;
+      return was;
+    }
+    const bool ok = cv_.wait_for(lock, std::chrono::nanoseconds(timeout_ns),
+                                 [&] { return signaled_; });
+    signaled_ = false;
+    return ok;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool signaled_ = false;
+};
+
+}  // namespace harp

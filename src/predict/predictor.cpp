@@ -18,6 +18,9 @@ constexpr size_t kMaxScratchBytes = size_t{4} << 20;
 
 }  // namespace
 
+Predictor::Predictor(const FlatForest& forest)
+    : forest_(&forest), full_groups_(TreeGroups(0, forest.num_trees())) {}
+
 size_t Predictor::ClampTreeCount(size_t num_trees) const {
   return num_trees == 0 ? forest_->num_trees()
                         : std::min(num_trees, forest_->num_trees());
@@ -82,14 +85,48 @@ void Predictor::AccumulateBlockBinned(const BinnedMatrix& matrix, uint32_t r0,
   }
 }
 
-void Predictor::AccumulateBlockRaw(const Dataset& dataset, uint32_t r0,
-                                   uint32_t r1, size_t t0, size_t t1,
-                                   double* margins) const {
+void Predictor::TraverseDense(const float* base, size_t stride, uint32_t rows,
+                              size_t t0, size_t t1, double* margins) const {
   const uint32_t* feat = forest_->split_feature();
   const float* sval = forest_->split_value();
   const uint8_t* dleft = forest_->default_left();
   const int32_t* left = forest_->left_child();
   const double* leaf = forest_->leaf_value();
+
+  for (size_t t = t0; t < t1; ++t) {
+    const int32_t root = forest_->tree_offset(t);
+    const int32_t steps = forest_->tree_depth(t);
+    for (uint32_t r = 0; r < rows; r += kInterleave) {
+      const int lanes =
+          static_cast<int>(std::min<uint32_t>(kInterleave, rows - r));
+      const float* rv[kInterleave];
+      int32_t idx[kInterleave];
+      for (int j = 0; j < lanes; ++j) {
+        rv[j] = base + static_cast<size_t>(r + j) * stride;
+        idx[j] = root;
+      }
+      for (int32_t s = 0; s < steps; ++s) {
+        for (int j = 0; j < lanes; ++j) {
+          const int32_t i = idx[j];
+          const float value = rv[j][feat[i]];
+          // Leaf slots carry split_value = +inf, so any present value
+          // "goes left" back into the leaf; NaN routes to the default
+          // side, which leaves also point at themselves.
+          const bool go_left =
+              IsMissing(value) ? (dleft[i] != 0) : (value <= sval[i]);
+          idx[j] = left[i] + static_cast<int32_t>(!go_left);
+        }
+      }
+      for (int j = 0; j < lanes; ++j) {
+        margins[r + static_cast<uint32_t>(j)] += leaf[idx[j]];
+      }
+    }
+  }
+}
+
+void Predictor::AccumulateBlockRaw(const Dataset& dataset, uint32_t r0,
+                                   uint32_t r1, size_t t0, size_t t1,
+                                   double* margins) const {
   const uint32_t num_features = dataset.num_features();
 
   // Both layouts traverse from per-row dense float pointers. Sparse rows
@@ -129,35 +166,83 @@ void Predictor::AccumulateBlockRaw(const Dataset& dataset, uint32_t r0,
       stride = num_features;
     }
 
-    for (size_t t = t0; t < t1; ++t) {
-      const int32_t root = forest_->tree_offset(t);
-      const int32_t steps = forest_->tree_depth(t);
-      for (uint32_t r = c0; r < c1; r += kInterleave) {
-        const int lanes = static_cast<int>(
-            std::min<uint32_t>(kInterleave, c1 - r));
-        const float* rv[kInterleave];
-        int32_t idx[kInterleave];
-        for (int j = 0; j < lanes; ++j) {
-          rv[j] = base + static_cast<size_t>(r - c0 + j) * stride;
-          idx[j] = root;
-        }
-        for (int32_t s = 0; s < steps; ++s) {
-          for (int j = 0; j < lanes; ++j) {
-            const int32_t i = idx[j];
-            const float value = rv[j][feat[i]];
-            // Leaf slots carry split_value = +inf, so any present value
-            // "goes left" back into the leaf; NaN routes to the default
-            // side, which leaves also point at themselves.
-            const bool go_left =
-                IsMissing(value) ? (dleft[i] != 0) : (value <= sval[i]);
-            idx[j] = left[i] + static_cast<int32_t>(!go_left);
-          }
-        }
-        for (int j = 0; j < lanes; ++j) {
-          margins[r + static_cast<uint32_t>(j)] += leaf[idx[j]];
-        }
-      }
+    TraverseDense(base, stride, c1 - c0, t0, t1, margins + c0);
+  }
+}
+
+void Predictor::AccumulateMarginsDense(const float* values, uint32_t num_rows,
+                                       uint32_t stride, double* margins,
+                                       size_t tree_begin,
+                                       size_t tree_end) const {
+  HARP_CHECK_LE(tree_end, forest_->num_trees());
+  HARP_CHECK_GE(stride, forest_->min_features());
+  if (tree_begin >= tree_end || num_rows == 0) return;
+  const bool full =
+      tree_begin == 0 && tree_end == forest_->num_trees();
+  std::vector<size_t> local;
+  if (!full) local = TreeGroups(tree_begin, tree_end);
+  const std::vector<size_t>& groups = full ? full_groups_ : local;
+  // Blocks outer, groups inner: per row the groups still land in tree
+  // order, so margins stay bit-identical to the Dataset paths.
+  for (uint32_t r0 = 0; r0 < num_rows; r0 += kRowBlock) {
+    const uint32_t r1 = std::min(num_rows, r0 + kRowBlock);
+    for (size_t g = 0; g + 1 < groups.size(); ++g) {
+      TraverseDense(values + static_cast<size_t>(r0) * stride, stride,
+                    r1 - r0, groups[g], groups[g + 1], margins + r0);
     }
+  }
+}
+
+double Predictor::PredictRow(const float* row, uint32_t num_features) const {
+  HARP_CHECK_GE(num_features, forest_->min_features());
+  const uint32_t* feat = forest_->split_feature();
+  const float* sval = forest_->split_value();
+  const uint8_t* dleft = forest_->default_left();
+  const int32_t* left = forest_->left_child();
+  const double* leaf = forest_->leaf_value();
+
+  double margin = forest_->base_margin();
+  const size_t num_trees = forest_->num_trees();
+  for (size_t t = 0; t < num_trees; ++t) {
+    int32_t idx = forest_->tree_offset(t);
+    const int32_t steps = forest_->tree_depth(t);
+    for (int32_t s = 0; s < steps; ++s) {
+      const float value = row[feat[idx]];
+      const bool go_left =
+          IsMissing(value) ? (dleft[idx] != 0) : (value <= sval[idx]);
+      idx = left[idx] + static_cast<int32_t>(!go_left);
+    }
+    margin += leaf[idx];
+  }
+  return margin;
+}
+
+void Predictor::AccumulateShortRaw(const Dataset& dataset, double* margins,
+                                   size_t tree_begin, size_t tree_end) const {
+  const uint32_t rows = dataset.num_rows();
+  const uint32_t num_features = dataset.num_features();
+  const bool full =
+      tree_begin == 0 && tree_end == forest_->num_trees();
+  std::vector<size_t> local;
+  if (!full) local = TreeGroups(tree_begin, tree_end);
+  const std::vector<size_t>& groups = full ? full_groups_ : local;
+
+  const float* base;
+  std::vector<float> scratch;
+  if (dataset.layout() == Dataset::Layout::kDense) {
+    base = dataset.dense_values().data();
+  } else {
+    scratch.assign(static_cast<size_t>(rows) * num_features, kMissingValue);
+    for (uint32_t r = 0; r < rows; ++r) {
+      float* out = scratch.data() + static_cast<size_t>(r) * num_features;
+      dataset.ForEachInRow(r,
+                           [&](uint32_t f, float value) { out[f] = value; });
+    }
+    base = scratch.data();
+  }
+  for (size_t g = 0; g + 1 < groups.size(); ++g) {
+    TraverseDense(base, num_features, rows, groups[g], groups[g + 1],
+                  margins);
   }
 }
 
@@ -210,6 +295,12 @@ void Predictor::AccumulateMargins(const Dataset& dataset, double* margins,
   HARP_CHECK_LE(tree_end, forest_->num_trees());
   HARP_CHECK_GE(dataset.num_features(), forest_->min_features());
   if (tree_begin >= tree_end || dataset.num_rows() == 0) return;
+  if (dataset.num_rows() < kRowBlock) {
+    // Short-batch fast path: a single block cannot use a pool fan-out,
+    // and the sub-4MB scratch clamp is pointless — skip both.
+    AccumulateShortRaw(dataset, margins, tree_begin, tree_end);
+    return;
+  }
   ForEachBlock(dataset.num_rows(), pool, TreeGroups(tree_begin, tree_end),
                [&](uint32_t r0, uint32_t r1, size_t t0, size_t t1) {
                  AccumulateBlockRaw(dataset, r0, r1, t0, t1, margins);

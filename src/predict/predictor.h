@@ -41,7 +41,9 @@ class ThreadPool;
 class Predictor {
  public:
   // Keeps a pointer to `forest`; the forest must outlive the Predictor.
-  explicit Predictor(const FlatForest& forest) : forest_(&forest) {}
+  // The full-ensemble tree-group plan is computed once here, so per-call
+  // setup on the serving paths is allocation-free.
+  explicit Predictor(const FlatForest& forest);
 
   // Margins (base margin + tree sum) for every row of a matrix binned
   // with the model's own cuts, using the first `num_trees` trees (0 =
@@ -71,6 +73,22 @@ class Predictor {
                                       size_t tree_index,
                                       ThreadPool* pool = nullptr) const;
 
+  // Sub-block entry point for the serving layer: margins[i] += trees
+  // [tree_begin, tree_end) for `num_rows` dense float rows starting at
+  // `values` with row stride `stride` floats (NaN = missing). Serial —
+  // batch-level parallelism comes from the caller running many batches
+  // concurrently. Bit-identical to the Dataset overloads on the same rows
+  // (same kernel, same per-row tree order).
+  void AccumulateMarginsDense(const float* values, uint32_t num_rows,
+                              uint32_t stride, double* margins,
+                              size_t tree_begin, size_t tree_end) const;
+
+  // Single-row fast path: full-ensemble margin (base margin included) for
+  // one dense float row of at least min_features() values. No block
+  // scratch, no group plan allocation — the shape a one-request-at-a-time
+  // caller wants. Bit-identical to PredictMargins on a one-row dataset.
+  double PredictRow(const float* row, uint32_t num_features) const;
+
   const FlatForest& forest() const { return *forest_; }
 
   static constexpr uint32_t kRowBlock = 256;  // rows per cache block
@@ -86,6 +104,17 @@ class Predictor {
   void AccumulateBlockRaw(const Dataset& dataset, uint32_t r0, uint32_t r1,
                           size_t t0, size_t t1, double* margins) const;
 
+  // Interleaved traversal of trees [t0, t1) over `rows` dense float rows
+  // at `base` (row stride `stride`); margins indexed 0..rows-1. The one
+  // raw-input kernel every raw path funnels into.
+  void TraverseDense(const float* base, size_t stride, uint32_t rows,
+                     size_t t0, size_t t1, double* margins) const;
+
+  // Short-batch path (rows < kRowBlock): no pool fan-out, no clamped
+  // block scratch — sparse rows densify into one rows x features buffer.
+  void AccumulateShortRaw(const Dataset& dataset, double* margins,
+                          size_t tree_begin, size_t tree_end) const;
+
   // Group boundaries covering [tree_begin, tree_end): consecutive trees
   // packed until a group exceeds kGroupNodeBudget nodes.
   std::vector<size_t> TreeGroups(size_t tree_begin, size_t tree_end) const;
@@ -93,6 +122,7 @@ class Predictor {
   size_t ClampTreeCount(size_t num_trees) const;
 
   const FlatForest* forest_;
+  std::vector<size_t> full_groups_;  // TreeGroups(0, num_trees())
 };
 
 }  // namespace harp

@@ -1,0 +1,152 @@
+#include "serve/admission_queue.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace harp {
+
+RequestBatch::RequestBatch(uint64_t seq, uint32_t capacity,
+                           uint32_t num_features)
+    : seq_(seq), capacity_(capacity), num_features_(num_features) {
+  rows_.resize(static_cast<size_t>(capacity) * num_features);
+  margins_.resize(capacity);
+  submit_ns_.resize(capacity);
+}
+
+void RequestBatch::MarkDone() {
+  if (done_ns == 0) done_ns = NowNs();  // server stamps it pre-accounting
+  {
+    // The lock pairs with the one in WaitDone: a waiter that misses the
+    // atomic fast path cannot park between its predicate check and the
+    // notify.
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    done_.store(true, std::memory_order_release);
+  }
+  done_cv_.notify_all();
+}
+
+void RequestBatch::WaitDone() {
+  if (done_.load(std::memory_order_acquire)) return;
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock,
+                [&] { return done_.load(std::memory_order_acquire); });
+}
+
+AdmissionQueue::AdmissionQueue(uint32_t block_rows, uint32_t num_features)
+    : block_rows_(block_rows), num_features_(num_features) {
+  HARP_CHECK_GE(block_rows_, 1u);
+  HARP_CHECK_GE(num_features_, 1u);
+}
+
+ServeTicket AdmissionQueue::Submit(const float* row,
+                                   std::function<void(double)> callback) {
+  const int64_t now = NowNs();
+  std::shared_ptr<RequestBatch> sealed;
+  ServeTicket ticket;
+  bool opened = false;
+  {
+    std::lock_guard<SpinMutex> lock(admit_mutex_);
+    HARP_CHECK(!stopped_) << "Submit after Stop";
+    if (open_ == nullptr) {
+      open_ = std::make_shared<RequestBatch>(next_seq_++, block_rows_,
+                                             num_features_);
+      open_->first_submit_ns = now;
+      opened = true;
+    }
+    RequestBatch& batch = *open_;
+    const uint32_t slot = batch.size_++;
+    std::memcpy(batch.rows_.data() +
+                    static_cast<size_t>(slot) * num_features_,
+                row, static_cast<size_t>(num_features_) * sizeof(float));
+    batch.submit_ns_[slot] = now;
+    if (callback) {
+      if (batch.callbacks_.empty()) batch.callbacks_.resize(block_rows_);
+      batch.callbacks_[slot] = std::move(callback);
+      batch.has_callbacks_ = true;
+    }
+    ticket = ServeTicket(open_, slot);
+    ++counters_.submitted;
+    if (batch.size_ == batch.capacity_) {
+      sealed = std::move(open_);
+      ++counters_.full_seals;
+      ++counters_.batches;
+    }
+  }
+  // Queue handoff happens outside the spin lock: Enqueue takes a real
+  // mutex and may wake a sleeping worker, neither belongs in a spin
+  // critical section.
+  if (sealed != nullptr) {
+    Enqueue(std::move(sealed));
+  } else if (opened) {
+    // First row of a fresh batch: re-arm the flusher so its sleep covers
+    // this batch's deadline.
+    flush_event_.Set();
+  }
+  return ticket;
+}
+
+int64_t AdmissionQueue::SealExpired(int64_t now_ns, int64_t deadline_ns,
+                                    bool force) {
+  std::shared_ptr<RequestBatch> sealed;
+  int64_t next_deadline = -1;
+  {
+    std::lock_guard<SpinMutex> lock(admit_mutex_);
+    if (open_ != nullptr && open_->size_ > 0) {
+      const int64_t expires = open_->first_submit_ns + deadline_ns;
+      if (force || now_ns >= expires) {
+        sealed = std::move(open_);
+        sealed->deadline_seal = !force;
+        ++(force ? counters_.forced_seals : counters_.deadline_seals);
+        ++counters_.batches;
+      } else {
+        next_deadline = expires;
+      }
+    }
+  }
+  if (sealed != nullptr) Enqueue(std::move(sealed));
+  return next_deadline;
+}
+
+void AdmissionQueue::Enqueue(std::shared_ptr<RequestBatch> batch) {
+  batch->sealed_ns = NowNs();
+  {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    ready_.push_back(std::move(batch));
+  }
+  ready_cv_.notify_one();
+}
+
+bool AdmissionQueue::WaitPop(std::shared_ptr<RequestBatch>* out) {
+  std::unique_lock<std::mutex> lock(ready_mutex_);
+  ready_cv_.wait(lock, [&] { return !ready_.empty() || stop_dispatch_; });
+  if (ready_.empty()) return false;  // stopped and drained
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  lock.unlock();
+  (*out)->dispatch_ns = NowNs();
+  return true;
+}
+
+void AdmissionQueue::Stop() {
+  {
+    std::lock_guard<SpinMutex> lock(admit_mutex_);
+    stopped_ = true;
+    HARP_CHECK(open_ == nullptr || open_->size_ == 0)
+        << "Stop with unsealed rows; force SealExpired first";
+  }
+  {
+    std::lock_guard<std::mutex> lock(ready_mutex_);
+    stop_dispatch_ = true;
+  }
+  ready_cv_.notify_all();
+  flush_event_.Set();
+}
+
+AdmissionCounters AdmissionQueue::GetCounters() const {
+  std::lock_guard<SpinMutex> lock(admit_mutex_);
+  return counters_;
+}
+
+}  // namespace harp

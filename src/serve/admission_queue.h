@@ -1,0 +1,203 @@
+// Admission queue: coalesces concurrent single-row Submit() calls into
+// Predictor-sized row blocks.
+//
+// The flat Predictor amortizes its costs (tree-group planning, cache-
+// resident node walks, interleaved lanes) over blocks of kRowBlock rows;
+// serving traffic arrives one row at a time. The queue bridges the two:
+// submitters copy their row into the currently open batch under a spin
+// mutex (the critical section is a memcpy plus a few stores, exactly the
+// regime the training-side SpinMutex was built for), and a batch is
+// sealed — handed to the dispatch side — when it fills or when a flush
+// deadline expires, whichever comes first. Full seals happen inline on
+// the submitting thread; deadline seals are driven by the server's
+// flusher thread through SealExpired(). That is the adaptive flush
+// policy: under load batches fill in well under the deadline and latency
+// is dominated by service time, while a trickle of traffic still gets
+// out within ~deadline instead of waiting for 255 neighbours.
+//
+// Completion flows backwards through the batch itself: dispatch workers
+// write per-row margins into the batch and call MarkDone(); submitters
+// hold a ServeTicket (shared ownership of the batch + their row index)
+// and either block on Wait() or get their callback fired by the server.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "parallel/notify.h"
+#include "parallel/spin_mutex.h"
+
+namespace harp {
+
+// One coalesced block of submitted rows moving through the serve
+// pipeline as a unit. Rows are stored densely (size * num_features
+// floats, row-major) so dispatch can hand the buffer straight to
+// Predictor::AccumulateMarginsDense.
+class RequestBatch {
+ public:
+  RequestBatch(uint64_t seq, uint32_t capacity, uint32_t num_features);
+
+  RequestBatch(const RequestBatch&) = delete;
+  RequestBatch& operator=(const RequestBatch&) = delete;
+
+  uint64_t seq() const { return seq_; }
+  uint32_t capacity() const { return capacity_; }
+  uint32_t num_features() const { return num_features_; }
+  uint32_t size() const { return size_; }
+
+  const float* row(uint32_t i) const {
+    return rows_.data() + static_cast<size_t>(i) * num_features_;
+  }
+  float* rows() { return rows_.data(); }
+  double* margins() { return margins_.data(); }
+  double margin(uint32_t i) const { return margins_[i]; }
+  int64_t submit_ns(uint32_t i) const { return submit_ns_[i]; }
+
+  // Timeline + provenance, written by the pipeline stages.
+  int64_t first_submit_ns = 0;  // admission: first row landed
+  int64_t sealed_ns = 0;        // admission: handed to the ready queue
+  int64_t dispatch_ns = 0;      // worker: popped for processing
+  int64_t done_ns = 0;          // worker: margins complete
+  bool deadline_seal = false;   // sealed by flush deadline, not by filling
+  uint64_t served_version = 0;  // model snapshot version that served it
+
+  // Completion latch. MarkDone() publishes the margins written before it;
+  // Wait()/TryWait() on the other side synchronize with that write.
+  void MarkDone();
+  void WaitDone();
+  bool done() const { return done_.load(std::memory_order_acquire); }
+
+ private:
+  friend class AdmissionQueue;
+
+  const uint64_t seq_;
+  const uint32_t capacity_;
+  const uint32_t num_features_;
+  uint32_t size_ = 0;
+
+  std::vector<float> rows_;
+  std::vector<double> margins_;
+  std::vector<int64_t> submit_ns_;
+  // Allocated lazily on the first callback submission (ticket-only
+  // traffic never touches it).
+  std::vector<std::function<void(double)>> callbacks_;
+  bool has_callbacks_ = false;
+
+  std::atomic<bool> done_{false};
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+
+ public:
+  bool has_callbacks() const { return has_callbacks_; }
+  // Valid only when has_callbacks(); entries may be empty (ticket rows).
+  std::vector<std::function<void(double)>>& callbacks() { return callbacks_; }
+};
+
+// Handle a submitter keeps for one row: shared ownership of the batch
+// plus the row's slot in it. Wait() blocks until the batch is served and
+// returns the row's raw margin.
+class ServeTicket {
+ public:
+  ServeTicket() = default;
+  ServeTicket(std::shared_ptr<RequestBatch> batch, uint32_t index)
+      : batch_(std::move(batch)), index_(index) {}
+
+  bool valid() const { return batch_ != nullptr; }
+  bool ready() const { return batch_ != nullptr && batch_->done(); }
+
+  // Blocks until the batch completes; returns this row's margin.
+  double Wait() {
+    batch_->WaitDone();
+    return batch_->margin(index_);
+  }
+
+  uint32_t index() const { return index_; }
+  const RequestBatch& batch() const { return *batch_; }
+
+ private:
+  std::shared_ptr<RequestBatch> batch_;
+  uint32_t index_ = 0;
+};
+
+// Counters the queue maintains (snapshot-readable while running).
+struct AdmissionCounters {
+  int64_t submitted = 0;       // rows accepted
+  int64_t batches = 0;         // batches sealed
+  int64_t full_seals = 0;      // sealed because the block filled
+  int64_t deadline_seals = 0;  // sealed by the flush deadline
+  int64_t forced_seals = 0;    // sealed by Flush()/shutdown drain
+};
+
+class AdmissionQueue {
+ public:
+  AdmissionQueue(uint32_t block_rows, uint32_t num_features);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  uint32_t block_rows() const { return block_rows_; }
+  uint32_t num_features() const { return num_features_; }
+
+  // Copies `row` (num_features() floats) into the open batch, sealing it
+  // inline if it fills. `callback`, when non-null, is fired by the server
+  // after the batch completes (in global submission order); pass nullptr
+  // to consume the result through the returned ticket instead.
+  // Must not be called after Stop().
+  ServeTicket Submit(const float* row, std::function<void(double)> callback);
+
+  // Seals the open batch if its deadline (first_submit + deadline_ns) has
+  // passed at `now_ns`, or unconditionally when `force` is set. Returns
+  // the absolute ns deadline of the (possibly new) open batch, or -1 when
+  // no batch is open — the flusher sleeps on that. Thread-safe.
+  int64_t SealExpired(int64_t now_ns, int64_t deadline_ns, bool force);
+
+  // Dispatch side: blocks for the next sealed batch. Returns false only
+  // after Stop() once the ready queue has drained — every sealed batch is
+  // always handed to some worker.
+  bool WaitPop(std::shared_ptr<RequestBatch>* out);
+
+  // Stops admission (further Submit calls are a programming error) and
+  // wakes dispatch waiters so they can drain and exit. Does NOT seal the
+  // open batch — callers force a final SealExpired first so no row is
+  // dropped.
+  void Stop();
+
+  // Signaled when a submit opens a fresh batch (re-arms the flusher) and
+  // on Stop().
+  AutoResetEvent& flush_event() { return flush_event_; }
+
+  AdmissionCounters GetCounters() const;
+  // Contention counters of the admission lock (observability).
+  SpinCounters GetSpinCounters() const { return admit_mutex_.GetCounters(); }
+
+ private:
+  // Moves a sealed batch to the ready queue and wakes one worker.
+  void Enqueue(std::shared_ptr<RequestBatch> batch);
+
+  const uint32_t block_rows_;
+  const uint32_t num_features_;
+
+  // Admission side: open batch under a spin lock (short critical
+  // sections: row memcpy + bookkeeping).
+  mutable SpinMutex admit_mutex_;
+  std::shared_ptr<RequestBatch> open_;
+  uint64_t next_seq_ = 0;
+  bool stopped_ = false;
+  AdmissionCounters counters_;
+
+  AutoResetEvent flush_event_;
+
+  // Dispatch side: sealed batches in seal order.
+  std::mutex ready_mutex_;
+  std::condition_variable ready_cv_;
+  std::deque<std::shared_ptr<RequestBatch>> ready_;
+  bool stop_dispatch_ = false;
+};
+
+}  // namespace harp

@@ -1,0 +1,246 @@
+#include "serve/model_server.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/model.h"
+#include "parallel/thread_pool.h"
+#include "predict/flat_forest.h"
+
+namespace harp {
+
+namespace {
+
+// The flusher parks on the flush event; a submit that opens a batch
+// re-arms it, so the idle timeout is only a safety net.
+constexpr int64_t kIdleParkNs = 50 * 1000 * 1000;  // 50 ms
+
+}  // namespace
+
+std::string ServeStats::Summary() const {
+  std::string out;
+  out += StrFormat(
+      "serve: %lld rows in %lld batches (fill %.1f/%u-row blocks), "
+      "seals full=%lld deadline=%lld forced=%lld\n",
+      static_cast<long long>(rows_served),
+      static_cast<long long>(batches_served), avg_batch_fill,
+      static_cast<unsigned>(Predictor::kRowBlock),
+      static_cast<long long>(full_seals),
+      static_cast<long long>(deadline_seals),
+      static_cast<long long>(forced_seals));
+  out += StrFormat(
+      "serve: model v%llu, %lld reloads, snapshots retired=%lld "
+      "freed=%lld\n",
+      static_cast<unsigned long long>(model_version),
+      static_cast<long long>(reloads),
+      static_cast<long long>(snapshots_retired),
+      static_cast<long long>(snapshots_freed));
+  out += StrFormat(
+      "serve: admission lock %lld acquires, %lld contended, "
+      "%.3f ms spinning\n",
+      static_cast<long long>(admission_lock.acquires),
+      static_cast<long long>(admission_lock.contended),
+      NsToMs(admission_lock.wait_ns));
+  out += request_ns.Summary("serve: request") + "\n";
+  out += queue_ns.Summary("serve: queued ") + "\n";
+  out += service_ns.Summary("serve: service");
+  return out;
+}
+
+ModelServer::ModelServer(const GbdtModel& model, ServeConfig config)
+    : config_(config) {
+  HARP_CHECK_GE(config_.block_rows, 1u);
+  HARP_CHECK_GE(config_.flush_deadline_ns, 0);
+
+  const std::shared_ptr<const FlatForest> flat = model.FlatSnapshot();
+  row_width_ = std::max<uint32_t>(
+      {1u, model.cuts().num_features(), flat->min_features()});
+
+  const int threads = config_.num_threads > 0
+                          ? config_.num_threads
+                          : ThreadPool::DefaultThreads();
+  pool_ = std::make_unique<ThreadPool>(threads);
+  holder_ = std::make_unique<SnapshotHolder>(
+      threads, std::make_unique<const ModelSnapshot>(flat, /*version=*/1));
+  queue_ = std::make_unique<AdmissionQueue>(config_.block_rows, row_width_);
+  worker_stats_ = std::make_unique<WorkerStats[]>(static_cast<size_t>(threads));
+
+  flusher_ = std::thread([this] { FlusherLoop(); });
+  // The pool's threads enter one region for the server's whole lifetime;
+  // RunOnAllThreads blocks its caller (who participates as thread 0), so
+  // a dedicated host thread carries the region.
+  region_host_ = std::thread([this] {
+    pool_->RunOnAllThreads([this](int thread_id) { WorkerLoop(thread_id); });
+  });
+}
+
+ModelServer::~ModelServer() { Shutdown(); }
+
+ServeTicket ModelServer::Submit(const float* row, uint32_t num_features) {
+  HARP_CHECK_EQ(num_features, row_width_);
+  return queue_->Submit(row, nullptr);
+}
+
+void ModelServer::SubmitWithCallback(const float* row, uint32_t num_features,
+                                     std::function<void(double)> done) {
+  HARP_CHECK_EQ(num_features, row_width_);
+  HARP_CHECK(done != nullptr);
+  queue_->Submit(row, std::move(done));
+}
+
+void ModelServer::Reload(const GbdtModel& model) {
+  const std::shared_ptr<const FlatForest> flat = model.FlatSnapshot();
+  HARP_CHECK_LE(flat->min_features(), row_width_)
+      << "reloaded model references features beyond the serving row width";
+  std::lock_guard<std::mutex> lock(reload_mutex_);
+  holder_->Publish(
+      std::make_unique<const ModelSnapshot>(flat, next_version_++));
+  reloads_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ModelServer::Flush() {
+  queue_->SealExpired(NowNs(), config_.flush_deadline_ns, /*force=*/true);
+}
+
+void ModelServer::Shutdown() {
+  if (shutdown_done_) return;
+  shutdown_done_ = true;
+  stop_.store(true, std::memory_order_release);
+  // Seal any straggler rows, then let the workers drain the ready queue
+  // and exit the region. Queue::Stop checks nothing was left unsealed.
+  queue_->SealExpired(NowNs(), config_.flush_deadline_ns, /*force=*/true);
+  queue_->Stop();
+  if (flusher_.joinable()) flusher_.join();
+  if (region_host_.joinable()) region_host_.join();
+  // Workers are gone, so every pin is released: all retired generations
+  // are reclaimable now (post-shutdown stats show retired == freed).
+  holder_->TryReclaim();
+}
+
+void ModelServer::FlusherLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int64_t next_deadline =
+        queue_->SealExpired(NowNs(), config_.flush_deadline_ns,
+                            /*force=*/false);
+    if (next_deadline < 0) {
+      // No open batch: park until a submit opens one (event re-arms us).
+      queue_->flush_event().WaitFor(kIdleParkNs);
+      continue;
+    }
+    const int64_t now = NowNs();
+    if (next_deadline > now) {
+      // Sleep to the deadline; an earlier full-seal + new batch also
+      // wakes us via the event and we just recompute.
+      queue_->flush_event().WaitFor(next_deadline - now);
+    }
+  }
+}
+
+void ModelServer::WorkerLoop(int thread_id) {
+  std::shared_ptr<RequestBatch> batch;
+  while (queue_->WaitPop(&batch)) {
+    ProcessBatch(thread_id, std::move(batch));
+    batch.reset();
+  }
+}
+
+void ModelServer::ProcessBatch(int thread_id,
+                               std::shared_ptr<RequestBatch> batch) {
+  {
+    const SnapshotHolder::ReadGuard guard = holder_->Acquire(thread_id);
+    const FlatForest& forest = guard->forest();
+    batch->served_version = guard->version();
+    const uint32_t rows = batch->size();
+    double* margins = batch->margins();
+    std::fill_n(margins, rows, forest.base_margin());
+    guard->predictor().AccumulateMarginsDense(
+        batch->rows(), rows, batch->num_features(), margins,
+        /*tree_begin=*/0, /*tree_end=*/forest.num_trees());
+  }  // release the snapshot pin before waking waiters
+  batch->done_ns = NowNs();
+
+  // Account BEFORE signalling completion: a client that has watched its
+  // last ticket resolve must find those rows in Stats() already.
+  WorkerStats& stats = worker_stats_[static_cast<size_t>(thread_id)];
+  {
+    std::lock_guard<std::mutex> lock(stats.mutex);
+    ++stats.batches;
+    stats.rows += batch->size();
+    stats.service_ns.Record(batch->done_ns - batch->dispatch_ns);
+    for (uint32_t i = 0; i < batch->size(); ++i) {
+      stats.request_ns.Record(batch->done_ns - batch->submit_ns(i));
+      stats.queue_ns.Record(batch->dispatch_ns - batch->submit_ns(i));
+    }
+  }
+
+  batch->MarkDone();
+  RetireBatch(std::move(batch));
+}
+
+void ModelServer::RetireBatch(std::shared_ptr<RequestBatch> batch) {
+  // Single-drainer sequence gate: whoever arrives while nobody is
+  // draining takes over and fires callbacks for every consecutive ready
+  // seq, strictly in order. Other workers deposit and leave — they never
+  // fire callbacks concurrently, which is what makes the order global.
+  {
+    std::lock_guard<std::mutex> lock(retire_mutex_);
+    pending_retire_.emplace(batch->seq(), std::move(batch));
+    if (retiring_) return;
+    retiring_ = true;
+  }
+  for (;;) {
+    std::shared_ptr<RequestBatch> ready;
+    {
+      std::lock_guard<std::mutex> lock(retire_mutex_);
+      auto it = pending_retire_.find(next_retire_seq_);
+      if (it == pending_retire_.end()) {
+        retiring_ = false;
+        return;
+      }
+      ready = std::move(it->second);
+      pending_retire_.erase(it);
+      ++next_retire_seq_;
+    }
+    if (ready->has_callbacks()) {
+      auto& callbacks = ready->callbacks();
+      for (uint32_t i = 0; i < ready->size(); ++i) {
+        if (callbacks[i]) callbacks[i](ready->margin(i));
+      }
+    }
+  }
+}
+
+ServeStats ModelServer::Stats() const {
+  ServeStats out;
+  const AdmissionCounters admission = queue_->GetCounters();
+  out.rows_submitted = admission.submitted;
+  out.full_seals = admission.full_seals;
+  out.deadline_seals = admission.deadline_seals;
+  out.forced_seals = admission.forced_seals;
+  out.reloads = reloads_.load(std::memory_order_relaxed);
+  out.snapshots_retired = holder_->retired_total();
+  out.snapshots_freed = holder_->freed_total();
+  out.model_version = holder_->CurrentVersion();
+  out.admission_lock = queue_->GetSpinCounters();
+  for (int t = 0; t < pool_->num_threads(); ++t) {
+    const WorkerStats& stats = worker_stats_[static_cast<size_t>(t)];
+    std::lock_guard<std::mutex> lock(stats.mutex);
+    out.rows_served += stats.rows;
+    out.batches_served += stats.batches;
+    out.request_ns.Merge(stats.request_ns);
+    out.queue_ns.Merge(stats.queue_ns);
+    out.service_ns.Merge(stats.service_ns);
+  }
+  out.avg_batch_fill =
+      out.batches_served > 0
+          ? static_cast<double>(out.rows_served) /
+                static_cast<double>(out.batches_served)
+          : 0.0;
+  return out;
+}
+
+}  // namespace harp

@@ -1,0 +1,187 @@
+// ModelServer: low-latency online inference over a hot-swappable model.
+//
+// Composition of the two serve primitives plus the training-side
+// ThreadPool:
+//
+//   Submit(row) ──► AdmissionQueue ──► ready queue ──► dispatch workers
+//                   (coalesce into      (sealed          (pool threads in ONE
+//                    block_rows          batches)         persistent region)
+//                    blocks)                                 │
+//   flusher thread ──┘ (deadline seals)                      ▼
+//                                            SnapshotHolder::Acquire(tid)
+//                                            AccumulateMarginsDense
+//                                            MarkDone → tickets/callbacks
+//
+// Threading model. The pool's parallel regions are collective and cannot
+// be nested, so the server does not launch a region per batch — a host
+// thread enters RunOnAllThreads ONCE at construction and every pool
+// thread becomes a dispatch worker for the server's lifetime. Each
+// worker serves whole batches serially; parallelism comes from many
+// batches being in flight, which matches the latency goal (a batch never
+// pays a fan-out barrier) and keeps per-batch work on one core's cache.
+//
+// Hot swap. Reload() publishes a new immutable snapshot through the
+// epoch-based SnapshotHolder; in-flight batches finish on the snapshot
+// they pinned, later batches see the new one. A batch records which
+// version served it (served_version), so callers can verify bit-identity
+// against the right generation across a swap.
+//
+// Completion. Ticket waiters are released the moment their batch's
+// margins are written (MarkDone), independently across batches.
+// Callbacks additionally honor global submission order: batches retire
+// through a sequence gate, so callback i never fires before callback j
+// when row j was admitted first — the property a streaming client needs
+// to pipeline responses without reordering buffers.
+//
+// Shutdown. Stop admission, force-seal the open batch, drain the ready
+// queue (every accepted row is served), then join the flusher and the
+// region host. Submit must not race with Shutdown — callers stop their
+// traffic first (checked).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/aligned.h"
+#include "common/stats.h"
+#include "parallel/sync_stats.h"
+#include "predict/predictor.h"
+#include "serve/admission_queue.h"
+#include "serve/snapshot.h"
+
+namespace harp {
+
+class GbdtModel;
+class ThreadPool;
+
+struct ServeConfig {
+  // Coalescing target: rows per dispatched batch (the Predictor's cache
+  // block is the natural unit).
+  uint32_t block_rows = Predictor::kRowBlock;
+  // Adaptive flush: a non-full batch is dispatched once its oldest row
+  // has waited this long.
+  int64_t flush_deadline_ns = 200 * 1000;  // 200 microseconds
+  // Dispatch workers (= pool threads = snapshot reader slots);
+  // 0 = ThreadPool::DefaultThreads().
+  int num_threads = 0;
+};
+
+// Aggregated server observability snapshot (Stats()).
+struct ServeStats {
+  int64_t rows_submitted = 0;
+  int64_t rows_served = 0;
+  int64_t batches_served = 0;
+  int64_t full_seals = 0;
+  int64_t deadline_seals = 0;
+  int64_t forced_seals = 0;
+  int64_t reloads = 0;
+  int64_t snapshots_retired = 0;
+  int64_t snapshots_freed = 0;
+  uint64_t model_version = 0;
+  double avg_batch_fill = 0.0;  // rows served / batches served
+
+  LatencyRecorder request_ns;  // per row: submit -> margins done
+  LatencyRecorder queue_ns;    // per row: submit -> batch dispatched
+  LatencyRecorder service_ns;  // per batch: dispatch -> margins done
+
+  SpinCounters admission_lock;
+
+  // Multi-line human-readable report (IngestStats-style).
+  std::string Summary() const;
+};
+
+class ModelServer {
+ public:
+  // Snapshots `model` (via its cached FlatSnapshot) and starts the
+  // dispatch region + flusher. `model` itself is not retained; Reload()
+  // accepts any model whose referenced features fit the server's row
+  // width.
+  explicit ModelServer(const GbdtModel& model, ServeConfig config = {});
+  ~ModelServer();
+
+  ModelServer(const ModelServer&) = delete;
+  ModelServer& operator=(const ModelServer&) = delete;
+
+  // Width every submitted row must have: the model's feature count (or
+  // the flat forest's referenced-feature minimum for cut-less models).
+  uint32_t row_width() const { return row_width_; }
+
+  // Enqueues one dense row (`num_features` == row_width(); NaN =
+  // missing). Returns a ticket; ticket.Wait() blocks until the row's raw
+  // margin is computed. Thread-safe, wait-free against model swaps.
+  ServeTicket Submit(const float* row, uint32_t num_features);
+
+  // Callback flavor: `done(margin)` fires after the batch completes,
+  // in global submission order across all batches.
+  void SubmitWithCallback(const float* row, uint32_t num_features,
+                          std::function<void(double)> done);
+
+  // Hot-swaps the served model. In-flight batches keep the snapshot they
+  // pinned; the old generation is reclaimed once the last reader drops
+  // it. Serialized internally; cheap when the model's flat cache is warm.
+  void Reload(const GbdtModel& model);
+
+  // Version currently being handed to new batches (1 = initial model,
+  // +1 per Reload).
+  uint64_t ModelVersion() const { return holder_->CurrentVersion(); }
+
+  // Force-seals the open batch regardless of deadline (test hooks,
+  // latency-sensitive drains).
+  void Flush();
+
+  // Stops admission, serves every accepted row, joins all threads.
+  // Idempotent; the destructor calls it.
+  void Shutdown();
+
+  ServeStats Stats() const;
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct alignas(kCacheLineBytes) WorkerStats {
+    mutable std::mutex mutex;
+    LatencyRecorder request_ns;
+    LatencyRecorder queue_ns;
+    LatencyRecorder service_ns;
+    int64_t rows = 0;
+    int64_t batches = 0;
+  };
+
+  void WorkerLoop(int thread_id);
+  void ProcessBatch(int thread_id, std::shared_ptr<RequestBatch> batch);
+  // Sequence-gated retirement: fires callbacks in batch-seq order.
+  void RetireBatch(std::shared_ptr<RequestBatch> batch);
+  void FlusherLoop();
+
+  ServeConfig config_;
+  uint32_t row_width_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<SnapshotHolder> holder_;
+  std::unique_ptr<AdmissionQueue> queue_;
+  std::unique_ptr<WorkerStats[]> worker_stats_;
+
+  std::atomic<bool> stop_{false};
+  bool shutdown_done_ = false;
+  std::thread flusher_;
+  std::thread region_host_;
+
+  // Reload serialization + version allocation.
+  std::mutex reload_mutex_;
+  uint64_t next_version_ = 2;  // ctor publishes version 1
+  std::atomic<int64_t> reloads_{0};
+
+  // Callback ordering gate.
+  std::mutex retire_mutex_;
+  uint64_t next_retire_seq_ = 0;
+  bool retiring_ = false;
+  std::map<uint64_t, std::shared_ptr<RequestBatch>> pending_retire_;
+};
+
+}  // namespace harp

@@ -1,0 +1,90 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace harp {
+
+SnapshotHolder::SnapshotHolder(int max_readers,
+                               std::unique_ptr<const ModelSnapshot> initial)
+    : slots_(static_cast<size_t>(std::max(1, max_readers))) {
+  HARP_CHECK(initial != nullptr);
+  published_version_.store(initial->version(), std::memory_order_release);
+  current_.store(initial.release(), std::memory_order_release);
+}
+
+SnapshotHolder::~SnapshotHolder() {
+  // By contract no reader is active at destruction; everything retired
+  // plus the current generation can go.
+  for (auto& [epoch, snapshot] : retired_) {
+    (void)epoch;
+    delete snapshot;
+    freed_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  retired_.clear();
+  delete current_.load(std::memory_order_acquire);
+}
+
+SnapshotHolder::ReadGuard SnapshotHolder::Acquire(int slot) {
+  HARP_CHECK_GE(slot, 0);
+  HARP_CHECK_LT(slot, max_readers());
+  PinSlot& pin = slots_[static_cast<size_t>(slot)];
+  // Announce-and-confirm: after the seq_cst store of epoch e, either the
+  // confirm load still sees e — in which case any Publish that retires a
+  // snapshot at an epoch >= e scans the slots after its own bump and
+  // observes this pin — or the epoch moved and we re-announce. Either
+  // way, the pointer loaded below is from a generation the pinned epoch
+  // protects.
+  for (;;) {
+    const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+    pin.epoch.store(e, std::memory_order_seq_cst);
+    if (global_epoch_.load(std::memory_order_seq_cst) == e) break;
+  }
+  const ModelSnapshot* snapshot = current_.load(std::memory_order_seq_cst);
+  return ReadGuard(this, slot, snapshot);
+}
+
+void SnapshotHolder::Publish(std::unique_ptr<const ModelSnapshot> snapshot) {
+  HARP_CHECK(snapshot != nullptr);
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  published_version_.store(snapshot->version(), std::memory_order_release);
+  const ModelSnapshot* old =
+      current_.exchange(snapshot.release(), std::memory_order_seq_cst);
+  // Retire the old generation at the pre-bump epoch E: every reader that
+  // could have loaded `old` announced an epoch <= E (anyone announcing
+  // after the bump re-reads current_ after our exchange in the seq_cst
+  // order and gets the new pointer).
+  const uint64_t retire_epoch =
+      global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  retired_.emplace_back(retire_epoch, old);
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  ReclaimLocked();
+}
+
+void SnapshotHolder::ReclaimLocked() {
+  uint64_t min_pinned = std::numeric_limits<uint64_t>::max();
+  for (const PinSlot& pin : slots_) {
+    const uint64_t e = pin.epoch.load(std::memory_order_seq_cst);
+    if (e != 0) min_pinned = std::min(min_pinned, e);
+  }
+  auto keep = retired_.begin();
+  for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+    if (it->first < min_pinned) {
+      delete it->second;
+      freed_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      *keep++ = *it;
+    }
+  }
+  retired_.erase(keep, retired_.end());
+}
+
+size_t SnapshotHolder::TryReclaim() {
+  std::lock_guard<std::mutex> lock(writer_mutex_);
+  ReclaimLocked();
+  return retired_.size();
+}
+
+}  // namespace harp

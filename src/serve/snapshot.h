@@ -1,0 +1,164 @@
+// Lock-free model snapshots with epoch-based reclamation.
+//
+// A serving process must answer two asks that pull in opposite
+// directions: readers (batch dispatch workers) want to reach the current
+// model with zero synchronization on every batch, and the control plane
+// wants to hot-swap the model under load without ever letting an
+// in-flight batch observe a half-replaced ("torn") ensemble. The classic
+// answer — and the one this file implements — is an immutable snapshot
+// behind an atomic pointer plus epoch-based reclamation for the retire
+// side:
+//
+//   * ModelSnapshot is immutable: a FlatForest (shared with the model's
+//     own cache, so a reload does not re-flatten) plus a ready-made
+//     Predictor and a monotonically increasing version.
+//   * SnapshotHolder::Acquire is wait-free for readers: announce the
+//     global epoch in the reader's own padded slot, confirm the epoch did
+//     not move, load the current pointer. No locks, no reference count
+//     ping-pong on a shared cache line.
+//   * Publish swaps the pointer, then retires the old snapshot tagged
+//     with the pre-bump epoch E. A retired snapshot is freed only once
+//     every announced reader epoch is > E — any reader that could still
+//     hold the old pointer pinned an epoch <= E, so waiting for the pins
+//     to advance past E is exactly "no reader can still see it".
+//
+// Readers therefore never block a swap and a swap never invalidates a
+// running batch: both generations stay alive until the last pin on the
+// old one is released. Writers (Publish) are serialized by a mutex — the
+// control plane is not a hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/aligned.h"
+#include "predict/flat_forest.h"
+#include "predict/predictor.h"
+
+namespace harp {
+
+// One immutable served generation: the flat ensemble, its predictor
+// (tree-group plan precomputed), and a version for observability.
+class ModelSnapshot {
+ public:
+  ModelSnapshot(std::shared_ptr<const FlatForest> forest, uint64_t version)
+      : forest_(std::move(forest)),
+        predictor_(*forest_),
+        version_(version) {}
+
+  ModelSnapshot(const ModelSnapshot&) = delete;
+  ModelSnapshot& operator=(const ModelSnapshot&) = delete;
+
+  const FlatForest& forest() const { return *forest_; }
+  const Predictor& predictor() const { return predictor_; }
+  uint64_t version() const { return version_; }
+
+ private:
+  std::shared_ptr<const FlatForest> forest_;
+  Predictor predictor_;
+  uint64_t version_;
+};
+
+class SnapshotHolder {
+ public:
+  // `max_readers` fixes the pin-slot table; every reader must present a
+  // distinct slot in [0, max_readers) (dispatch workers use their pool
+  // thread id). Takes ownership of the initial snapshot.
+  SnapshotHolder(int max_readers,
+                 std::unique_ptr<const ModelSnapshot> initial);
+  ~SnapshotHolder();
+
+  SnapshotHolder(const SnapshotHolder&) = delete;
+  SnapshotHolder& operator=(const SnapshotHolder&) = delete;
+
+  // RAII read pin. The snapshot stays valid (never freed, never mutated)
+  // until the guard is destroyed, across any number of concurrent
+  // Publish calls.
+  class ReadGuard {
+   public:
+    ReadGuard(ReadGuard&& other) noexcept
+        : holder_(std::exchange(other.holder_, nullptr)),
+          slot_(other.slot_),
+          snapshot_(other.snapshot_) {}
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ReadGuard& operator=(ReadGuard&&) = delete;
+    ~ReadGuard() {
+      if (holder_ != nullptr) holder_->Release(slot_);
+    }
+
+    const ModelSnapshot* operator->() const { return snapshot_; }
+    const ModelSnapshot& operator*() const { return *snapshot_; }
+
+   private:
+    friend class SnapshotHolder;
+    ReadGuard(SnapshotHolder* holder, int slot,
+              const ModelSnapshot* snapshot)
+        : holder_(holder), slot_(slot), snapshot_(snapshot) {}
+
+    SnapshotHolder* holder_;
+    int slot_;
+    const ModelSnapshot* snapshot_;
+  };
+
+  // Wait-free reader entry; `slot` must not be pinned already.
+  ReadGuard Acquire(int slot);
+
+  // Installs `snapshot` as current, retires the previous generation, and
+  // frees any retired generation no reader can still hold.
+  void Publish(std::unique_ptr<const ModelSnapshot> snapshot);
+
+  // Frees quiescent retired snapshots; returns how many remain retired
+  // (still possibly pinned). Publish already reclaims; this exists for
+  // shutdown paths and tests.
+  size_t TryReclaim();
+
+  // Version of the currently published snapshot. Tracked in its own
+  // atomic so unpinned observers (stats paths) never dereference a
+  // pointer a concurrent Publish may already have reclaimed.
+  uint64_t CurrentVersion() const {
+    return published_version_.load(std::memory_order_acquire);
+  }
+
+  int max_readers() const { return static_cast<int>(slots_.size()); }
+
+  // Lifetime counters (reporting): snapshots retired / freed so far.
+  int64_t retired_total() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  int64_t freed_total() const {
+    return freed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(kCacheLineBytes) PinSlot {
+    // 0 = idle; otherwise the global epoch announced by this reader.
+    std::atomic<uint64_t> epoch{0};
+  };
+
+  void Release(int slot) {
+    slots_[static_cast<size_t>(slot)].epoch.store(
+        0, std::memory_order_release);
+  }
+
+  // Frees retired snapshots with retire epoch < every announced pin.
+  // Caller holds writer_mutex_.
+  void ReclaimLocked();
+
+  std::atomic<const ModelSnapshot*> current_;
+  std::atomic<uint64_t> global_epoch_{1};
+  std::atomic<uint64_t> published_version_{0};
+  std::vector<PinSlot> slots_;
+
+  // Writer side (Publish / reclamation), serialized.
+  std::mutex writer_mutex_;
+  std::vector<std::pair<uint64_t, const ModelSnapshot*>> retired_;
+  std::atomic<int64_t> retired_total_{0};
+  std::atomic<int64_t> freed_total_{0};
+};
+
+}  // namespace harp

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <set>
+#include <vector>
 
 #include "common/aligned.h"
 #include "common/env.h"
@@ -353,6 +354,84 @@ TEST(Aligned, SurvivesGrowth) {
   for (int i = 0; i < 1000; ++i) v.push_back(i);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(v.data()) % kCacheLineBytes, 0u);
   for (int i = 0; i < 1000; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+// ---------- latency recorder ----------
+
+TEST(LatencyRecorder, EmptyIsZero) {
+  LatencyRecorder rec;
+  EXPECT_EQ(rec.Count(), 0);
+  EXPECT_EQ(rec.MinNs(), 0);
+  EXPECT_EQ(rec.MaxNs(), 0);
+  EXPECT_EQ(rec.MeanNs(), 0.0);
+  EXPECT_EQ(rec.PercentileNs(0.99), 0.0);
+}
+
+TEST(LatencyRecorder, SmallValuesAreExact) {
+  // Below 2^kSubBits every value has its own bucket: percentiles are
+  // exact, not approximations.
+  LatencyRecorder rec;
+  for (int64_t v = 1; v <= 20; ++v) rec.Record(v);
+  EXPECT_EQ(rec.Count(), 20);
+  EXPECT_EQ(rec.MinNs(), 1);
+  EXPECT_EQ(rec.MaxNs(), 20);
+  EXPECT_DOUBLE_EQ(rec.MeanNs(), 10.5);
+  EXPECT_EQ(rec.PercentileNs(0.0), 1.0);
+  EXPECT_EQ(rec.PercentileNs(0.5), 10.0);
+  EXPECT_EQ(rec.PercentileNs(1.0), 20.0);
+}
+
+TEST(LatencyRecorder, LogBucketsKeepRelativeErrorBounded) {
+  // One octave spans 32 sub-buckets, so any reconstructed percentile is
+  // within ~1/32 of the true value.
+  LatencyRecorder rec;
+  std::vector<int64_t> values;
+  int64_t v = 100;
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(v);
+    rec.Record(v);
+    v += 997;  // spread across many octaves
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    const double exact = values[static_cast<size_t>(
+        q * static_cast<double>(values.size() - 1))];
+    const double approx = rec.PercentileNs(q);
+    EXPECT_NEAR(approx, exact, exact * 0.05) << "q=" << q;
+  }
+  // Extremes clamp to observed min/max exactly.
+  EXPECT_EQ(rec.PercentileNs(0.0), static_cast<double>(values.front()));
+  EXPECT_EQ(rec.PercentileNs(1.0), static_cast<double>(values.back()));
+}
+
+TEST(LatencyRecorder, MergeMatchesCombinedStream) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder all;
+  for (int i = 1; i <= 500; ++i) {
+    const int64_t v = static_cast<int64_t>(i) * 37;
+    (i % 2 == 0 ? a : b).Record(v);
+    all.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), all.Count());
+  EXPECT_EQ(a.MinNs(), all.MinNs());
+  EXPECT_EQ(a.MaxNs(), all.MaxNs());
+  EXPECT_DOUBLE_EQ(a.MeanNs(), all.MeanNs());
+  for (double q : {0.1, 0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(a.PercentileNs(q), all.PercentileNs(q));
+  }
+  a.Reset();
+  EXPECT_EQ(a.Count(), 0);
+  EXPECT_EQ(a.MaxNs(), 0);
+}
+
+TEST(LatencyRecorder, SummaryMentionsLabelAndCount) {
+  LatencyRecorder rec;
+  for (int i = 0; i < 100; ++i) rec.Record(1000 * (i + 1));
+  const std::string line = rec.Summary("ticks");
+  EXPECT_NE(line.find("ticks"), std::string::npos);
+  EXPECT_NE(line.find("n=100"), std::string::npos);
+  EXPECT_NE(line.find("p99"), std::string::npos);
 }
 
 // ---------- timer ----------

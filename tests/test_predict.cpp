@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "core/gbdt.h"
 #include "core/multiclass.h"
@@ -302,6 +303,105 @@ TEST(Predict, AccumulateMarginsMatchesIncrementalOracle) {
   const std::vector<double> oracle = OracleRaw(model, train);
   for (size_t i = 0; i < oracle.size(); ++i) {
     EXPECT_EQ(incremental[i], oracle[i]) << "row " << i;
+  }
+}
+
+TEST(Predict, ShortBatchesBitIdenticalToOracle) {
+  // Every size below kRowBlock takes the short-batch fast path (plus one
+  // above it for the regular block path); dense and sparse inputs.
+  const Dataset train = MakeDataset(400, 10, 0.8, /*seed=*/19);
+  GbdtTrainer trainer(Params(12, 8));
+  const GbdtModel model = trainer.Train(train);
+  const Predictor predictor(*model.FlatSnapshot());
+  for (uint32_t rows :
+       {1u, 2u, 7u, 63u, 255u, Predictor::kRowBlock + 1}) {
+    const Dataset batch = MakeDataset(rows, 10, 0.7, /*seed=*/rows);
+    const std::vector<double> oracle = OracleRaw(model, batch);
+    const std::vector<double> dense = predictor.PredictMargins(batch);
+    const std::vector<double> sparse =
+        predictor.PredictMargins(ToCsr(batch));
+    for (uint32_t r = 0; r < rows; ++r) {
+      ASSERT_EQ(dense[r], oracle[r]) << rows << " rows, row " << r;
+      ASSERT_EQ(sparse[r], oracle[r]) << rows << " rows, row " << r;
+    }
+  }
+}
+
+TEST(Predict, PredictRowBitIdenticalToOracle) {
+  const Dataset train = MakeDataset(300, 8, 0.75, /*seed=*/29);
+  GbdtTrainer trainer(Params(10, 8));
+  const GbdtModel model = trainer.Train(train);
+  const Predictor predictor(*model.FlatSnapshot());
+  const std::vector<double> oracle = OracleRaw(model, train);
+  // Rows come straight from the dense storage (missing already NaN).
+  const uint32_t width = train.num_features();
+  for (uint32_t r = 0; r < 50; ++r) {
+    const float* row =
+        train.dense_values().data() + static_cast<size_t>(r) * width;
+    ASSERT_EQ(predictor.PredictRow(row, width), oracle[r]) << "row " << r;
+  }
+}
+
+TEST(Predict, AccumulateMarginsDenseMatchesDatasetPath) {
+  const Dataset train = MakeDataset(500, 9, 0.8, /*seed=*/31);
+  GbdtTrainer trainer(Params(15, 8));
+  const GbdtModel model = trainer.Train(train);
+  const Predictor predictor(*model.FlatSnapshot());
+  const std::vector<double> oracle = OracleRaw(model, train);
+
+  const uint32_t width = train.num_features();
+  std::vector<double> margins(train.num_rows(), model.base_margin());
+  predictor.AccumulateMarginsDense(train.dense_values().data(),
+                                   train.num_rows(), width, margins.data(),
+                                   0, model.NumTrees());
+  for (uint32_t r = 0; r < train.num_rows(); ++r) {
+    ASSERT_EQ(margins[r], oracle[r]) << "row " << r;
+  }
+
+  // Truncated tree ranges accumulate too (the serving layer's contract).
+  std::vector<double> partial(train.num_rows(), model.base_margin());
+  predictor.AccumulateMarginsDense(train.dense_values().data(),
+                                   train.num_rows(), width, partial.data(),
+                                   0, 4);
+  predictor.AccumulateMarginsDense(train.dense_values().data(),
+                                   train.num_rows(), width, partial.data(),
+                                   4, model.NumTrees());
+  for (uint32_t r = 0; r < train.num_rows(); ++r) {
+    ASSERT_EQ(partial[r], oracle[r]) << "row " << r;
+  }
+}
+
+TEST(Predict, FlatSnapshotIsCachedAndInvalidatedOnMutation) {
+  const Dataset train = MakeDataset(120, 6, 0.9, /*seed=*/37);
+  GbdtTrainer trainer(Params(6, 4));
+  GbdtModel model = trainer.Train(train);
+
+  const std::shared_ptr<const FlatForest> first = model.FlatSnapshot();
+  EXPECT_EQ(model.FlatSnapshot().get(), first.get());  // cached
+
+  const std::vector<double> before = model.PredictMargins(train);
+  GbdtTrainer trainer2(Params(3, 4));
+  const GbdtModel extra = trainer2.Train(train);
+  model.AddTree(extra.tree(0));  // mutation drops the cache
+
+  const std::shared_ptr<const FlatForest> second = model.FlatSnapshot();
+  EXPECT_NE(second.get(), first.get());
+  EXPECT_EQ(second->num_trees(), first->num_trees() + 1);
+  // The old snapshot stays valid for holders (serving keeps old
+  // generations alive across reloads this way).
+  EXPECT_EQ(first->num_trees(), static_cast<size_t>(6));
+
+  // Copies share the cache; mutation through mutable_trees invalidates.
+  GbdtModel copy = model;
+  EXPECT_EQ(copy.FlatSnapshot().get(), second.get());
+  copy.mutable_trees();
+  EXPECT_NE(copy.FlatSnapshot().get(), second.get());
+
+  const std::vector<double> after = model.PredictMargins(train);
+  const std::vector<double> oracle = OracleRaw(model, train);
+  for (uint32_t r = 0; r < train.num_rows(); ++r) {
+    ASSERT_EQ(after[r], oracle[r]);
+    (void)before;
   }
 }
 
