@@ -4,7 +4,9 @@
 //                    [--trees 100] [--tree-size 8] [--grow topk]
 //                    [--k 32] [--mode ASYNC] [--threads N] [--eta 0.1]
 //                    [--lambda 1] [--gamma 1] [--min-child-weight 1]
-//                    [--objective logistic|squared] [--subsample 1.0]
+//                    [--objective logistic|squared|quantile|poisson|
+//                    lambdarank] [--alpha 0.5] [--max-delta-step 0.7]
+//                    [--ndcg-k 10] [--metric NAME] [--subsample 1.0]
 //                    [--colsample 1.0] [--valid valid.csv]
 //                    [--early-stopping 0] [--label-column 0] [--header]
 //                    [--quantize] [--quant-stochastic] [--simd auto]
@@ -12,6 +14,13 @@
 //                    fixed-point (faster, accuracy within the
 //                    quantization error bound); --simd forces the
 //                    kernel dispatch level (auto|scalar|avx2).
+//                    --alpha sets the quantile for --objective quantile;
+//                    --max-delta-step stabilizes poisson; lambdarank
+//                    needs libsvm data with qid: columns and optimizes
+//                    NDCG@<--ndcg-k>. --metric overrides the validation
+//                    metric (logloss|rmse|auc|error|pinball|
+//                    poisson-deviance|ndcg|ndcg@<k>) — early stopping
+//                    maximizes or minimizes according to the metric.
 //   harp_cli predict --data test.csv --model in.model [--output preds.txt]
 //                    [--raw] [--threads N]
 //                    Batch inference via the flat block-wise Predictor.
@@ -159,6 +168,24 @@ int CmdTrain(const Args& args) {
     std::fprintf(stderr, "bad --objective\n");
     return 1;
   }
+  p.quantile_alpha = args.GetDouble("alpha", 0.5);
+  p.max_delta_step = args.GetDouble("max-delta-step", 0.7);
+  p.ndcg_k = args.GetInt("ndcg-k", 10);
+  p.eval_metric = args.Get("metric", "");
+  if (p.objective == ObjectiveKind::kPoisson) {
+    for (float y : train.labels()) {
+      if (y < 0.0f) {
+        std::fprintf(stderr,
+                     "poisson objective requires non-negative labels\n");
+        return 1;
+      }
+    }
+  }
+  if (p.objective == ObjectiveKind::kLambdaRank && !train.has_groups()) {
+    std::fprintf(stderr,
+                 "lambdarank requires qid: columns (libsvm format)\n");
+    return 1;
+  }
 
   Dataset valid;
   EvalSet eval;
@@ -177,8 +204,10 @@ int CmdTrain(const Args& args) {
   std::printf("%s\n", ingest.Summary().c_str());
   std::printf("%s", stats.Report().c_str());
   if (eval_ptr != nullptr && !eval.history.empty()) {
-    std::printf("validation metric: first=%.5f best=%.5f (iter %d) "
-                "last=%.5f\n",
+    std::printf("validation %s (%s is better): first=%.5f best=%.5f "
+                "(iter %d) last=%.5f\n",
+                eval.metric_name.c_str(),
+                eval.higher_is_better ? "higher" : "lower",
                 eval.history.front(), eval.best_metric, eval.best_iteration,
                 eval.history.back());
   }
@@ -261,14 +290,39 @@ int CmdEval(const Args& args) {
 
   ThreadPool pool(ThreadPool::DefaultThreads());
   const std::vector<double> preds = model.Predict(data, &pool);
-  if (model.objective() == ObjectiveKind::kLogistic) {
-    std::printf("rows=%u AUC=%.5f logloss=%.5f error=%.5f\n",
-                data.num_rows(), Auc(data.labels(), preds),
-                LogLoss(data.labels(), preds),
-                ErrorRate(data.labels(), preds));
-  } else {
-    std::printf("rows=%u RMSE=%.5f\n", data.num_rows(),
-                Rmse(data.labels(), preds));
+  switch (model.objective()) {
+    case ObjectiveKind::kLogistic:
+      std::printf("rows=%u AUC=%.5f logloss=%.5f error=%.5f\n",
+                  data.num_rows(), Auc(data.labels(), preds),
+                  LogLoss(data.labels(), preds),
+                  ErrorRate(data.labels(), preds));
+      break;
+    case ObjectiveKind::kQuantile:
+      std::printf("rows=%u pinball(alpha=%.3f)=%.5f\n", data.num_rows(),
+                  model.quantile_alpha(),
+                  PinballLoss(data.labels(), preds, model.quantile_alpha()));
+      break;
+    case ObjectiveKind::kPoisson:
+      std::printf("rows=%u poisson-deviance=%.5f RMSE=%.5f\n",
+                  data.num_rows(), MeanPoissonDeviance(data.labels(), preds),
+                  Rmse(data.labels(), preds));
+      break;
+    case ObjectiveKind::kLambdaRank: {
+      if (!data.has_groups()) {
+        std::fprintf(stderr,
+                     "eval of a lambdarank model needs qid: columns\n");
+        return 1;
+      }
+      const int k = args.GetInt("ndcg-k", 10);
+      std::printf("rows=%u queries=%u NDCG@%d=%.5f\n", data.num_rows(),
+                  data.num_groups(), k,
+                  NdcgAtK(data.labels(), preds, data.group_ptr(), k));
+      break;
+    }
+    case ObjectiveKind::kSquaredError:
+      std::printf("rows=%u RMSE=%.5f\n", data.num_rows(),
+                  Rmse(data.labels(), preds));
+      break;
   }
   return 0;
 }

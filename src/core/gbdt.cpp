@@ -11,22 +11,6 @@
 #include "predict/predictor.h"
 
 namespace harp {
-namespace {
-
-// Validation metric (lower is better): logloss for logistic, RMSE for
-// squared error. Margins are raw scores.
-double EvalMetric(ObjectiveKind kind, const Objective& objective,
-                  const std::vector<float>& labels,
-                  const std::vector<double>& margins) {
-  std::vector<double> predictions(margins.size());
-  for (size_t i = 0; i < margins.size(); ++i) {
-    predictions[i] = objective.Transform(margins[i]);
-  }
-  return kind == ObjectiveKind::kLogistic ? LogLoss(labels, predictions)
-                                          : Rmse(labels, predictions);
-}
-
-}  // namespace
 
 GbdtModel RunBoosting(const BinnedMatrix& matrix,
                       const std::vector<float>& labels,
@@ -36,22 +20,52 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
   HARP_CHECK_EQ(labels.size(), static_cast<size_t>(matrix.num_rows()));
   params.Validate();
 
-  const auto objective = Objective::Create(params.objective);
+  const auto objective = Objective::Create(Objective::ConfigFromParams(params));
+  if (objective->NeedsGroups()) {
+    HARP_CHECK(matrix.has_groups())
+        << "objective '" << ToString(params.objective)
+        << "' requires query groups (qid: columns in the training data)";
+  }
   const double base_margin = objective->InitialMargin(params.base_score);
   GbdtModel model(params.objective, base_margin, matrix.cuts());
+  if (params.objective == ObjectiveKind::kQuantile) {
+    model.set_quantile_alpha(params.quantile_alpha);
+  }
 
+  GradientContext grad_ctx;
   std::vector<double> margins(labels.size(), base_margin);
   std::vector<GradientPair> gradients;
+  grad_ctx.labels = &labels;
+  grad_ctx.margins = &margins;
+  grad_ctx.group_ptr = matrix.has_groups() ? &matrix.group_ptr() : nullptr;
 
   const bool row_sampling = params.subsample < 1.0;
   const bool col_sampling = params.colsample_bytree < 1.0;
   std::vector<uint8_t> column_mask;
   std::vector<double> eval_margins;
+  std::vector<double> eval_predictions;
+  std::unique_ptr<Metric> metric_fn;
   if (eval != nullptr) {
     HARP_CHECK(eval->data != nullptr);
     eval->history.clear();
     eval->best_iteration = -1;
     eval_margins.assign(eval->data->num_rows(), base_margin);
+    MetricConfig metric_config;
+    metric_config.quantile_alpha = params.quantile_alpha;
+    metric_config.ndcg_k = params.ndcg_k;
+    std::string name = !eval->metric.empty() ? eval->metric
+                       : !params.eval_metric.empty()
+                           ? params.eval_metric
+                           : Metric::DefaultName(params.objective,
+                                                 metric_config);
+    metric_fn = Metric::Create(name, metric_config);
+    eval->metric_name = metric_fn->name();
+    eval->higher_is_better = metric_fn->higher_is_better();
+    if (metric_fn->needs_groups()) {
+      HARP_CHECK(eval->data->has_groups())
+          << "metric '" << eval->metric_name
+          << "' requires query groups in the validation data";
+    }
   }
 
   const SyncSnapshot sync_before = pool.Snapshot();
@@ -62,7 +76,7 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
 
     {
       const Stopwatch watch;
-      objective->ComputeGradients(labels, margins, &gradients, &pool);
+      objective->ComputeGradients(grad_ctx, &gradients, &pool);
       if (row_sampling) {
         // Rows outside the sample contribute nothing to this tree's
         // statistics; zeroed gradients keep every partitioner code path
@@ -123,10 +137,19 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
       Predictor(last_flat).AccumulateMargins(*eval->data,
                                              eval_margins.data(), 0, 1,
                                              &pool);
-      const double metric = EvalMetric(params.objective, *objective,
-                                       eval->data->labels(), eval_margins);
+      eval_predictions.resize(eval_margins.size());
+      for (size_t i = 0; i < eval_margins.size(); ++i) {
+        eval_predictions[i] = objective->Transform(eval_margins[i]);
+      }
+      const double metric = metric_fn->Evaluate(
+          eval->data->labels(), eval_predictions,
+          eval->data->has_groups() ? &eval->data->group_ptr() : nullptr);
       eval->history.push_back(metric);
-      if (eval->best_iteration < 0 || metric < eval->best_metric) {
+      const bool improved = eval->best_iteration < 0 ||
+                            (eval->higher_is_better
+                                 ? metric > eval->best_metric
+                                 : metric < eval->best_metric);
+      if (improved) {
         eval->best_iteration = iter;
         eval->best_metric = metric;
       }

@@ -39,14 +39,21 @@ struct EvalSet {
   const Dataset* data = nullptr;  // raw validation rows + labels
 
   // Stop after this many consecutive iterations without metric improvement
-  // (0 = never stop early, just record). The metric is logloss for
-  // logistic models and RMSE for squared error — lower is better.
+  // (0 = never stop early, just record). Improvement respects the metric's
+  // direction: AUC/NDCG stop when they cease to *increase*, the loss
+  // metrics when they cease to decrease.
   int early_stopping_rounds = 0;
 
+  // Metric name override (see Metric::Create). Resolution order: this
+  // field, then params.eval_metric, then Metric::DefaultName(objective).
+  std::string metric;
+
   // Outputs.
-  std::vector<double> history;  // metric after each iteration
-  int best_iteration = -1;      // 0-based iteration with the best metric
+  std::vector<double> history;   // metric after each iteration
+  int best_iteration = -1;       // 0-based iteration with the best metric
   double best_metric = 0.0;
+  std::string metric_name;       // resolved canonical name
+  bool higher_is_better = false; // direction of the resolved metric
 };
 
 // Trains params.num_trees trees with `builder`. Fills stats (when non-null)

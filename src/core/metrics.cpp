@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/logging.h"
+#include "core/params.h"
 
 namespace harp {
 
@@ -79,6 +80,222 @@ double ErrorRate(const std::vector<float>& labels,
     if (predicted != actual) ++wrong;
   }
   return static_cast<double>(wrong) / static_cast<double>(labels.size());
+}
+
+double PinballLoss(const std::vector<float>& labels,
+                   const std::vector<double>& predictions, double alpha) {
+  HARP_CHECK_EQ(labels.size(), predictions.size());
+  HARP_CHECK(!labels.empty());
+  HARP_CHECK_GT(alpha, 0.0);
+  HARP_CHECK_LT(alpha, 1.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double d = static_cast<double>(labels[i]) - predictions[i];
+    sum += d >= 0.0 ? alpha * d : (alpha - 1.0) * d;
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+double MeanPoissonDeviance(const std::vector<float>& labels,
+                           const std::vector<double>& rates) {
+  HARP_CHECK_EQ(labels.size(), rates.size());
+  HARP_CHECK(!labels.empty());
+  double sum = 0.0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    const double y = static_cast<double>(labels[i]);
+    HARP_CHECK_GE(y, 0.0) << "poisson labels must be non-negative";
+    const double mu = std::max(rates[i], 1e-15);
+    // y log(y/mu) -> 0 as y -> 0.
+    const double ylog = y > 0.0 ? y * std::log(y / mu) : 0.0;
+    sum += 2.0 * (ylog - y + mu);
+  }
+  return sum / static_cast<double>(labels.size());
+}
+
+namespace {
+
+double DcgGain(float rel) { return std::pow(2.0, rel) - 1.0; }
+
+double DcgDiscount(size_t rank_1based) {
+  return 1.0 / std::log2(static_cast<double>(rank_1based) + 1.0);
+}
+
+}  // namespace
+
+double NdcgAtK(const std::vector<float>& labels,
+               const std::vector<double>& scores,
+               const std::vector<uint32_t>& group_ptr, int k) {
+  HARP_CHECK_EQ(labels.size(), scores.size());
+  HARP_CHECK_GE(group_ptr.size(), 2u);
+  HARP_CHECK_EQ(group_ptr.front(), 0u);
+  HARP_CHECK_EQ(static_cast<size_t>(group_ptr.back()), labels.size());
+  HARP_CHECK_GE(k, 1);
+
+  double ndcg_sum = 0.0;
+  size_t scored_queries = 0;
+  std::vector<uint32_t> order;
+  std::vector<float> sorted_rel;
+  for (size_t q = 0; q + 1 < group_ptr.size(); ++q) {
+    const uint32_t begin = group_ptr[q];
+    const uint32_t n = group_ptr[q + 1] - begin;
+    if (n == 0) continue;
+    order.resize(n);
+    std::iota(order.begin(), order.end(), 0u);
+    // Score desc, ties by row index asc — same order the objective uses.
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      const double sa = scores[begin + a];
+      const double sb = scores[begin + b];
+      if (sa != sb) return sa > sb;
+      return a < b;
+    });
+    sorted_rel.assign(labels.begin() + begin, labels.begin() + begin + n);
+    std::sort(sorted_rel.begin(), sorted_rel.end(), std::greater<float>());
+
+    const size_t top = std::min<size_t>(n, static_cast<size_t>(k));
+    double ideal = 0.0;
+    double dcg = 0.0;
+    for (size_t p = 0; p < top; ++p) {
+      ideal += DcgGain(sorted_rel[p]) * DcgDiscount(p + 1);
+      dcg += DcgGain(labels[begin + order[p]]) * DcgDiscount(p + 1);
+    }
+    if (ideal <= 0.0) continue;  // no relevant docs: any order is perfect
+    ndcg_sum += dcg / ideal;
+    ++scored_queries;
+  }
+  if (scored_queries == 0) return 1.0;
+  return ndcg_sum / static_cast<double>(scored_queries);
+}
+
+namespace {
+
+// Adapters from the free functions to the registry interface.
+
+class LogLossMetric final : public Metric {
+ public:
+  std::string name() const override { return "logloss"; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>*) const override {
+    return LogLoss(labels, predictions);
+  }
+};
+
+class RmseMetric final : public Metric {
+ public:
+  std::string name() const override { return "rmse"; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>*) const override {
+    return Rmse(labels, predictions);
+  }
+};
+
+class AucMetric final : public Metric {
+ public:
+  std::string name() const override { return "auc"; }
+  bool higher_is_better() const override { return true; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>*) const override {
+    return Auc(labels, predictions);
+  }
+};
+
+class ErrorMetric final : public Metric {
+ public:
+  std::string name() const override { return "error"; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>*) const override {
+    return ErrorRate(labels, predictions);
+  }
+};
+
+class PinballMetric final : public Metric {
+ public:
+  explicit PinballMetric(double alpha) : alpha_(alpha) {}
+  std::string name() const override { return "pinball"; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>*) const override {
+    return PinballLoss(labels, predictions, alpha_);
+  }
+
+ private:
+  double alpha_;
+};
+
+class PoissonDevianceMetric final : public Metric {
+ public:
+  std::string name() const override { return "poisson-deviance"; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>*) const override {
+    return MeanPoissonDeviance(labels, predictions);
+  }
+};
+
+class NdcgMetric final : public Metric {
+ public:
+  explicit NdcgMetric(int k) : k_(k) {}
+  std::string name() const override {
+    return "ndcg@" + std::to_string(k_);
+  }
+  bool higher_is_better() const override { return true; }
+  bool needs_groups() const override { return true; }
+  double Evaluate(const std::vector<float>& labels,
+                  const std::vector<double>& predictions,
+                  const std::vector<uint32_t>* group_ptr) const override {
+    HARP_CHECK(group_ptr != nullptr && group_ptr->size() >= 2)
+        << "ndcg requires query groups (qid: columns)";
+    return NdcgAtK(labels, predictions, *group_ptr, k_);
+  }
+
+ private:
+  int k_;
+};
+
+}  // namespace
+
+std::unique_ptr<Metric> Metric::Create(const std::string& name,
+                                       const MetricConfig& config) {
+  if (name == "logloss") return std::make_unique<LogLossMetric>();
+  if (name == "rmse") return std::make_unique<RmseMetric>();
+  if (name == "auc") return std::make_unique<AucMetric>();
+  if (name == "error") return std::make_unique<ErrorMetric>();
+  if (name == "pinball") {
+    return std::make_unique<PinballMetric>(config.quantile_alpha);
+  }
+  if (name == "poisson-deviance") {
+    return std::make_unique<PoissonDevianceMetric>();
+  }
+  if (name == "ndcg") return std::make_unique<NdcgMetric>(config.ndcg_k);
+  if (name.rfind("ndcg@", 0) == 0) {
+    const std::string suffix = name.substr(5);
+    HARP_CHECK(!suffix.empty() &&
+               suffix.find_first_not_of("0123456789") == std::string::npos)
+        << "bad ndcg truncation in metric name '" << name << "'";
+    const int k = std::stoi(suffix);
+    HARP_CHECK_GE(k, 1);
+    return std::make_unique<NdcgMetric>(k);
+  }
+  HARP_CHECK(false) << "unknown metric '" << name
+                    << "' (expected logloss|rmse|auc|error|pinball|"
+                       "poisson-deviance|ndcg|ndcg@<k>)";
+  return nullptr;
+}
+
+std::string Metric::DefaultName(ObjectiveKind kind, const MetricConfig& config) {
+  switch (kind) {
+    case ObjectiveKind::kLogistic: return "logloss";
+    case ObjectiveKind::kSquaredError: return "rmse";
+    case ObjectiveKind::kQuantile: return "pinball";
+    case ObjectiveKind::kPoisson: return "poisson-deviance";
+    case ObjectiveKind::kLambdaRank:
+      return "ndcg@" + std::to_string(config.ndcg_k);
+  }
+  HARP_CHECK(false) << "unknown objective";
+  return "";
 }
 
 }  // namespace harp

@@ -1,9 +1,21 @@
 // Evaluation metrics. AUC is the paper's accuracy metric (Section V-A4).
+//
+// Two layers:
+//   - free functions (Auc, LogLoss, ...): the hand-checkable kernels;
+//   - the Metric interface: a named, direction-aware registry the
+//     trainer's EvalSet / early stopping runs against. Metrics evaluate on
+//     *transformed* predictions (probabilities for logistic, rates for
+//     Poisson, raw scores for the regression/ranking losses) — every
+//     transform is monotone, so rank metrics (AUC, NDCG) are unaffected.
 #pragma once
 
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace harp {
+
+enum class ObjectiveKind;
 
 // Area under the ROC curve. `scores` may be margins or probabilities (any
 // monotone transform gives the same AUC). Ties contribute 1/2. Returns 0.5
@@ -21,5 +33,60 @@ double Rmse(const std::vector<float>& labels,
 // Fraction misclassified at a 0.5 probability threshold.
 double ErrorRate(const std::vector<float>& labels,
                  const std::vector<double>& probabilities);
+
+// Mean pinball loss at quantile `alpha`: (y - p)(alpha - 1[y < p]).
+double PinballLoss(const std::vector<float>& labels,
+                   const std::vector<double>& predictions, double alpha);
+
+// Mean Poisson deviance 2 (y log(y/mu) - y + mu) of non-negative labels
+// against predicted rates `mu` (clamped to >= 1e-15).
+double MeanPoissonDeviance(const std::vector<float>& labels,
+                           const std::vector<double>& rates);
+
+// Mean NDCG@k over query groups (group g = rows [group_ptr[g],
+// group_ptr[g+1])), with exponential gains 2^rel - 1 and log2 discounts.
+// Docs are ranked by score desc, ties broken by row index asc (matching
+// the LambdaRank objective). Queries whose ideal DCG is 0 (no relevant
+// docs) are skipped; returns 1.0 if every query is skipped.
+double NdcgAtK(const std::vector<float>& labels,
+               const std::vector<double>& scores,
+               const std::vector<uint32_t>& group_ptr, int k);
+
+// Knobs for parameterized metrics.
+struct MetricConfig {
+  double quantile_alpha = 0.5;  // "pinball"
+  int ndcg_k = 10;              // "ndcg" without an explicit @k
+};
+
+// Named validation metric (EvalSet / early stopping).
+class Metric {
+ public:
+  virtual ~Metric() = default;
+
+  // Canonical name ("ndcg@10", "pinball", ...).
+  virtual std::string name() const = 0;
+
+  // Direction for best-iteration tracking and early stopping.
+  virtual bool higher_is_better() const { return false; }
+
+  // True when Evaluate requires query groups (NDCG).
+  virtual bool needs_groups() const { return false; }
+
+  // `predictions` are objective-transformed margins; `group_ptr` may be
+  // null for ungrouped data.
+  virtual double Evaluate(const std::vector<float>& labels,
+                          const std::vector<double>& predictions,
+                          const std::vector<uint32_t>* group_ptr) const = 0;
+
+  // Accepted names: "logloss", "rmse", "auc", "error", "pinball",
+  // "poisson-deviance", "ndcg", "ndcg@<k>". CHECK-fails on unknown names.
+  static std::unique_ptr<Metric> Create(const std::string& name,
+                                        const MetricConfig& config = {});
+
+  // The metric an objective is conventionally evaluated with: logloss,
+  // rmse, pinball, poisson-deviance, ndcg@<config.ndcg_k>.
+  static std::string DefaultName(ObjectiveKind kind,
+                                 const MetricConfig& config = {});
+};
 
 }  // namespace harp

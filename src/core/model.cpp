@@ -10,6 +10,7 @@ namespace harp {
 GbdtModel::GbdtModel(const GbdtModel& other)
     : trees_(other.trees_),
       objective_(other.objective_),
+      quantile_alpha_(other.quantile_alpha_),
       base_margin_(other.base_margin_),
       cuts_(other.cuts_) {
   std::lock_guard<std::mutex> lock(other.flat_mutex_);
@@ -20,6 +21,7 @@ GbdtModel& GbdtModel::operator=(const GbdtModel& other) {
   if (this == &other) return *this;
   trees_ = other.trees_;
   objective_ = other.objective_;
+  quantile_alpha_ = other.quantile_alpha_;
   base_margin_ = other.base_margin_;
   cuts_ = other.cuts_;
   std::shared_ptr<const FlatForest> cache;
@@ -35,6 +37,7 @@ GbdtModel& GbdtModel::operator=(const GbdtModel& other) {
 GbdtModel::GbdtModel(GbdtModel&& other) noexcept
     : trees_(std::move(other.trees_)),
       objective_(other.objective_),
+      quantile_alpha_(other.quantile_alpha_),
       base_margin_(other.base_margin_),
       cuts_(std::move(other.cuts_)),
       flat_cache_(std::move(other.flat_cache_)) {}
@@ -43,6 +46,7 @@ GbdtModel& GbdtModel::operator=(GbdtModel&& other) noexcept {
   if (this == &other) return *this;
   trees_ = std::move(other.trees_);
   objective_ = other.objective_;
+  quantile_alpha_ = other.quantile_alpha_;
   base_margin_ = other.base_margin_;
   cuts_ = std::move(other.cuts_);
   flat_cache_ = std::move(other.flat_cache_);

@@ -110,6 +110,10 @@ class GbdtModel {
     return trees_;
   }
   void set_objective(ObjectiveKind kind) { objective_ = kind; }
+  // Quantile models carry their alpha so loaded models report which
+  // quantile their predictions estimate. Ignored by other objectives.
+  double quantile_alpha() const { return quantile_alpha_; }
+  void set_quantile_alpha(double alpha) { quantile_alpha_ = alpha; }
   void set_base_margin(double margin) {
     base_margin_ = margin;
     InvalidateFlatCache();
@@ -127,6 +131,7 @@ class GbdtModel {
 
   std::vector<RegTree> trees_;
   ObjectiveKind objective_ = ObjectiveKind::kLogistic;
+  double quantile_alpha_ = 0.5;
   double base_margin_ = 0.0;
   QuantileCuts cuts_;
   mutable std::mutex flat_mutex_;

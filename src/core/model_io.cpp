@@ -31,6 +31,11 @@ std::string SerializeModel(const GbdtModel& model) {
   std::string out;
   AppendLine(&out, kHeader);
   AppendLine(&out, "objective " + ToString(model.objective()));
+  // Only quantile models carry a knob the transform consumer needs; other
+  // objectives keep the pre-existing byte layout.
+  if (model.objective() == ObjectiveKind::kQuantile) {
+    AppendLine(&out, "quantile_alpha " + F(model.quantile_alpha()));
+  }
   AppendLine(&out, "base_margin " + F(model.base_margin()));
 
   const QuantileCuts& cuts = model.cuts();
@@ -94,10 +99,26 @@ bool DeserializeModel(const std::string& text, GbdtModel* out,
     model.set_objective(kind);
   }
   if (!next_line("base_margin")) return false;
+  // Optional quantile_alpha line (written by quantile models; absent in
+  // older files and for every other objective).
+  {
+    const auto parts = SplitWhitespace(line);
+    if (!parts.empty() && parts[0] == "quantile_alpha") {
+      double alpha = 0.0;
+      if (parts.size() != 2 || !ParseHex(parts[1], &alpha) || alpha <= 0.0 ||
+          alpha >= 1.0) {
+        *error = "bad quantile_alpha line";
+        return false;
+      }
+      model.set_quantile_alpha(alpha);
+      if (!next_line("base_margin")) return false;
+    }
+  }
   {
     const auto parts = SplitWhitespace(line);
     double margin = 0.0;
-    if (parts.size() != 2 || !ParseHex(parts[1], &margin)) {
+    if (parts.size() != 2 || parts[0] != "base_margin" ||
+        !ParseHex(parts[1], &margin)) {
       *error = "bad base_margin line";
       return false;
     }

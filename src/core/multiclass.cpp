@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "core/model_io.h"
+#include "core/objective.h"
 #include "parallel/thread_pool.h"
 #include "predict/flat_forest.h"
 #include "predict/predictor.h"
@@ -35,18 +36,23 @@ std::vector<double> MulticlassModel::PredictProbs(const Dataset& dataset,
   BinnedMatrix binned;
   if (shared_cuts) binned = per_class_[0].BinDataset(dataset, pool);
 
-  // Per-class sigmoid scores (each flat forest walk is independent);
+  // Per-class transformed scores (each flat forest walk is independent);
   // FlatSnapshot caches each class's flat layout across repeated calls.
+  // The transform comes from each class model's objective — sigmoid for
+  // the usual one-vs-rest logistic ensembles — instead of a hardcoded
+  // sigmoid, so hand-assembled ensembles of other objectives normalize
+  // their own score scale.
   for (int c = 0; c < k; ++c) {
-    const std::shared_ptr<const FlatForest> flat =
-        per_class_[static_cast<size_t>(c)].FlatSnapshot();
+    const GbdtModel& class_model = per_class_[static_cast<size_t>(c)];
+    const auto objective = Objective::Create(class_model.objective());
+    const std::shared_ptr<const FlatForest> flat = class_model.FlatSnapshot();
     const Predictor predictor(*flat);
     const std::vector<double> margins =
         shared_cuts ? predictor.PredictMargins(binned, pool)
                     : predictor.PredictMargins(dataset, pool);
     for (uint32_t r = 0; r < rows; ++r) {
       probs[static_cast<size_t>(r) * k + static_cast<size_t>(c)] =
-          1.0 / (1.0 + std::exp(-margins[r]));
+          objective->Transform(margins[r]);
     }
   }
   // Normalize rows to a distribution.

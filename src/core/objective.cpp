@@ -1,6 +1,8 @@
 #include "core/objective.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "parallel/thread_pool.h"
@@ -45,13 +47,207 @@ class SquaredErrorObjective final : public Objective {
   ObjectiveKind kind() const override { return ObjectiveKind::kSquaredError; }
 };
 
+// Quantile (pinball) regression: L = (y - m)(alpha - 1[y < m]). The loss
+// is piecewise linear, so the gradient is the constant subgradient of the
+// active branch (ties take the upper branch) and the hessian is taken as 1
+// — the leaf value then moves each leaf toward the alpha-quantile of its
+// residuals at learning-rate speed.
+class QuantileObjective final : public Objective {
+ public:
+  explicit QuantileObjective(double alpha) : alpha_(alpha) {}
+
+  GradientPair RowGradient(float label, double margin) const override {
+    return margin >= label
+               ? GradientPair{static_cast<float>(1.0 - alpha_), 1.0f}
+               : GradientPair{static_cast<float>(-alpha_), 1.0f};
+  }
+
+  double Transform(double margin) const override { return margin; }
+
+  double InitialMargin(double base_score) const override {
+    return base_score;
+  }
+
+  ObjectiveKind kind() const override { return ObjectiveKind::kQuantile; }
+
+ private:
+  double alpha_;
+};
+
+// Poisson regression with log link: l = exp(m) - y m (negative
+// log-likelihood up to the constant log y!). g = exp(m) - y; the hessian
+// exp(m) is inflated to exp(m + max_delta_step), which caps the newton
+// step g/h at ~max_delta_step in log space for near-empty leaves (the
+// standard XGBoost stabilization).
+class PoissonObjective final : public Objective {
+ public:
+  explicit PoissonObjective(double max_delta_step)
+      : max_delta_step_(max_delta_step) {}
+
+  // Labels must be non-negative counts/rates (enforced once by the
+  // deviance metric and the CLI, not per row in this hot kernel).
+  GradientPair RowGradient(float label, double margin) const override {
+    const double mu = std::exp(margin);
+    return GradientPair{
+        static_cast<float>(mu - label),
+        static_cast<float>(
+            std::max(std::exp(margin + max_delta_step_), 1e-16))};
+  }
+
+  double Transform(double margin) const override { return std::exp(margin); }
+
+  double InitialMargin(double base_score) const override {
+    return std::log(base_score);
+  }
+
+  ObjectiveKind kind() const override { return ObjectiveKind::kPoisson; }
+
+ private:
+  double max_delta_step_;
+};
+
+// LambdaRank with |delta NDCG@k| pair weights (Burges' lambda gradients).
+// For every in-query pair with unequal relevance, the higher-relevance doc
+// is pushed up and the lower pushed down by
+//   lambda = |dNDCG@k of swapping the pair| * sigmoid(-(s_hi - s_lo)),
+// with hessian lambda' = |dNDCG| * rho (1 - rho). Gradients of different
+// queries are independent, so the batch pass parallelizes over query
+// groups (dynamic schedule — per-query cost is O(docs^2)) and stays
+// bit-identical for any thread count: each query is computed serially and
+// written to its own disjoint row range.
+class LambdaRankObjective final : public Objective {
+ public:
+  explicit LambdaRankObjective(int ndcg_k) : ndcg_k_(ndcg_k) {}
+
+  void ComputeGradients(const GradientContext& ctx,
+                        std::vector<GradientPair>* out,
+                        ThreadPool* pool = nullptr) const override {
+    HARP_CHECK(ctx.labels != nullptr && ctx.margins != nullptr);
+    HARP_CHECK_EQ(ctx.labels->size(), ctx.margins->size());
+    HARP_CHECK(ctx.group_ptr != nullptr && ctx.group_ptr->size() >= 2)
+        << "lambdarank requires query groups (qid: columns)";
+    const std::vector<uint32_t>& groups = *ctx.group_ptr;
+    HARP_CHECK_EQ(static_cast<size_t>(groups.back()), ctx.labels->size());
+    out->assign(ctx.labels->size(), GradientPair{});
+
+    const int64_t num_groups = static_cast<int64_t>(groups.size()) - 1;
+    const int num_threads = pool != nullptr ? pool->num_threads() : 1;
+    std::vector<QueryScratch> scratch(static_cast<size_t>(num_threads));
+    auto kernel = [&](int64_t begin, int64_t end, int thread_id) {
+      QueryScratch& s = scratch[static_cast<size_t>(thread_id)];
+      for (int64_t q = begin; q < end; ++q) {
+        const size_t k = static_cast<size_t>(q);
+        QueryLambdas(*ctx.labels, *ctx.margins, groups[k], groups[k + 1],
+                     out->data(), &s);
+      }
+    };
+    if (pool != nullptr) {
+      pool->ParallelForDynamic(num_groups, 1, kernel);
+    } else {
+      kernel(0, num_groups, 0);
+    }
+  }
+
+  double Transform(double margin) const override { return margin; }
+
+  // Ranking scores are relative; the base score is irrelevant and the
+  // ensemble starts from 0.
+  double InitialMargin(double /*base_score*/) const override { return 0.0; }
+
+  bool NeedsGroups() const override { return true; }
+
+  ObjectiveKind kind() const override { return ObjectiveKind::kLambdaRank; }
+
+ private:
+  struct QueryScratch {
+    std::vector<uint32_t> order;   // docs sorted by score desc
+    std::vector<uint32_t> rank;    // 1-based rank of each doc
+    std::vector<float> sorted_rel; // relevances sorted desc (ideal list)
+    std::vector<double> g;         // double accumulators per doc
+    std::vector<double> h;
+  };
+
+  static double Gain(float rel) { return std::pow(2.0, rel) - 1.0; }
+
+  double Discount(uint32_t rank_1based) const {
+    if (static_cast<int>(rank_1based) > ndcg_k_) return 0.0;
+    return 1.0 / std::log2(static_cast<double>(rank_1based) + 1.0);
+  }
+
+  void QueryLambdas(const std::vector<float>& labels,
+                    const std::vector<double>& margins, uint32_t begin,
+                    uint32_t end, GradientPair* out,
+                    QueryScratch* s) const {
+    const uint32_t n = end - begin;
+    if (n < 2) return;
+    s->order.resize(n);
+    std::iota(s->order.begin(), s->order.end(), 0u);
+    // Deterministic order: score desc, ties broken by row index asc.
+    std::sort(s->order.begin(), s->order.end(),
+              [&](uint32_t a, uint32_t b) {
+                const double sa = margins[begin + a];
+                const double sb = margins[begin + b];
+                if (sa != sb) return sa > sb;
+                return a < b;
+              });
+    s->rank.resize(n);
+    for (uint32_t pos = 0; pos < n; ++pos) {
+      s->rank[s->order[pos]] = pos + 1;
+    }
+    s->sorted_rel.assign(labels.begin() + begin, labels.begin() + end);
+    std::sort(s->sorted_rel.begin(), s->sorted_rel.end(),
+              std::greater<float>());
+    double max_dcg = 0.0;
+    const uint32_t top = std::min(n, static_cast<uint32_t>(ndcg_k_));
+    for (uint32_t p = 0; p < top; ++p) {
+      max_dcg += Gain(s->sorted_rel[p]) * Discount(p + 1);
+    }
+    if (max_dcg <= 0.0) return;  // no relevant docs: every order is ideal
+    const double inv_max_dcg = 1.0 / max_dcg;
+
+    s->g.assign(n, 0.0);
+    s->h.assign(n, 0.0);
+    for (uint32_t i = 0; i < n; ++i) {
+      for (uint32_t j = i + 1; j < n; ++j) {
+        const float rel_i = labels[begin + i];
+        const float rel_j = labels[begin + j];
+        if (rel_i == rel_j) continue;
+        const uint32_t hi = rel_i > rel_j ? i : j;
+        const uint32_t lo = rel_i > rel_j ? j : i;
+        const double delta_ndcg =
+            (Gain(labels[begin + hi]) - Gain(labels[begin + lo])) *
+            std::abs(Discount(s->rank[hi]) - Discount(s->rank[lo])) *
+            inv_max_dcg;
+        if (delta_ndcg <= 0.0) continue;  // both outside the top-k cutoff
+        const double rho =
+            Sigmoid(-(margins[begin + hi] - margins[begin + lo]));
+        const double lambda = delta_ndcg * rho;
+        const double hess = delta_ndcg * rho * (1.0 - rho);
+        s->g[hi] -= lambda;
+        s->g[lo] += lambda;
+        s->h[hi] += hess;
+        s->h[lo] += hess;
+      }
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      out[begin + i] =
+          GradientPair{static_cast<float>(s->g[i]),
+                       static_cast<float>(std::max(s->h[i], 1e-16))};
+    }
+  }
+
+  int ndcg_k_;
+};
+
 }  // namespace
 
-void Objective::ComputeGradients(const std::vector<float>& labels,
-                                 const std::vector<double>& margins,
+void Objective::ComputeGradients(const GradientContext& ctx,
                                  std::vector<GradientPair>* out,
                                  ThreadPool* pool) const {
-  HARP_CHECK_EQ(labels.size(), margins.size());
+  HARP_CHECK(ctx.labels != nullptr && ctx.margins != nullptr);
+  HARP_CHECK_EQ(ctx.labels->size(), ctx.margins->size());
+  const std::vector<float>& labels = *ctx.labels;
+  const std::vector<double>& margins = *ctx.margins;
   out->resize(labels.size());
   auto kernel = [&](int64_t begin, int64_t end, int) {
     for (int64_t i = begin; i < end; ++i) {
@@ -66,15 +262,47 @@ void Objective::ComputeGradients(const std::vector<float>& labels,
   }
 }
 
-std::unique_ptr<Objective> Objective::Create(ObjectiveKind kind) {
-  switch (kind) {
+GradientPair Objective::RowGradient(float /*label*/,
+                                    double /*margin*/) const {
+  HARP_CHECK(false) << "objective '" << ToString(kind())
+                    << "' is list-wise and has no per-row gradient";
+  return GradientPair{};
+}
+
+std::unique_ptr<Objective> Objective::Create(const ObjectiveConfig& config) {
+  switch (config.kind) {
     case ObjectiveKind::kLogistic:
       return std::make_unique<LogisticObjective>();
     case ObjectiveKind::kSquaredError:
       return std::make_unique<SquaredErrorObjective>();
+    case ObjectiveKind::kQuantile:
+      HARP_CHECK_GT(config.quantile_alpha, 0.0);
+      HARP_CHECK_LT(config.quantile_alpha, 1.0);
+      return std::make_unique<QuantileObjective>(config.quantile_alpha);
+    case ObjectiveKind::kPoisson:
+      HARP_CHECK_GE(config.max_delta_step, 0.0);
+      return std::make_unique<PoissonObjective>(config.max_delta_step);
+    case ObjectiveKind::kLambdaRank:
+      HARP_CHECK_GE(config.ndcg_k, 1);
+      return std::make_unique<LambdaRankObjective>(config.ndcg_k);
   }
   HARP_CHECK(false) << "unknown objective";
   return nullptr;
+}
+
+std::unique_ptr<Objective> Objective::Create(ObjectiveKind kind) {
+  ObjectiveConfig config;
+  config.kind = kind;
+  return Create(config);
+}
+
+ObjectiveConfig Objective::ConfigFromParams(const TrainParams& params) {
+  ObjectiveConfig config;
+  config.kind = params.objective;
+  config.quantile_alpha = params.quantile_alpha;
+  config.max_delta_step = params.max_delta_step;
+  config.ndcg_k = params.ndcg_k;
+  return config;
 }
 
 }  // namespace harp

@@ -1,4 +1,14 @@
 // Loss functions: gradients/hessians of Eq. 1 and prediction transforms.
+//
+// Two gradient entry points:
+//   RowGradient       — the per-row kernel of point-wise losses (logistic,
+//                       squared error, quantile, Poisson);
+//   ComputeGradients  — the batch interface the trainer calls. Its default
+//                       implementation parallelizes RowGradient over rows,
+//                       so point-wise objectives implement only the kernel.
+//                       List-wise losses that cannot be expressed per row
+//                       (LambdaRank) override the batch method instead and
+//                       parallelize over query groups.
 #pragma once
 
 #include <cstdint>
@@ -12,31 +22,71 @@ namespace harp {
 
 class ThreadPool;
 
+// Everything an objective may need beyond the margins. Groups are query
+// boundaries (num_groups + 1 entries, group g = rows [g, g+1)); null for
+// ungrouped data — objectives with NeedsGroups() CHECK it is present.
+struct GradientContext {
+  const std::vector<float>* labels = nullptr;
+  const std::vector<double>* margins = nullptr;
+  const std::vector<uint32_t>* group_ptr = nullptr;
+};
+
+// Per-objective knobs (a subset of TrainParams, so model-side users can
+// rebuild the transform without the full training config).
+struct ObjectiveConfig {
+  ObjectiveKind kind = ObjectiveKind::kLogistic;
+  double quantile_alpha = 0.5;  // kQuantile
+  double max_delta_step = 0.7;  // kPoisson
+  int ndcg_k = 10;              // kLambdaRank
+};
+
 class Objective {
  public:
   virtual ~Objective() = default;
 
   // First/second-order gradients of the loss at the current margins.
-  // margins are raw scores (pre-transform); labels/margins/out have equal
-  // length. Parallelized over rows when a pool is given.
+  // labels/margins/out have equal length; out is resized. The default
+  // implementation evaluates RowGradient per row (parallel over rows when
+  // a pool is given) — bit-identical for any thread count. List-wise
+  // overrides must also be thread-count invariant (parallel over queries,
+  // serial within a query).
+  virtual void ComputeGradients(const GradientContext& ctx,
+                                std::vector<GradientPair>* out,
+                                ThreadPool* pool = nullptr) const;
+
+  // Convenience wrapper for ungrouped point-wise callers.
   void ComputeGradients(const std::vector<float>& labels,
                         const std::vector<double>& margins,
                         std::vector<GradientPair>* out,
-                        ThreadPool* pool = nullptr) const;
+                        ThreadPool* pool = nullptr) const {
+    GradientContext ctx;
+    ctx.labels = &labels;
+    ctx.margins = &margins;
+    ComputeGradients(ctx, out, pool);
+  }
 
-  // Gradient of one row (the ComputeGradients kernel).
-  virtual GradientPair RowGradient(float label, double margin) const = 0;
+  // Gradient of one row (the default ComputeGradients kernel). List-wise
+  // objectives have no per-row gradient; the base implementation
+  // CHECK-fails.
+  virtual GradientPair RowGradient(float label, double margin) const;
 
-  // Margin -> user-facing prediction (sigmoid for logistic, identity for
-  // squared error).
+  // Margin -> user-facing prediction (sigmoid for logistic, exp for
+  // Poisson, identity for the regression and ranking losses).
   virtual double Transform(double margin) const = 0;
 
   // Initial margin corresponding to base_score.
   virtual double InitialMargin(double base_score) const = 0;
 
+  // True when ComputeGradients requires ctx.group_ptr (LambdaRank).
+  virtual bool NeedsGroups() const { return false; }
+
   virtual ObjectiveKind kind() const = 0;
 
+  static std::unique_ptr<Objective> Create(const ObjectiveConfig& config);
+  // Default-config convenience (point-wise objectives without knobs).
   static std::unique_ptr<Objective> Create(ObjectiveKind kind);
+  // The objective knobs embedded in a training config.
+  static ObjectiveConfig ConfigFromParams(const TrainParams& params);
 };
 
 }  // namespace harp

@@ -34,8 +34,19 @@ const TrainParams& TrainParams::Validate() const {
   HARP_CHECK_GE(reg_lambda, 0.0);
   HARP_CHECK_GE(min_split_loss, 0.0);
   HARP_CHECK_GE(min_child_weight, 0.0);
-  HARP_CHECK_GT(base_score, 0.0);
-  HARP_CHECK_LT(base_score, 1.0);
+  // base_score lives in probability space for logistic (sigmoid inverse)
+  // and in rate space for Poisson (log link); the regression objectives
+  // take it as a raw initial margin, so any finite value is legal there.
+  if (objective == ObjectiveKind::kLogistic) {
+    HARP_CHECK_GT(base_score, 0.0);
+    HARP_CHECK_LT(base_score, 1.0);
+  } else if (objective == ObjectiveKind::kPoisson) {
+    HARP_CHECK_GT(base_score, 0.0);
+  }
+  HARP_CHECK_GT(quantile_alpha, 0.0);
+  HARP_CHECK_LT(quantile_alpha, 1.0);
+  HARP_CHECK_GE(max_delta_step, 0.0);
+  HARP_CHECK_GE(ndcg_k, 1);
   HARP_CHECK_GE(max_bins, 2);
   HARP_CHECK_LE(max_bins, 256);
   HARP_CHECK_GE(tree_size, 1);
@@ -60,6 +71,9 @@ std::string ToString(ObjectiveKind kind) {
   switch (kind) {
     case ObjectiveKind::kLogistic: return "logistic";
     case ObjectiveKind::kSquaredError: return "squared";
+    case ObjectiveKind::kQuantile: return "quantile";
+    case ObjectiveKind::kPoisson: return "poisson";
+    case ObjectiveKind::kLambdaRank: return "lambdarank";
   }
   return "?";
 }
@@ -86,6 +100,9 @@ std::string ToString(ParallelMode mode) {
 bool ParseObjectiveKind(const std::string& text, ObjectiveKind* out) {
   if (text == "logistic") { *out = ObjectiveKind::kLogistic; return true; }
   if (text == "squared") { *out = ObjectiveKind::kSquaredError; return true; }
+  if (text == "quantile") { *out = ObjectiveKind::kQuantile; return true; }
+  if (text == "poisson") { *out = ObjectiveKind::kPoisson; return true; }
+  if (text == "lambdarank") { *out = ObjectiveKind::kLambdaRank; return true; }
   return false;
 }
 

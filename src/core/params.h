@@ -9,6 +9,9 @@ namespace harp {
 enum class ObjectiveKind {
   kLogistic,       // binary classification, logloss
   kSquaredError,   // regression
+  kQuantile,       // quantile (pinball) regression at quantile_alpha
+  kPoisson,        // count regression, log link, Poisson deviance
+  kLambdaRank,     // list-wise ranking, NDCG@ndcg_k (needs qid groups)
 };
 
 // Tree growth methods (Section IV-B). TopK generalizes both: K=1 is
@@ -33,6 +36,19 @@ struct TrainParams {
   double min_child_weight = 1.0;   // minimum hessian sum per child
   double base_score = 0.5;         // initial prediction (probability space)
   ObjectiveKind objective = ObjectiveKind::kLogistic;
+  // kQuantile: the target quantile (0 < alpha < 1). Persisted with the
+  // model so prediction-time reporting knows which quantile it serves.
+  double quantile_alpha = 0.5;
+  // kPoisson: hessian stabilizer — h = exp(margin + max_delta_step) caps
+  // the per-round leaf step at ~max_delta_step in log space.
+  double max_delta_step = 0.7;
+  // kLambdaRank: NDCG truncation depth, used for both the lambda weights
+  // (|delta NDCG@k|) and the default eval metric.
+  int ndcg_k = 10;
+  // Validation metric name ("logloss", "rmse", "auc", "error", "pinball",
+  // "poisson-deviance", "ndcg", "ndcg@<k>"); empty = derived from the
+  // objective. See Metric::DefaultName.
+  std::string eval_metric;
   int max_bins = 256;
 
   // --- tree shape ---

@@ -73,6 +73,23 @@ class SectionReader {
     return true;
   }
 
+  // Reads one self-sized section into *v (element count taken from the
+  // stored byte count). Used for the optional trailing group section.
+  template <typename T>
+  bool ReadSizedSection(std::vector<T>* v) {
+    if (pos_ + 8 > limit_) return false;
+    uint64_t bytes = 0;
+    std::memcpy(&bytes, data_ + pos_, 8);
+    pos_ += 8;
+    if (bytes % sizeof(T) != 0 || bytes > limit_ - pos_) return false;
+    v->resize(static_cast<size_t>(bytes / sizeof(T)));
+    if (bytes > 0) {
+      std::memcpy(v->data(), data_ + pos_, static_cast<size_t>(bytes));
+      pos_ += static_cast<size_t>(bytes);
+    }
+    return true;
+  }
+
   // True when every byte of the section area has been consumed.
   bool AtEnd() const { return pos_ == limit_; }
 
@@ -109,6 +126,12 @@ bool WriteDatasetCache(const std::string& path, const Dataset& dataset,
   } else {
     AppendSection(&image, dataset.row_ptr());
     AppendSection(&image, dataset.entries());
+  }
+  // Optional trailing query-group section: only grouped datasets write it,
+  // so ungrouped cache files stay byte-identical to the pre-group format
+  // and old files load unchanged.
+  if (dataset.has_groups()) {
+    AppendSection(&image, dataset.group_ptr());
   }
   const uint64_t checksum = HashBytes(image.data(), image.size());
   AppendRaw(&image, &checksum, sizeof(checksum));
@@ -162,10 +185,6 @@ bool ReadDatasetCache(const std::string& path, Dataset* out,
       *error = "bad values in " + path;
       return false;
     }
-    if (!reader.AtEnd()) {
-      *error = "trailing garbage in " + path;
-      return false;
-    }
     *out = Dataset::FromDense(rows, features, std::move(values),
                               std::move(labels));
   } else {
@@ -180,12 +199,28 @@ bool ReadDatasetCache(const std::string& path, Dataset* out,
       *error = "bad CSR data in " + path;
       return false;
     }
+    *out = Dataset::FromCsr(rows, features, std::move(row_ptr),
+                            std::move(entries), std::move(labels));
+  }
+  // Optional query-group section (absent in ungrouped and older files).
+  if (!reader.AtEnd()) {
+    std::vector<uint32_t> group_ptr;
+    if (!reader.ReadSizedSection(&group_ptr) || group_ptr.size() < 2 ||
+        group_ptr.front() != 0 || group_ptr.back() != rows) {
+      *error = "bad group data in " + path;
+      return false;
+    }
+    for (size_t g = 0; g + 1 < group_ptr.size(); ++g) {
+      if (group_ptr[g] >= group_ptr[g + 1]) {
+        *error = "bad group data in " + path;
+        return false;
+      }
+    }
     if (!reader.AtEnd()) {
       *error = "trailing garbage in " + path;
       return false;
     }
-    *out = Dataset::FromCsr(rows, features, std::move(row_ptr),
-                            std::move(entries), std::move(labels));
+    out->SetGroupPtr(std::move(group_ptr));
   }
   return true;
 }

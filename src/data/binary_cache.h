@@ -11,6 +11,8 @@
 //   per section: u64 byte count, then the raw payload bytes
 //     dense:  labels, values
 //     sparse: labels, row_ptr, entries
+//     then, only for query-grouped (ranking) datasets: group_ptr —
+//     ungrouped files stay byte-identical to the pre-group format
 //   u64  FNV-1a checksum of every preceding byte
 // Writes are buffered (the whole image is serialized in memory and written
 // once, through a tmp file + rename). Loads read the file in one call,

@@ -14,6 +14,7 @@ BinnedMatrix BinnedMatrix::Build(const Dataset& dataset, QuantileCuts cuts,
   BinnedMatrix matrix;
   matrix.num_rows_ = dataset.num_rows();
   matrix.num_features_ = dataset.num_features();
+  matrix.group_ptr_ = dataset.group_ptr();
   matrix.cuts_ = std::move(cuts);
 
   matrix.bin_offsets_.resize(matrix.num_features_ + 1, 0);

@@ -70,6 +70,12 @@ class BinnedMatrix {
 
   const QuantileCuts& cuts() const { return cuts_; }
 
+  // Query-group boundaries carried over from the source Dataset (empty for
+  // ungrouped data); the trainer hands them to list-wise objectives and
+  // group-aware metrics.
+  const std::vector<uint32_t>& group_ptr() const { return group_ptr_; }
+  bool has_groups() const { return !group_ptr_.empty(); }
+
   // Column-major access for the feature-parallel baseline. Call
   // EnsureColumnMajor() once (not thread safe) before using ColBins().
   void EnsureColumnMajor(ThreadPool* pool = nullptr);
@@ -81,7 +87,7 @@ class BinnedMatrix {
   // Approximate resident bytes (bench reporting).
   size_t MemoryBytes() const {
     return bins_.size() + col_bins_.size() +
-           bin_offsets_.size() * sizeof(uint32_t);
+           (bin_offsets_.size() + group_ptr_.size()) * sizeof(uint32_t);
   }
 
  private:
@@ -91,6 +97,7 @@ class BinnedMatrix {
   std::vector<uint8_t> bins_;         // row-major
   std::vector<uint8_t> col_bins_;     // column-major copy (optional)
   std::vector<uint32_t> bin_offsets_;  // size num_features + 1
+  std::vector<uint32_t> group_ptr_;    // query boundaries; empty = none
   QuantileCuts cuts_;
 };
 

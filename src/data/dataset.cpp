@@ -46,6 +46,21 @@ Dataset Dataset::FromCsr(uint32_t num_rows, uint32_t num_features,
   return ds;
 }
 
+void Dataset::SetGroupPtr(std::vector<uint32_t> group_ptr) {
+  if (group_ptr.empty()) {
+    group_ptr_.clear();
+    return;
+  }
+  HARP_CHECK_GE(group_ptr.size(), 2u);
+  HARP_CHECK_EQ(group_ptr.front(), 0u);
+  HARP_CHECK_EQ(group_ptr.back(), num_rows_);
+  for (size_t g = 0; g + 1 < group_ptr.size(); ++g) {
+    HARP_CHECK_LT(group_ptr[g], group_ptr[g + 1])
+        << "empty query group at index " << g;
+  }
+  group_ptr_ = std::move(group_ptr);
+}
+
 float Dataset::At(uint32_t row, uint32_t feature) const {
   HARP_CHECK_LT(row, num_rows_);
   HARP_CHECK_LT(feature, num_features_);
@@ -83,26 +98,43 @@ Dataset Dataset::Slice(uint32_t begin_row, uint32_t end_row) const {
   const uint32_t n = end_row - begin_row;
   std::vector<float> labels(labels_.begin() + begin_row,
                             labels_.begin() + end_row);
+  Dataset out;
   if (layout_ == Layout::kDense) {
     std::vector<float> values(
         dense_.begin() + static_cast<size_t>(begin_row) * num_features_,
         dense_.begin() + static_cast<size_t>(end_row) * num_features_);
-    return FromDense(n, num_features_, std::move(values), std::move(labels));
+    out = FromDense(n, num_features_, std::move(values), std::move(labels));
+  } else {
+    std::vector<uint32_t> row_ptr(n + 1);
+    const uint32_t base = row_ptr_[begin_row];
+    for (uint32_t r = 0; r <= n; ++r) {
+      row_ptr[r] = row_ptr_[begin_row + r] - base;
+    }
+    std::vector<Entry> entries(entries_.begin() + base,
+                               entries_.begin() + row_ptr_[end_row]);
+    out = FromCsr(n, num_features_, std::move(row_ptr), std::move(entries),
+                  std::move(labels));
   }
-  std::vector<uint32_t> row_ptr(n + 1);
-  const uint32_t base = row_ptr_[begin_row];
-  for (uint32_t r = 0; r <= n; ++r) {
-    row_ptr[r] = row_ptr_[begin_row + r] - base;
+  if (has_groups() && n > 0) {
+    // Clamp boundaries into the slice and drop duplicates (queries wholly
+    // outside collapse onto the edge).
+    std::vector<uint32_t> groups;
+    groups.push_back(0);
+    for (uint32_t b : group_ptr_) {
+      const uint32_t clamped =
+          std::min(std::max(b, begin_row), end_row) - begin_row;
+      if (clamped > groups.back()) groups.push_back(clamped);
+    }
+    out.SetGroupPtr(std::move(groups));
   }
-  std::vector<Entry> entries(entries_.begin() + base,
-                             entries_.begin() + row_ptr_[end_row]);
-  return FromCsr(n, num_features_, std::move(row_ptr), std::move(entries),
-                 std::move(labels));
+  return out;
 }
 
 Dataset Dataset::ConcatRows(const Dataset& other) const {
   HARP_CHECK_EQ(num_features_, other.num_features_);
   HARP_CHECK(layout_ == other.layout_);
+  HARP_CHECK_EQ(has_groups(), other.has_groups())
+      << "cannot concatenate grouped and ungrouped datasets";
   Dataset ds = *this;
   ds.num_rows_ = num_rows_ + other.num_rows_;
   ds.labels_.insert(ds.labels_.end(), other.labels_.begin(),
@@ -116,6 +148,12 @@ Dataset Dataset::ConcatRows(const Dataset& other) const {
     for (uint32_t v : other.row_ptr_) ds.row_ptr_.push_back(base + v);
     ds.entries_.insert(ds.entries_.end(), other.entries_.begin(),
                        other.entries_.end());
+  }
+  if (has_groups()) {
+    // Skip other's leading 0; shift its boundaries past this dataset.
+    for (size_t g = 1; g < other.group_ptr_.size(); ++g) {
+      ds.group_ptr_.push_back(num_rows_ + other.group_ptr_[g]);
+    }
   }
   return ds;
 }

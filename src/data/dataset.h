@@ -51,6 +51,19 @@ class Dataset {
   const std::vector<float>& labels() const { return labels_; }
   std::vector<float>& mutable_labels() { return labels_; }
 
+  // Query-group boundaries for ranking data (from LibSVM qid: columns):
+  // num_groups + 1 entries, group g = rows [group_ptr[g], group_ptr[g+1]).
+  // Empty when the dataset has no groups. CHECK-fails on malformed
+  // boundaries (must start at 0, end at num_rows, strictly increase).
+  void SetGroupPtr(std::vector<uint32_t> group_ptr);
+  const std::vector<uint32_t>& group_ptr() const { return group_ptr_; }
+  bool has_groups() const { return !group_ptr_.empty(); }
+  uint32_t num_groups() const {
+    return group_ptr_.empty()
+               ? 0
+               : static_cast<uint32_t>(group_ptr_.size()) - 1;
+  }
+
   // Value at (row, feature); NaN when missing. O(1) dense,
   // O(log nnz(row)) sparse.
   float At(uint32_t row, uint32_t feature) const;
@@ -79,11 +92,14 @@ class Dataset {
   }
 
   // Selects a row subset (used by the benchmark harness for train/test
-  // splits and by weak-scaling dataset duplication).
+  // splits and by weak-scaling dataset duplication). Group boundaries are
+  // sliced along: boundaries are clamped to the row range, so a cut that
+  // falls inside a query leaves a truncated query at the slice edge.
   Dataset Slice(uint32_t begin_row, uint32_t end_row) const;
 
   // Concatenates rows of `other` (must have the same feature count) onto a
   // copy of this dataset. Used for weak-scaling duplication (Fig. 13b).
+  // Both datasets must agree on groupedness; group lists are concatenated.
   Dataset ConcatRows(const Dataset& other) const;
 
   // Direct access for the binary cache and tests.
@@ -96,7 +112,9 @@ class Dataset {
   size_t MemoryBytes() const {
     return dense_.size() * sizeof(float) +
            row_ptr_.size() * sizeof(uint32_t) +
-           entries_.size() * sizeof(Entry) + labels_.size() * sizeof(float);
+           entries_.size() * sizeof(Entry) +
+           labels_.size() * sizeof(float) +
+           group_ptr_.size() * sizeof(uint32_t);
   }
 
  private:
@@ -107,6 +125,7 @@ class Dataset {
   std::vector<uint32_t> row_ptr_;  // sparse layout
   std::vector<Entry> entries_;     // sparse layout
   std::vector<float> labels_;
+  std::vector<uint32_t> group_ptr_;  // query boundaries; empty = ungrouped
 };
 
 }  // namespace harp

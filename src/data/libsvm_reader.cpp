@@ -19,6 +19,11 @@ bool ParseLibsvm(const std::string& content, const LibsvmOptions& options,
   std::vector<Entry> entries;
   std::vector<float> labels;
   uint32_t max_feature = 0;
+  // Query groups: qid must be present on every row or on none, and must be
+  // non-decreasing (queries contiguous in file order).
+  std::vector<uint32_t> group_boundaries;
+  bool rows_have_qid = false;
+  int64_t prev_qid = 0;
 
   std::istringstream stream(content);
   std::string line;
@@ -32,10 +37,41 @@ bool ParseLibsvm(const std::string& content, const LibsvmOptions& options,
       *error = StrFormat("line %d: bad label", line_number);
       return false;
     }
+    size_t first_entry = 1;
+    bool row_has_qid = false;
+    int64_t qid = 0;
+    if (tokens.size() > 1 && tokens[1].substr(0, 4) == "qid:") {
+      row_has_qid = true;
+      if (!ParseInt(tokens[1].substr(4), &qid) || qid < 0) {
+        *error = StrFormat("line %d: bad qid '%.*s'", line_number,
+                           static_cast<int>(tokens[1].size()),
+                           tokens[1].data());
+        return false;
+      }
+      first_entry = 2;
+    }
+    if (labels.empty()) {
+      rows_have_qid = row_has_qid;
+    } else if (row_has_qid != rows_have_qid) {
+      *error = StrFormat("line %d: qid must appear on all rows or none",
+                         line_number);
+      return false;
+    }
+    if (row_has_qid && !labels.empty()) {
+      if (qid < prev_qid) {
+        *error = StrFormat("line %d: qid out of order (decreasing)",
+                           line_number);
+        return false;
+      }
+      if (qid != prev_qid) {
+        group_boundaries.push_back(static_cast<uint32_t>(labels.size()));
+      }
+    }
+    prev_qid = qid;
     labels.push_back(static_cast<float>(label));
     uint32_t prev_feature = 0;
     bool first = true;
-    for (size_t t = 1; t < tokens.size(); ++t) {
+    for (size_t t = first_entry; t < tokens.size(); ++t) {
       const auto parts = Split(tokens[t], ':');
       int64_t index = 0;
       double value = 0.0;
@@ -81,6 +117,15 @@ bool ParseLibsvm(const std::string& content, const LibsvmOptions& options,
   const uint32_t num_rows = static_cast<uint32_t>(labels.size());
   *out = Dataset::FromCsr(num_rows, num_features, std::move(row_ptr),
                           std::move(entries), std::move(labels));
+  if (rows_have_qid) {
+    std::vector<uint32_t> group_ptr;
+    group_ptr.reserve(group_boundaries.size() + 2);
+    group_ptr.push_back(0);
+    group_ptr.insert(group_ptr.end(), group_boundaries.begin(),
+                     group_boundaries.end());
+    group_ptr.push_back(num_rows);
+    out->SetGroupPtr(std::move(group_ptr));
+  }
   return true;
 }
 
@@ -89,6 +134,19 @@ namespace {
 inline bool IsSpace(char c) {
   return std::isspace(static_cast<unsigned char>(c)) != 0;
 }
+
+// Within-line check order of the serial oracle. A chunk can only detect
+// the syntactic stages (label, qid value, entry); the presence and
+// ordering checks need cross-chunk state and run serially in the
+// stitcher. Comparing (line, stage) pairs lexicographically then yields
+// exactly the error the oracle would have reported first.
+enum LibsvmErrorStage {
+  kStageLabel = 0,     // "bad label"
+  kStageQidValue = 1,  // "bad qid ..."
+  kStagePresence = 2,  // "qid must appear on all rows or none"
+  kStageOrder = 3,     // "qid out of order (decreasing)"
+  kStageEntry = 4,     // "bad entry ..." and the index checks
+};
 
 // One chunk's CSR fragment. row_ptr is chunk-relative (starts at 0); the
 // stitcher rebases it onto the global entry offsets.
@@ -100,7 +158,20 @@ struct LibsvmChunkResult {
   bool has_entries = false;
   int64_t lines = 0;
   int64_t error_line = -1;  // 1-based, relative to the chunk start
+  int error_stage = kStageEntry;
   std::string error;        // without the "line N: " prefix
+
+  // qid bookkeeping for the stitcher's serial semantic checks. qid_rows
+  // lists every parsed row that carried a qid (chunk-relative line + id) —
+  // including a row whose *entries* later failed, since the oracle checks
+  // qid presence/order before entries. first_no_qid_line is the first
+  // parsed data row without a qid (-1 if none).
+  struct QidRow {
+    int64_t line;
+    int64_t qid;
+  };
+  std::vector<QidRow> qid_rows;
+  int64_t first_no_qid_line = -1;
 };
 
 // Scans one chunk in place: whitespace-delimited tokens are walked with
@@ -128,8 +199,27 @@ void ParseLibsvmChunk(std::string_view content, TextChunk chunk,
     float label = 0.0f;
     if (!ParseFloat(line.substr(start, i - start), &label)) {
       res->error_line = line_idx;
+      res->error_stage = kStageLabel;
       res->error = "bad label";
       return false;
+    }
+    // Optional qid token, only valid directly after the label.
+    while (i < len && IsSpace(line[i])) ++i;
+    if (i < len && line.substr(i).substr(0, 4) == "qid:") {
+      start = i;
+      while (i < len && !IsSpace(line[i])) ++i;
+      const std::string_view token = line.substr(start, i - start);
+      int64_t qid = 0;
+      if (!ParseInt(token.substr(4), &qid) || qid < 0) {
+        res->error_line = line_idx;
+        res->error_stage = kStageQidValue;
+        res->error = StrFormat("bad qid '%.*s'",
+                               static_cast<int>(token.size()), token.data());
+        return false;
+      }
+      res->qid_rows.push_back({line_idx, qid});
+    } else if (res->first_no_qid_line < 0) {
+      res->first_no_qid_line = line_idx;
     }
     res->labels.push_back(label);
     uint32_t prev_feature = 0;
@@ -190,16 +280,116 @@ bool ParseLibsvmChunked(std::string_view content,
     ParseLibsvmChunk(content, chunks[k], options, &results[k]);
   });
 
-  // Surface the first error in document order (lowest failing chunk).
-  int64_t line_base = 0;
-  for (const LibsvmChunkResult& res : results) {
-    if (res.error_line >= 0) {
-      *error = StrFormat("line %d: %s",
-                         static_cast<int>(line_base + res.error_line),
-                         res.error.c_str());
-      return false;
+  // First *syntactic* error in document order (lowest failing chunk), as a
+  // (global line, stage) pair.
+  int64_t syntax_line = -1;
+  int syntax_stage = kStageEntry;
+  std::string syntax_message;
+  {
+    int64_t line_base = 0;
+    for (const LibsvmChunkResult& res : results) {
+      if (res.error_line >= 0) {
+        syntax_line = line_base + res.error_line;
+        syntax_stage = res.error_stage;
+        syntax_message = res.error;
+        break;
+      }
+      line_base += res.lines;
     }
-    line_base += res.lines;
+  }
+
+  // Serial qid semantic checks (presence and ordering) over the per-chunk
+  // records, in document order. Any violation found past the syntactic
+  // error is moot (the oracle never got there) and loses the (line, stage)
+  // comparison below; violations at or before it are exact because every
+  // row up to that line was parsed.
+  int64_t semantic_line = -1;
+  int semantic_stage = kStagePresence;
+  const char* semantic_message = nullptr;
+  std::vector<uint32_t> group_ptr;
+  {
+    // Global reference: does the first data row carry a qid?
+    bool rows_have_qid = false;
+    bool saw_any_row = false;
+    for (const LibsvmChunkResult& res : results) {
+      const bool has_qid_row = !res.qid_rows.empty();
+      const bool has_plain_row = res.first_no_qid_line >= 0;
+      if (!has_qid_row && !has_plain_row) continue;
+      if (!has_qid_row) {
+        rows_have_qid = false;
+      } else if (!has_plain_row) {
+        rows_have_qid = true;
+      } else {
+        rows_have_qid = res.qid_rows.front().line < res.first_no_qid_line;
+      }
+      saw_any_row = true;
+      break;
+    }
+    if (saw_any_row && rows_have_qid) {
+      // Presence: the first row lacking a qid.
+      int64_t line_base = 0;
+      for (const LibsvmChunkResult& res : results) {
+        if (res.first_no_qid_line >= 0) {
+          semantic_line = line_base + res.first_no_qid_line;
+          semantic_stage = kStagePresence;
+          semantic_message = "qid must appear on all rows or none";
+          break;
+        }
+        line_base += res.lines;
+      }
+      // Ordering + group boundaries over the concatenated qid rows.
+      int64_t prev_qid = 0;
+      bool first = true;
+      uint32_t row = 0;
+      line_base = 0;
+      group_ptr.push_back(0);
+      for (const LibsvmChunkResult& res : results) {
+        for (const LibsvmChunkResult::QidRow& qr : res.qid_rows) {
+          const int64_t global_line = line_base + qr.line;
+          if (!first && qr.qid < prev_qid &&
+              (semantic_line < 0 || global_line < semantic_line)) {
+            semantic_line = global_line;
+            semantic_stage = kStageOrder;
+            semantic_message = "qid out of order (decreasing)";
+          }
+          if (semantic_line >= 0 && global_line >= semantic_line) break;
+          if (!first && qr.qid != prev_qid) group_ptr.push_back(row);
+          prev_qid = qr.qid;
+          first = false;
+          ++row;
+        }
+        if (semantic_line >= 0) break;
+        line_base += res.lines;
+      }
+    } else if (saw_any_row) {
+      // First row had no qid: any qid row is a presence violation.
+      int64_t line_base = 0;
+      for (const LibsvmChunkResult& res : results) {
+        if (!res.qid_rows.empty()) {
+          semantic_line = line_base + res.qid_rows.front().line;
+          semantic_stage = kStagePresence;
+          semantic_message = "qid must appear on all rows or none";
+          break;
+        }
+        line_base += res.lines;
+      }
+    }
+  }
+
+  // Lexicographic (line, stage) minimum picks the oracle's error.
+  if (syntax_line >= 0 || semantic_line >= 0) {
+    const bool semantic_wins =
+        semantic_line >= 0 &&
+        (syntax_line < 0 || semantic_line < syntax_line ||
+         (semantic_line == syntax_line && semantic_stage < syntax_stage));
+    if (semantic_wins) {
+      *error = StrFormat("line %d: %s", static_cast<int>(semantic_line),
+                         semantic_message);
+    } else {
+      *error = StrFormat("line %d: %s", static_cast<int>(syntax_line),
+                         syntax_message.c_str());
+    }
+    return false;
   }
 
   // Stitch the fragments in chunk order: exact offsets first, then the
@@ -252,6 +442,10 @@ bool ParseLibsvmChunked(std::string_view content,
   *out = Dataset::FromCsr(static_cast<uint32_t>(total_rows), num_features,
                           std::move(row_ptr), std::move(entries),
                           std::move(labels));
+  if (!group_ptr.empty()) {
+    group_ptr.push_back(static_cast<uint32_t>(total_rows));
+    out->SetGroupPtr(std::move(group_ptr));
+  }
   return true;
 }
 

@@ -1,5 +1,8 @@
-// LIBSVM sparse-format loader: "label idx:value idx:value ...", indices
-// 1-based by default. Absent features are missing; output is CSR.
+// LIBSVM sparse-format loader: "label [qid:<id>] idx:value idx:value ...",
+// indices 1-based by default. Absent features are missing; output is CSR.
+// The optional qid column (ranking data) must appear on every row or on
+// none, directly after the label, with non-decreasing ids — query groups
+// land in Dataset::group_ptr().
 //
 // Two parsers produce bit-identical Datasets:
 //   ParseLibsvm        — the original serial getline parser, kept as the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -212,6 +213,94 @@ Dataset GenerateSynthetic(const SyntheticSpec& spec, ThreadPool* pool) {
   }
   return Dataset::FromCsr(spec.rows, spec.features, std::move(row_ptr),
                           std::move(entries), std::move(labels));
+}
+
+Dataset GenerateRankingSynthetic(const RankingSpec& spec, ThreadPool* pool) {
+  HARP_CHECK_GT(spec.num_queries, 0u);
+  HARP_CHECK_GT(spec.features, 0u);
+  HARP_CHECK_GE(spec.min_docs, 1u);
+  HARP_CHECK_LE(spec.min_docs, spec.max_docs);
+  HARP_CHECK_GE(spec.max_relevance, 1);
+  const uint32_t active = std::min(spec.active_features, spec.features);
+  HARP_CHECK_GE(active, 1u);
+
+  // Utility weights over the active features, drawn once.
+  std::vector<double> weight(spec.features, 0.0);
+  {
+    Rng rng(DeriveSeed(spec.seed, 0x5eed));
+    for (uint32_t f = 0; f < active; ++f) {
+      weight[f] = (f % 2 == 0 ? 1.0 : -1.0) * (0.5 + rng.NextDouble());
+    }
+  }
+
+  // Per-query document counts (serial prefix sum -> group boundaries).
+  std::vector<uint32_t> group_ptr(spec.num_queries + 1, 0);
+  for (uint32_t q = 0; q < spec.num_queries; ++q) {
+    Rng rng(DeriveSeed(spec.seed, 0xD0C5000ULL + q));
+    const uint32_t docs =
+        spec.min_docs +
+        static_cast<uint32_t>(rng.NextBelow(spec.max_docs - spec.min_docs + 1));
+    group_ptr[q + 1] = group_ptr[q] + docs;
+  }
+  const uint32_t rows = group_ptr.back();
+
+  std::vector<float> values(static_cast<size_t>(rows) * spec.features);
+  std::vector<float> labels(rows);
+
+  auto fill = [&](int64_t begin, int64_t end, int) {
+    std::vector<double> latent;
+    std::vector<uint32_t> order;
+    for (int64_t qi = begin; qi < end; ++qi) {
+      const uint32_t q = static_cast<uint32_t>(qi);
+      const uint32_t row0 = group_ptr[q];
+      const uint32_t n = group_ptr[q + 1] - row0;
+      Rng rng(DeriveSeed(spec.seed, q));
+
+      // Query topic: a per-query shift of every feature. It moves the
+      // absolute feature values but not the within-query utility order.
+      latent.assign(n, 0.0);
+      std::vector<double> topic(spec.features);
+      for (double& t : topic) t = rng.Normal() * spec.topic_scale;
+
+      for (uint32_t d = 0; d < n; ++d) {
+        float* row = values.data() +
+                     static_cast<size_t>(row0 + d) * spec.features;
+        double utility = 0.0;
+        for (uint32_t f = 0; f < spec.features; ++f) {
+          const double z = rng.Normal();
+          row[f] = static_cast<float>(topic[f] + z);
+          if (f < active) utility += weight[f] * z;
+        }
+        latent[d] = utility + spec.noise * rng.Normal();
+      }
+
+      // Grade by within-query quantile of the latent utility: the top
+      // docs get max_relevance, the bottom get 0.
+      order.resize(n);
+      std::iota(order.begin(), order.end(), 0u);
+      std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+        if (latent[a] != latent[b]) return latent[a] > latent[b];
+        return a < b;
+      });
+      const uint32_t grades = static_cast<uint32_t>(spec.max_relevance) + 1;
+      for (uint32_t pos = 0; pos < n; ++pos) {
+        const uint32_t bucket = (pos * grades) / n;  // 0 = best docs
+        labels[row0 + order[pos]] =
+            static_cast<float>(static_cast<uint32_t>(spec.max_relevance) -
+                               bucket);
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelForDynamic(spec.num_queries, 8, fill);
+  } else {
+    fill(0, spec.num_queries, 0);
+  }
+
+  Dataset ds = Dataset::FromDense(rows, spec.features, std::move(values),
+                                  std::move(labels));
+  ds.SetGroupPtr(std::move(group_ptr));
+  return ds;
 }
 
 SyntheticSpec SynsetSpec(double scale) {

@@ -72,6 +72,31 @@ struct SyntheticSpec {
 Dataset GenerateSynthetic(const SyntheticSpec& spec,
                           ThreadPool* pool = nullptr);
 
+// Query-grouped ranking data (LambdaRank / NDCG experiments). Each query
+// draws a topic vector; its documents are the topic plus per-doc noise,
+// and relevance grades 0..max_relevance are assigned by the within-query
+// quantile of a noisy latent utility of the *doc-specific* part. Grades
+// are therefore query-relative — the same absolute feature vector can be
+// grade 4 in a weak query and grade 1 in a strong one — which is what
+// separates list-wise training from pointwise calibration. Labels are the
+// grades; group boundaries land in Dataset::group_ptr(). Deterministic
+// and thread-count independent (per-query PRNG streams).
+struct RankingSpec {
+  std::string name = "ranking";
+  uint32_t num_queries = 200;
+  uint32_t min_docs = 5;    // per-query document count, drawn uniformly
+  uint32_t max_docs = 40;
+  uint32_t features = 16;
+  uint32_t active_features = 8;  // leading features that carry utility
+  int max_relevance = 4;         // grades 0..max_relevance
+  double noise = 0.5;            // latent-utility noise scale
+  double topic_scale = 0.75;     // per-query feature shift scale
+  uint64_t seed = 91;
+};
+
+Dataset GenerateRankingSynthetic(const RankingSpec& spec,
+                                 ThreadPool* pool = nullptr);
+
 // Presets matched to Table III's shapes. `scale` multiplies the row count
 // (scale=1 targets seconds-per-experiment on a laptop; the paper's full
 // sizes correspond to scale in the hundreds).

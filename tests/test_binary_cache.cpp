@@ -59,6 +59,80 @@ TEST(BinaryCache, SparseRoundtrip) {
   std::remove(path.c_str());
 }
 
+TEST(BinaryCache, GroupedRoundtripKeepsGroupPtr) {
+  RankingSpec spec;
+  spec.num_queries = 30;
+  const Dataset original = GenerateRankingSynthetic(spec);
+  ASSERT_TRUE(original.has_groups());
+
+  const std::string path = "/tmp/harp_cache_grouped.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+  Dataset loaded;
+  ASSERT_TRUE(ReadDatasetCache(path, &loaded, &error)) << error;
+  ExpectDatasetsEqual(original, loaded);
+  ASSERT_TRUE(loaded.has_groups());
+  EXPECT_EQ(loaded.group_ptr(), original.group_ptr());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryCache, UngroupedFileIsByteIdenticalToPreGroupFormat) {
+  // The group section is optional-trailing: writing an ungrouped dataset
+  // must produce exactly the bytes the pre-group writer produced (no
+  // empty section marker), so existing caches stay valid and freshly
+  // written ungrouped caches load anywhere.
+  SyntheticSpec spec;
+  spec.rows = 120;
+  spec.features = 5;
+  const Dataset ungrouped = GenerateSynthetic(spec);
+  const std::string path = "/tmp/harp_cache_nogroups.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, ungrouped, &error)) << error;
+
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  std::remove(path.c_str());
+  // Layout: header (17) + labels section + values section + checksum (8).
+  const size_t expected = 17 + (8 + spec.rows * 4) +
+                          (8 + size_t{spec.rows} * spec.features * 4) + 8;
+  EXPECT_EQ(content.size(), expected);
+  Dataset loaded;
+  const std::string path2 = "/tmp/harp_cache_nogroups2.bin";
+  {
+    std::ofstream out(path2, std::ios::binary);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+  ASSERT_TRUE(ReadDatasetCache(path2, &loaded, &error)) << error;
+  EXPECT_FALSE(loaded.has_groups());
+  std::remove(path2.c_str());
+}
+
+TEST(BinaryCache, CorruptGroupSectionRejected) {
+  RankingSpec spec;
+  spec.num_queries = 10;
+  const Dataset original = GenerateRankingSynthetic(spec);
+  const std::string path = "/tmp/harp_cache_badgroups.bin";
+  std::string error;
+  ASSERT_TRUE(WriteDatasetCache(path, original, &error)) << error;
+
+  std::ifstream in(path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  // Flip a byte inside the trailing group section (just before the
+  // checksum): the checksum must cover the optional section too.
+  content[content.size() - 12] ^= 0xFF;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  }
+  Dataset ds;
+  EXPECT_FALSE(ReadDatasetCache(path, &ds, &error));
+  std::remove(path.c_str());
+}
+
 TEST(BinaryCache, MissingFileFails) {
   Dataset ds;
   std::string error;

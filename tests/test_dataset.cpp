@@ -120,6 +120,81 @@ TEST(Dataset, ConcatRowsSparse) {
   EXPECT_FLOAT_EQ(doubled.At(4, 1), 4.0f);
 }
 
+// ---------- query groups ----------
+
+Dataset GroupedDense() {
+  // 6 rows in 3 queries of sizes 2, 3, 1.
+  Dataset ds = Dataset::FromDense(
+      6, 1, {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f},
+      {0.0f, 1.0f, 0.0f, 1.0f, 2.0f, 0.0f});
+  ds.SetGroupPtr({0, 2, 5, 6});
+  return ds;
+}
+
+TEST(Dataset, GroupPtrAccessors) {
+  const Dataset ds = GroupedDense();
+  ASSERT_TRUE(ds.has_groups());
+  EXPECT_EQ(ds.num_groups(), 3u);
+  EXPECT_EQ(ds.group_ptr(), (std::vector<uint32_t>{0, 2, 5, 6}));
+  EXPECT_FALSE(SmallDense().has_groups());
+  EXPECT_EQ(SmallDense().num_groups(), 0u);
+}
+
+TEST(Dataset, SetGroupPtrEmptyClears) {
+  Dataset ds = GroupedDense();
+  ds.SetGroupPtr({});
+  EXPECT_FALSE(ds.has_groups());
+}
+
+TEST(Dataset, SliceOnGroupBoundariesKeepsWholeGroups) {
+  const Dataset ds = GroupedDense();
+  const Dataset head = ds.Slice(0, 2);
+  ASSERT_TRUE(head.has_groups());
+  EXPECT_EQ(head.group_ptr(), (std::vector<uint32_t>{0, 2}));
+  const Dataset tail = ds.Slice(2, 6);
+  ASSERT_TRUE(tail.has_groups());
+  EXPECT_EQ(tail.group_ptr(), (std::vector<uint32_t>{0, 3, 4}));
+}
+
+TEST(Dataset, SliceInsideAGroupClampsBoundaries) {
+  const Dataset ds = GroupedDense();
+  // Rows [1, 4): splits query 1 and truncates query 2 — the slice keeps
+  // valid group structure with the cut groups clamped to the window.
+  const Dataset mid = ds.Slice(1, 4);
+  ASSERT_TRUE(mid.has_groups());
+  EXPECT_EQ(mid.group_ptr(), (std::vector<uint32_t>{0, 1, 3}));
+}
+
+TEST(Dataset, SliceOfUngroupedStaysUngrouped) {
+  EXPECT_FALSE(SmallDense().Slice(0, 2).has_groups());
+}
+
+TEST(Dataset, ConcatRowsShiftsGroupBoundaries) {
+  const Dataset ds = GroupedDense();
+  const Dataset doubled = ds.ConcatRows(ds);
+  ASSERT_TRUE(doubled.has_groups());
+  EXPECT_EQ(doubled.group_ptr(),
+            (std::vector<uint32_t>{0, 2, 5, 6, 8, 11, 12}));
+  // Ungrouped + ungrouped stays ungrouped.
+  EXPECT_FALSE(SmallDense().ConcatRows(SmallDense()).has_groups());
+}
+
+TEST(DatasetDeath, ConcatRowsRejectsMixedGroupedness) {
+  Dataset grouped = GroupedDense();
+  Dataset plain = Dataset::FromDense(
+      2, 1, {1.0f, 2.0f}, {0.0f, 1.0f});
+  EXPECT_DEATH(grouped.ConcatRows(plain), "CHECK");
+  EXPECT_DEATH(plain.ConcatRows(grouped), "CHECK");
+}
+
+TEST(DatasetDeath, SetGroupPtrRejectsInvalidBoundaries) {
+  Dataset ds = SmallDense();  // 3 rows
+  EXPECT_DEATH(ds.SetGroupPtr({0}), "CHECK");            // too short
+  EXPECT_DEATH(ds.SetGroupPtr({1, 3}), "CHECK");         // front != 0
+  EXPECT_DEATH(ds.SetGroupPtr({0, 2}), "CHECK");         // back != rows
+  EXPECT_DEATH(ds.SetGroupPtr({0, 2, 2, 3}), "CHECK");   // not increasing
+}
+
 TEST(DatasetDeath, MismatchedSizesRejected) {
   EXPECT_DEATH(Dataset::FromDense(2, 2, {1.0f, 2.0f}, {0.0f, 1.0f}), "CHECK");
   EXPECT_DEATH(Dataset::FromDense(1, 1, {1.0f}, {0.0f, 1.0f}), "CHECK");

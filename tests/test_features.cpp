@@ -2,6 +2,8 @@
 // stopping with eval sets, feature importance, binned batch prediction.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "harpgbdt.h"
 #include "test_util.h"
 
@@ -165,6 +167,90 @@ TEST(EvalSetTest, RegressionUsesRmse) {
   ASSERT_FALSE(eval.history.empty());
   const std::vector<double> direct_rmse = eval.history;
   EXPECT_LT(direct_rmse.back(), direct_rmse.front());
+}
+
+TEST(EvalSetTest, MetricResolutionOrder) {
+  const Dataset all = Learnable(1200);
+  const Dataset train = all.Slice(0, 1000);
+  const Dataset valid = all.Slice(1000, 1200);
+  TrainParams p = Fast(3);
+
+  // Default: derived from the objective.
+  EvalSet by_default;
+  by_default.data = &valid;
+  GbdtTrainer(p).Train(train, nullptr, {}, &by_default);
+  EXPECT_EQ(by_default.metric_name, "logloss");
+  EXPECT_FALSE(by_default.higher_is_better);
+
+  // params.eval_metric overrides the default.
+  TrainParams q = p;
+  q.eval_metric = "auc";
+  EvalSet by_params;
+  by_params.data = &valid;
+  GbdtTrainer(q).Train(train, nullptr, {}, &by_params);
+  EXPECT_EQ(by_params.metric_name, "auc");
+  EXPECT_TRUE(by_params.higher_is_better);
+
+  // EvalSet.metric overrides both.
+  EvalSet by_eval;
+  by_eval.data = &valid;
+  by_eval.metric = "error";
+  GbdtTrainer(q).Train(train, nullptr, {}, &by_eval);
+  EXPECT_EQ(by_eval.metric_name, "error");
+  EXPECT_FALSE(by_eval.higher_is_better);
+}
+
+TEST(EvalSetTest, AucHistoryTracksMaximum) {
+  const Dataset all = Learnable(3000);
+  const Dataset train = all.Slice(0, 2400);
+  const Dataset valid = all.Slice(2400, 3000);
+  TrainParams p = Fast(12);
+  EvalSet eval;
+  eval.data = &valid;
+  eval.metric = "auc";
+  GbdtTrainer(p).Train(train, nullptr, {}, &eval);
+  ASSERT_EQ(eval.history.size(), 12u);
+  EXPECT_TRUE(eval.higher_is_better);
+  // AUC improves on separable data and best_* track the MAXIMUM.
+  EXPECT_GT(eval.history.back(), eval.history.front());
+  const double max_seen =
+      *std::max_element(eval.history.begin(), eval.history.end());
+  EXPECT_DOUBLE_EQ(eval.best_metric, max_seen);
+  EXPECT_DOUBLE_EQ(eval.history[static_cast<size_t>(eval.best_iteration)],
+                   max_seen);
+}
+
+TEST(EvalSetTest, AucEarlyStoppingStopsWhenAucStopsRising) {
+  // Regression test for direction-aware stopping: with a higher-is-better
+  // metric, training must continue while the metric RISES (a loss-style
+  // "stop on no decrease" rule would bail out after one round) and stop
+  // only after `rounds` iterations without a new maximum.
+  SyntheticSpec spec;
+  spec.rows = 600;
+  spec.features = 10;
+  spec.margin_scale = 0.8;  // noisy: validation AUC plateaus early
+  spec.seed = 821;
+  const Dataset all = GenerateSynthetic(spec);
+  const Dataset train = all.Slice(0, 400);
+  const Dataset valid = all.Slice(400, 600);
+
+  TrainParams p = Fast(60);
+  p.tree_size = 5;
+  EvalSet eval;
+  eval.data = &valid;
+  eval.metric = "auc";
+  eval.early_stopping_rounds = 5;
+  const GbdtModel model = GbdtTrainer(p).Train(train, nullptr, {}, &eval);
+  EXPECT_LT(model.NumTrees(), 60u);
+  EXPECT_EQ(model.NumTrees(),
+            static_cast<size_t>(eval.best_iteration + 1 +
+                                eval.early_stopping_rounds));
+  // The run must have gone past the first iteration: AUC rose at least
+  // once before plateauing.
+  EXPECT_GT(eval.best_iteration, 0);
+  for (int i = 0; i <= eval.best_iteration; ++i) {
+    EXPECT_LE(eval.history[static_cast<size_t>(i)], eval.best_metric);
+  }
 }
 
 // ---------- feature importance ----------

@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "core/metrics.h"
+#include "core/params.h"
 
 namespace harp {
 namespace {
@@ -103,6 +104,170 @@ TEST(ErrorRateTest, ThresholdAtHalf) {
   EXPECT_DOUBLE_EQ(ErrorRate({1, 0}, {0.6, 0.4}), 0.0);
   // 0.5 counts as a positive prediction.
   EXPECT_DOUBLE_EQ(ErrorRate({0}, {0.5}), 1.0);
+}
+
+// ---------- pinball ----------
+
+TEST(PinballTest, KnownValues) {
+  // Exact fit -> 0 at any alpha.
+  EXPECT_DOUBLE_EQ(PinballLoss({1, 2}, {1.0, 2.0}, 0.3), 0.0);
+  // Underprediction (y > p) costs alpha per unit, overprediction 1-alpha.
+  EXPECT_DOUBLE_EQ(PinballLoss({3}, {1.0}, 0.9), 0.9 * 2.0);
+  EXPECT_DOUBLE_EQ(PinballLoss({1}, {3.0}, 0.9), 0.1 * 2.0);
+  // Mixed, hand-summed: (0.5*1 + 0.5*2) / 2.
+  EXPECT_DOUBLE_EQ(PinballLoss({2, 0}, {1.0, 2.0}, 0.5), 0.75);
+}
+
+TEST(PinballTest, MinimizedAtTheAlphaQuantile) {
+  // For labels {0..9} and a constant prediction, the pinball loss is
+  // minimized when the prediction sits at the alpha-quantile.
+  std::vector<float> labels(10);
+  for (int i = 0; i < 10; ++i) labels[i] = static_cast<float>(i);
+  auto loss_at = [&](double pred, double alpha) {
+    return PinballLoss(labels, std::vector<double>(10, pred), alpha);
+  };
+  EXPECT_LT(loss_at(8.0, 0.9), loss_at(4.5, 0.9));
+  EXPECT_LT(loss_at(8.0, 0.9), loss_at(9.5, 0.9));
+  EXPECT_LT(loss_at(1.0, 0.1), loss_at(4.5, 0.1));
+}
+
+// ---------- Poisson deviance ----------
+
+TEST(PoissonDevianceTest, KnownValues) {
+  // Perfect rate predictions -> 0 (the y log(y/mu) and mu - y terms
+  // cancel exactly).
+  EXPECT_NEAR(MeanPoissonDeviance({1, 2, 3}, {1.0, 2.0, 3.0}), 0.0, 1e-12);
+  // y = 0: deviance reduces to 2 mu.
+  EXPECT_NEAR(MeanPoissonDeviance({0}, {1.5}), 3.0, 1e-12);
+  // Single hand-computed row: 2 (2 log(2/1) - 2 + 1).
+  EXPECT_NEAR(MeanPoissonDeviance({2}, {1.0}),
+              2.0 * (2.0 * std::log(2.0) - 1.0), 1e-12);
+}
+
+TEST(PoissonDevianceTest, FiniteForZeroRate) {
+  EXPECT_TRUE(std::isfinite(MeanPoissonDeviance({2}, {0.0})));
+  EXPECT_TRUE(std::isfinite(MeanPoissonDeviance({0}, {0.0})));
+}
+
+// ---------- NDCG ----------
+
+TEST(NdcgTest, PerfectAndInvertedSingleQuery) {
+  const std::vector<uint32_t> one_query{0, 3};
+  // Perfect ordering -> 1.
+  EXPECT_NEAR(NdcgAtK({2, 1, 0}, {3.0, 2.0, 1.0}, one_query, 10), 1.0,
+              1e-12);
+  // Hand-computed inverted ordering: relevances {2,1,0} ranked worst-
+  // first. DCG = 0*1 + 1/log2(3) + 3/log2(4); ideal = 3*1 + 1/log2(3).
+  const double dcg = 1.0 / std::log2(3.0) + 3.0 / 2.0;
+  const double ideal = 3.0 + 1.0 / std::log2(3.0);
+  EXPECT_NEAR(NdcgAtK({2, 1, 0}, {1.0, 2.0, 3.0}, one_query, 10),
+              dcg / ideal, 1e-12);
+}
+
+TEST(NdcgTest, CutoffTruncatesGains) {
+  const std::vector<uint32_t> one_query{0, 3};
+  // k = 1 only sees the top document. Top doc has rel 0 -> NDCG@1 = 0.
+  EXPECT_NEAR(NdcgAtK({2, 1, 0}, {1.0, 2.0, 3.0}, one_query, 1), 0.0,
+              1e-12);
+  // Same ranking at k = 2: DCG@2 = 1/log2(3); ideal@2 = 3 + 1/log2(3).
+  const double expect =
+      (1.0 / std::log2(3.0)) / (3.0 + 1.0 / std::log2(3.0));
+  EXPECT_NEAR(NdcgAtK({2, 1, 0}, {1.0, 2.0, 3.0}, one_query, 2), expect,
+              1e-12);
+}
+
+TEST(NdcgTest, TiesBreakByRowIndex) {
+  // Equal scores: row order is the ranking (matches the objective's
+  // deterministic sort), so putting the relevant doc first is perfect.
+  const std::vector<uint32_t> one_query{0, 2};
+  EXPECT_NEAR(NdcgAtK({1, 0}, {0.5, 0.5}, one_query, 10), 1.0, 1e-12);
+  const double inverted = (1.0 / std::log2(3.0)) / 1.0;
+  EXPECT_NEAR(NdcgAtK({0, 1}, {0.5, 0.5}, one_query, 10), inverted, 1e-12);
+}
+
+TEST(NdcgTest, AveragesAcrossQueriesAndSkipsAllZeroQueries) {
+  // Query 1 perfect (ndcg 1), query 2 inverted binary (1/log2(3)),
+  // query 3 all-zero relevance (skipped entirely).
+  const std::vector<uint32_t> groups{0, 2, 4, 6};
+  const std::vector<float> labels{1, 0, 0, 1, 0, 0};
+  const std::vector<double> scores{2.0, 1.0, 2.0, 1.0, 2.0, 1.0};
+  const double expect = (1.0 + 1.0 / std::log2(3.0)) / 2.0;
+  EXPECT_NEAR(NdcgAtK(labels, scores, groups, 10), expect, 1e-12);
+  // Every query skipped: any ranking is vacuously ideal.
+  EXPECT_DOUBLE_EQ(
+      NdcgAtK({0, 0}, {1.0, 2.0}, std::vector<uint32_t>{0, 2}, 10), 1.0);
+}
+
+// ---------- Metric registry ----------
+
+TEST(MetricRegistry, NamesDirectionsAndGroupNeeds) {
+  struct Case {
+    const char* name;
+    bool higher;
+    bool groups;
+  };
+  for (const Case& c : std::initializer_list<Case>{
+           {"logloss", false, false},
+           {"rmse", false, false},
+           {"auc", true, false},
+           {"error", false, false},
+           {"pinball", false, false},
+           {"poisson-deviance", false, false},
+           {"ndcg", true, true}}) {
+    const auto metric = Metric::Create(c.name);
+    EXPECT_EQ(metric->higher_is_better(), c.higher) << c.name;
+    EXPECT_EQ(metric->needs_groups(), c.groups) << c.name;
+  }
+}
+
+TEST(MetricRegistry, NdcgAtKParsing) {
+  const auto m3 = Metric::Create("ndcg@3");
+  EXPECT_EQ(m3->name(), "ndcg@3");
+  EXPECT_TRUE(m3->higher_is_better());
+  EXPECT_TRUE(m3->needs_groups());
+  // Bare "ndcg" takes the cutoff from the config.
+  MetricConfig config;
+  config.ndcg_k = 7;
+  EXPECT_EQ(Metric::Create("ndcg", config)->name(), "ndcg@7");
+  // The @k in the name wins over the config.
+  EXPECT_EQ(Metric::Create("ndcg@2", config)->name(), "ndcg@2");
+}
+
+TEST(MetricRegistry, EvaluateRoutesToKernels) {
+  const std::vector<float> labels{1, 0};
+  const std::vector<double> preds{0.8, 0.3};
+  EXPECT_DOUBLE_EQ(Metric::Create("auc")->Evaluate(labels, preds, nullptr),
+                   Auc(labels, preds));
+  EXPECT_DOUBLE_EQ(
+      Metric::Create("logloss")->Evaluate(labels, preds, nullptr),
+      LogLoss(labels, preds));
+  MetricConfig config;
+  config.quantile_alpha = 0.8;
+  EXPECT_DOUBLE_EQ(
+      Metric::Create("pinball", config)->Evaluate(labels, preds, nullptr),
+      PinballLoss(labels, preds, 0.8));
+  const std::vector<uint32_t> groups{0, 2};
+  EXPECT_DOUBLE_EQ(
+      Metric::Create("ndcg@5")->Evaluate(labels, preds, &groups),
+      NdcgAtK(labels, preds, groups, 5));
+}
+
+TEST(MetricRegistry, DefaultNamesPerObjective) {
+  EXPECT_EQ(Metric::DefaultName(ObjectiveKind::kLogistic), "logloss");
+  EXPECT_EQ(Metric::DefaultName(ObjectiveKind::kSquaredError), "rmse");
+  EXPECT_EQ(Metric::DefaultName(ObjectiveKind::kQuantile), "pinball");
+  EXPECT_EQ(Metric::DefaultName(ObjectiveKind::kPoisson),
+            "poisson-deviance");
+  MetricConfig config;
+  config.ndcg_k = 4;
+  EXPECT_EQ(Metric::DefaultName(ObjectiveKind::kLambdaRank, config),
+            "ndcg@4");
+}
+
+TEST(MetricRegistryDeath, UnknownNameRejected) {
+  EXPECT_DEATH(Metric::Create("nope"), "CHECK");
+  EXPECT_DEATH(Metric::Create("ndcg@"), "CHECK");
+  EXPECT_DEATH(Metric::Create("ndcg@x"), "CHECK");
 }
 
 }  // namespace

@@ -128,6 +128,102 @@ TEST(ModelIo, SaveLoadFlattenPredictsIdentically) {
   EXPECT_EQ(predictor.PredictMargins(test), model.PredictMargins(test));
 }
 
+GbdtModel TrainQuantileModel(double alpha) {
+  SyntheticSpec spec;
+  spec.rows = 800;
+  spec.features = 6;
+  spec.label = LabelKind::kRegression;
+  spec.seed = 709;
+  const Dataset train = GenerateSynthetic(spec);
+  TrainParams p;
+  p.num_trees = 5;
+  p.tree_size = 4;
+  p.num_threads = 2;
+  p.objective = ObjectiveKind::kQuantile;
+  p.quantile_alpha = alpha;
+  p.base_score = 0.0;
+  return GbdtTrainer(p).Train(train);
+}
+
+TEST(ModelIo, QuantileAlphaRoundtripsBitExact) {
+  const GbdtModel model = TrainQuantileModel(0.85);
+  EXPECT_EQ(model.quantile_alpha(), 0.85);
+  const std::string text = SerializeModel(model);
+  EXPECT_NE(text.find("quantile_alpha"), std::string::npos);
+  GbdtModel loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeModel(text, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.objective(), ObjectiveKind::kQuantile);
+  EXPECT_EQ(loaded.quantile_alpha(), 0.85);  // hex float: bit-exact
+  // Stable fixed point with the extra line present.
+  EXPECT_EQ(SerializeModel(loaded), text);
+}
+
+TEST(ModelIo, QuantileSaveLoadPredictRoundtrip) {
+  const GbdtModel model = TrainQuantileModel(0.3);
+  SyntheticSpec spec;
+  spec.rows = 300;
+  spec.features = 6;
+  spec.label = LabelKind::kRegression;
+  spec.seed = 710;
+  const Dataset test = GenerateSynthetic(spec);
+  const std::string path = "/tmp/harp_model_io_quantile_test.model";
+  std::string error;
+  ASSERT_TRUE(SaveModel(path, model, &error)) << error;
+  GbdtModel loaded;
+  ASSERT_TRUE(LoadModel(path, &loaded, &error)) << error;
+  std::remove(path.c_str());
+  EXPECT_EQ(loaded.quantile_alpha(), 0.3);
+  // Quantile Transform is the identity: served predictions must equal
+  // raw margins, bit for bit, through the save -> load round trip.
+  const auto a = model.Predict(test);
+  const auto b = loaded.Predict(test);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ModelIo, NonQuantileSerializationsOmitAlphaLine) {
+  // Backward compatibility hinges on only quantile models emitting the
+  // optional line: every other objective's files stay byte-identical to
+  // the pre-alpha format.
+  EXPECT_EQ(SerializeModel(TrainSmallModel()).find("quantile_alpha"),
+            std::string::npos);
+  EXPECT_EQ(SerializeModel(TrainSmallModel(ObjectiveKind::kSquaredError))
+                .find("quantile_alpha"),
+            std::string::npos);
+}
+
+TEST(ModelIo, QuantileModelWithoutAlphaLineLoadsWithDefault) {
+  // A file written before alpha persistence: strip the line; the loader
+  // must fall back to alpha = 0.5 rather than reject the model.
+  std::string text = SerializeModel(TrainQuantileModel(0.85));
+  const size_t pos = text.find("quantile_alpha");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = text.find('\n', pos);
+  text.erase(pos, eol - pos + 1);
+  GbdtModel loaded;
+  std::string error;
+  ASSERT_TRUE(DeserializeModel(text, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.objective(), ObjectiveKind::kQuantile);
+  EXPECT_EQ(loaded.quantile_alpha(), 0.5);
+}
+
+TEST(ModelIo, RejectsCorruptQuantileAlphaLine) {
+  const std::string text = SerializeModel(TrainQuantileModel(0.85));
+  const size_t pos = text.find("quantile_alpha ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = text.find('\n', pos);
+  GbdtModel out;
+  std::string error;
+  for (const char* bad :
+       {"quantile_alpha", "quantile_alpha xyz", "quantile_alpha 0x0p+0",
+        "quantile_alpha 0x1p+0", "quantile_alpha 1 2"}) {
+    std::string corrupted = text;
+    corrupted.replace(pos, eol - pos, bad);
+    EXPECT_FALSE(DeserializeModel(corrupted, &out, &error)) << bad;
+  }
+}
+
 TEST(ModelIo, RejectsMalformedInput) {
   GbdtModel out;
   std::string error;

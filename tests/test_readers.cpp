@@ -487,6 +487,193 @@ TEST(LibsvmChunked, ForcedFeatureCountMatchesSerial) {
   CheckLibsvmOracle(MakeLibsvmDoc(90), options);
 }
 
+// ---------- LIBSVM qid: query groups ----------
+
+// Ranking-style document: qid-grouped rows with variable docs per query
+// and assorted feature patterns (including feature-less rows).
+std::string MakeLibsvmQidDoc(int queries, const char* eol = "\n") {
+  std::string doc;
+  int row = 0;
+  for (int q = 0; q < queries; ++q) {
+    if (q % 7 == 3) {  // blank lines between queries
+      doc += "   ";
+      doc += eol;
+    }
+    const int docs = 1 + (q * 13) % 5;
+    for (int d = 0; d < docs; ++d, ++row) {
+      doc += std::to_string(row % 3);           // relevance grade
+      doc += " qid:" + std::to_string(q * 10);  // non-consecutive ids
+      if (row % 11 != 7) {
+        for (int c = 0; c < 1 + row % 3; ++c) {
+          doc += " " + std::to_string(1 + c * 2) + ":" +
+                 std::to_string(row % 9) + "." + std::to_string(c);
+        }
+      }
+      doc += eol;
+    }
+  }
+  return doc;
+}
+
+TEST(LibsvmQid, ParsesGroupsFromQidColumns) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm(
+      "2 qid:1 1:0.5\n1 qid:1 2:0.25\n0 qid:3 1:1.5\n1 qid:7\n",
+      LibsvmOptions{}, &ds, &error))
+      << error;
+  ASSERT_TRUE(ds.has_groups());
+  EXPECT_EQ(ds.num_groups(), 3u);
+  EXPECT_EQ(ds.group_ptr(), (std::vector<uint32_t>{0, 2, 3, 4}));
+  // The qid token is not a feature: row 0 has features 1 and nothing else.
+  EXPECT_FLOAT_EQ(ds.At(0, 0), 0.5f);
+  EXPECT_EQ(ds.num_features(), 2u);
+  EXPECT_FLOAT_EQ(ds.labels()[0], 2.0f);
+}
+
+TEST(LibsvmQid, FileWithoutQidHasNoGroups) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(
+      ParseLibsvm("1 1:0.5\n0 2:1.5\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_FALSE(ds.has_groups());
+}
+
+TEST(LibsvmQid, EqualConsecutiveQidsShareOneGroup) {
+  Dataset ds;
+  std::string error;
+  ASSERT_TRUE(ParseLibsvm("1 qid:5 1:1\n0 qid:5 1:2\n0 qid:5\n",
+                          LibsvmOptions{}, &ds, &error));
+  EXPECT_EQ(ds.num_groups(), 1u);
+}
+
+TEST(LibsvmQid, RejectsBadQidValues) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseLibsvm("1 qid:abc 1:2\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_NE(error.find("bad qid 'qid:abc'"), std::string::npos) << error;
+  EXPECT_FALSE(ParseLibsvm("1 qid:-3 1:2\n", LibsvmOptions{}, &ds, &error));
+  EXPECT_FALSE(ParseLibsvm("1 qid: 1:2\n", LibsvmOptions{}, &ds, &error));
+}
+
+TEST(LibsvmQid, RejectsPartialQidCoverage) {
+  Dataset ds;
+  std::string error;
+  // qid regime established, then a row without one.
+  EXPECT_FALSE(ParseLibsvm("1 qid:1 1:2\n0 1:3\n", LibsvmOptions{}, &ds,
+                           &error));
+  EXPECT_NE(error.find("line 2: qid must appear on all rows or none"),
+            std::string::npos)
+      << error;
+  // No-qid regime established, then a qid appears.
+  EXPECT_FALSE(ParseLibsvm("1 1:2\n0 qid:1 1:3\n", LibsvmOptions{}, &ds,
+                           &error));
+  EXPECT_NE(error.find("line 2: qid must appear on all rows or none"),
+            std::string::npos)
+      << error;
+}
+
+TEST(LibsvmQid, RejectsDecreasingQids) {
+  Dataset ds;
+  std::string error;
+  EXPECT_FALSE(ParseLibsvm("1 qid:5 1:1\n0 qid:4 1:2\n", LibsvmOptions{},
+                           &ds, &error));
+  EXPECT_NE(error.find("line 2: qid out of order (decreasing)"),
+            std::string::npos)
+      << error;
+  // Non-consecutive but increasing ids are fine.
+  EXPECT_TRUE(ParseLibsvm("1 qid:5 1:1\n0 qid:50 1:2\n", LibsvmOptions{},
+                          &ds, &error))
+      << error;
+}
+
+TEST(LibsvmQidChunked, BitIdenticalAcrossChunkAndThreadCounts) {
+  CheckLibsvmOracle(MakeLibsvmQidDoc(40), LibsvmOptions{});
+  CheckLibsvmOracle(MakeLibsvmQidDoc(40, "\r\n"), LibsvmOptions{});
+  std::string no_trailing = MakeLibsvmQidDoc(17);
+  no_trailing.pop_back();
+  CheckLibsvmOracle(no_trailing, LibsvmOptions{});
+}
+
+TEST(LibsvmQidChunked, GroupsMatchSerialOracle) {
+  const std::string doc = MakeLibsvmQidDoc(40);
+  Dataset serial, chunked;
+  std::string e1, e2;
+  ASSERT_TRUE(ParseLibsvm(doc, LibsvmOptions{}, &serial, &e1)) << e1;
+  ASSERT_TRUE(serial.has_groups());
+  for (int chunks : {1, 2, 3, 7, 13}) {
+    ThreadPool pool(4);
+    ASSERT_TRUE(ParseLibsvmChunked(doc, LibsvmOptions{}, chunks, &pool,
+                                   &chunked, &e2))
+        << e2;
+    EXPECT_EQ(serial.group_ptr(), chunked.group_ptr())
+        << "chunks=" << chunks;
+  }
+}
+
+TEST(LibsvmQidChunked, BadQidValueInLaterChunk) {
+  std::string doc = MakeLibsvmQidDoc(30);
+  doc += "1 qid:9999x 1:2\n";
+  doc += "1 qid:10000 1:3\n";
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+}
+
+TEST(LibsvmQidChunked, MissingQidInLaterChunk) {
+  // qid regime set by chunk 1; the violating bare row lands in later
+  // chunks for most chunk counts.
+  std::string doc = MakeLibsvmQidDoc(30);
+  doc += "1 1:2\n";
+  doc += MakeLibsvmQidDoc(5);
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+}
+
+TEST(LibsvmQidChunked, UnexpectedQidInLaterChunk) {
+  // No-qid regime set by chunk 1; a qid row appears later.
+  std::string doc = MakeLibsvmDoc(40);
+  doc += "1 qid:3 1:2\n";
+  doc += MakeLibsvmDoc(6);
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+}
+
+TEST(LibsvmQidChunked, DecreasingQidAcrossChunkBoundary) {
+  // The decrease is only visible when consecutive chunks are stitched:
+  // both halves are internally consistent.
+  std::string first;
+  for (int r = 0; r < 25; ++r) {
+    first += "1 qid:" + std::to_string(100 + r) + " 1:0.5\n";
+  }
+  std::string second;
+  for (int r = 0; r < 25; ++r) {
+    second += "0 qid:" + std::to_string(50 + r) + " 1:1.5\n";
+  }
+  CheckLibsvmOracle(first + second, LibsvmOptions{});
+}
+
+TEST(LibsvmQidChunked, QidAndBadEntryOnTheSameLine) {
+  // One line carries both a malformed entry and establishes qid state;
+  // a later line violates ordering. The serial parser reports the entry
+  // error first — chunked must agree no matter where the cuts fall.
+  std::string doc = MakeLibsvmQidDoc(12);
+  doc += "1 qid:99990 broken:entry:x\n";
+  doc += "1 qid:3 1:2\n";  // decreasing vs 99990, but past the error line
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+  // And the mirrored precedence: the semantic violation strictly before
+  // the syntax error must win instead.
+  std::string doc2 = MakeLibsvmQidDoc(12);
+  doc2 += "1 qid:3 1:2\n";  // decreasing: ids in MakeLibsvmQidDoc reach 110
+  doc2 += "1 qid:99990 broken:entry:x\n";
+  CheckLibsvmOracle(doc2, LibsvmOptions{});
+}
+
+TEST(LibsvmQidChunked, BadQidAndBadLabelPrecedence) {
+  // Bad label on one line, bad qid on the next: serial reports the label
+  // line; every chunking must match.
+  std::string doc = MakeLibsvmQidDoc(10);
+  doc += "zzz qid:99990 1:2\n";
+  doc += "1 qid:bad 1:2\n";
+  CheckLibsvmOracle(doc, LibsvmOptions{});
+}
+
 // ---------- IngestStats from the file readers ----------
 
 TEST(IngestStatsTest, FilledByReadCsv) {
