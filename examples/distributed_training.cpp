@@ -1,11 +1,13 @@
 // Distributed training demo (the paper's Section VI future-work direction,
 // simulated in process): shard rows over W workers, aggregate histograms
-// by allreduce, and verify that the model is identical for every worker
-// count while communication volume grows.
+// through the compressed exchange, and verify that the model is identical
+// for every worker count and both exchange encodings while communication
+// volume grows.
 //
 // Usage: distributed_training [rows] [trees]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "harpgbdt.h"
 #include "distributed/dist_gbdt.h"
@@ -29,25 +31,42 @@ int main(int argc, char** argv) {
   params.grow_policy = GrowPolicy::kTopK;
   params.topk = 16;
 
-  std::printf("%8s %10s %10s %14s %16s %12s\n", "workers", "time", "AUC",
-              "allreduces", "comm volume", "per tree");
+  std::printf("%8s %8s %10s %10s %14s %14s %12s\n", "workers", "comm",
+              "time", "AUC", "allreduces", "hist wire", "vs dense");
   for (int workers : {1, 2, 4, 8}) {
-    const DistributedResult result =
-        DistributedGbdt::Train(data, workers, params);
-    const double auc = Auc(data.labels(), result.model.Predict(data));
-    std::printf("%8d %9.2fs %10.4f %14lld %16s %12s\n", workers,
-                result.seconds, auc,
-                static_cast<long long>(result.comm.allreduce_calls),
-                HumanBytes(static_cast<double>(result.comm.allreduce_bytes))
-                    .c_str(),
-                HumanBytes(static_cast<double>(result.comm.allreduce_bytes) /
-                           trees)
-                    .c_str());
+    std::string dense_model;
+    for (const char* compress : {"dense", "sparse"}) {
+      params.comm_compress = compress;
+      DistributedResult result =
+          DistributedGbdt::Train(data, workers, params);
+      const double auc = Auc(data.labels(), result.model.Predict(data));
+      const std::string serialized = SerializeModel(result.model);
+      if (dense_model.empty()) {
+        dense_model = serialized;
+      } else if (serialized != dense_model) {
+        std::printf("BUG: sparse model differs from dense at %d workers\n",
+                    workers);
+        return 1;
+      }
+      const CommStats& c = result.comm;
+      const double ratio =
+          c.hist_wire_bytes > 0
+              ? static_cast<double>(c.hist_dense_bytes) /
+                    static_cast<double>(c.hist_wire_bytes)
+              : 1.0;
+      std::printf("%8d %8s %9.2fs %10.4f %14lld %14s %11.2fx\n", workers,
+                  compress, result.seconds, auc,
+                  static_cast<long long>(c.allreduce_calls),
+                  HumanBytes(static_cast<double>(c.hist_wire_bytes)).c_str(),
+                  ratio);
+    }
   }
-  std::printf("\nThe AUC column is constant: histogram aggregation makes "
-              "the learned model independent of the sharding. Communication "
-              "volume grows with the world size and with the model size "
-              "(histogram bytes per tree), which is why communication-"
-              "efficient variants (PV-Tree etc., Section VI) exist.\n");
+  std::printf(
+      "\nThe AUC column is constant and the dense/sparse models are "
+      "bit-identical: histogram aggregation makes the learned model "
+      "independent of the sharding, and the SparseHistogram exchange is an "
+      "exact encoding. Wire bytes shrink with the touched-bin fraction — "
+      "the communication-efficient direction (PV-Tree etc., Section VI) "
+      "taken by this repo's compressed exchange.\n");
   return 0;
 }

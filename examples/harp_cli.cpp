@@ -32,6 +32,26 @@
 //                    throughput on stderr.
 //   harp_cli eval    --data test.csv --model in.model
 //   harp_cli inspect --model in.model [--top 10]
+//   harp_cli dist-train
+//                    (--data train.csv [--format csv|libsvm] |
+//                     --synth ROWS,FEATURES,DENSITY,SKEW,SEED)
+//                    [--workers N] [--rank R --world W --port P]
+//                    [--compress dense|sparse] [--quantize]
+//                    [--trees 20] [--tree-size 6] [--k 8] [--threads 1]
+//                    [--model out.model]
+//                    Sharded training over the collective layer. Default:
+//                    N in-process workers (threads). With --rank/--world/
+//                    --port, this process is ONE rank of a multi-process
+//                    run over loopback TCP (rank 0 must be listening on
+//                    --port; launch all W ranks with identical data and
+//                    params). Every rank trains the bitwise-identical
+//                    model and saves it to --model, so model files from
+//                    different ranks/backends/encodings can be compared
+//                    with cmp(1). --compress sparse ships compressed
+//                    SparseHistogram frames (with 8-byte quantized cells
+//                    under --quantize); dense is the f64 oracle. --synth
+//                    generates the sparse LibSVM-like synthetic in every
+//                    process deterministically (no file needed).
 //   harp_cli serve   --data test.csv --model in.model [--threads N]
 //                    [--deadline-us 200] [--reloads 0] [--output preds.txt]
 //                    Serving smoke: replays every row as a single-row
@@ -47,6 +67,7 @@
 #include <string>
 
 #include "common/timer.h"
+#include "distributed/socket_transport.h"
 #include "harpgbdt.h"
 
 namespace {
@@ -75,8 +96,12 @@ struct Args {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: harp_cli <train|predict|eval|inspect|serve> "
-               "[options]\n"
+               "usage: harp_cli <train|predict|eval|inspect|serve|"
+               "dist-train> [options]\n"
+               "  dist-train: (--data F | --synth R,F,DENS,SKEW,SEED)\n"
+               "           [--workers N | --rank R --world W --port P]\n"
+               "           [--compress dense|sparse] [--quantize]\n"
+               "           [--trees N] [--tree-size D] [--k K] [--model F]\n"
                "  predict: --data F --model F [--output F] [--raw]\n"
                "           [--threads N]  (--raw predicts on raw floats\n"
                "           instead of binning first; both report rows/sec)\n"
@@ -431,6 +456,144 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+// Shared by dist-train's two launch modes: the subset of TrainParams the
+// distributed trainer honours.
+TrainParams DistParams(const Args& args) {
+  TrainParams p;
+  p.num_trees = args.GetInt("trees", 20);
+  p.tree_size = args.GetInt("tree-size", 6);
+  p.learning_rate = args.GetDouble("eta", 0.1);
+  p.reg_lambda = args.GetDouble("lambda", 1.0);
+  p.min_split_loss = args.GetDouble("gamma", 1.0);
+  p.min_child_weight = args.GetDouble("min-child-weight", 1.0);
+  p.topk = args.GetInt("k", 8);
+  p.grow_policy = GrowPolicy::kTopK;
+  p.quantize_hist = args.Has("quantize");
+  p.quant_stochastic = args.Has("quant-stochastic");
+  p.comm_compress = args.Get("compress", "dense");
+  p.simd = args.Get("simd", "auto");
+  return p;
+}
+
+// --synth ROWS,FEATURES,DENSITY,SKEW,SEED: the sparse LibSVM-like
+// synthetic, generated deterministically in every process.
+bool ParseSynthSpec(const std::string& text, SyntheticSpec* spec) {
+  unsigned rows = 0, features = 0;
+  double density = 0.0, skew = 0.0;
+  unsigned long long seed = 0;
+  if (std::sscanf(text.c_str(), "%u,%u,%lf,%lf,%llu", &rows, &features,
+                  &density, &skew, &seed) != 5) {
+    return false;
+  }
+  spec->name = "dist-synth";
+  spec->rows = rows;
+  spec->features = features;
+  spec->density = density;
+  spec->density_skew = skew;
+  spec->seed = seed;
+  spec->mean_distinct = 48.0;
+  spec->distinct_cv = 0.5;
+  spec->active_features = std::min(16u, features);
+  spec->margin_scale = 3.0;
+  spec->sparse_storage = density < 0.5;
+  return rows > 0 && features > 0 && density > 0.0 && density <= 1.0;
+}
+
+void PrintCommStats(const char* prefix, const CommStats& s) {
+  std::printf(
+      "%s: allreduce %lld calls / %lld B, broadcast %lld calls / %lld B, "
+      "%lld barriers\n",
+      prefix, static_cast<long long>(s.allreduce_calls),
+      static_cast<long long>(s.allreduce_bytes),
+      static_cast<long long>(s.broadcast_calls),
+      static_cast<long long>(s.broadcast_bytes),
+      static_cast<long long>(s.barriers));
+  if (s.hist_exchanges > 0) {
+    const double ratio =
+        s.hist_wire_bytes > 0 ? static_cast<double>(s.hist_dense_bytes) /
+                                    static_cast<double>(s.hist_wire_bytes)
+                              : 0.0;
+    std::printf(
+        "%s: %lld hist exchanges, wire %lld B vs dense %lld B "
+        "(compression %.2fx)\n",
+        prefix, static_cast<long long>(s.hist_exchanges),
+        static_cast<long long>(s.hist_wire_bytes),
+        static_cast<long long>(s.hist_dense_bytes), ratio);
+  }
+}
+
+int CmdDistTrain(const Args& args) {
+  Dataset data;
+  const std::string synth = args.Get("synth", "");
+  if (!synth.empty()) {
+    SyntheticSpec spec;
+    if (!ParseSynthSpec(synth, &spec)) {
+      std::fprintf(stderr,
+                   "bad --synth (want ROWS,FEATURES,DENSITY,SKEW,SEED)\n");
+      return 1;
+    }
+    ThreadPool pool(ThreadPool::DefaultThreads());
+    data = GenerateSynthetic(spec, &pool);
+  } else if (!LoadData(args, args.Get("data", ""), &data)) {
+    return 1;
+  }
+  std::printf("loaded %u rows x %u features (S=%.2f)\n", data.num_rows(),
+              data.num_features(), data.Sparseness());
+
+  const TrainParams p = DistParams(args);
+  const int worker_threads = std::max(1, args.GetInt("threads", 1));
+  const std::string model_path = args.Get("model", "");
+  GbdtModel model;
+
+  if (args.values.count("rank") > 0) {
+    // One rank of a multi-process run over loopback TCP.
+    const int rank = args.GetInt("rank", 0);
+    const int world = args.GetInt("world", 1);
+    const int port = args.GetInt("port", 0);
+    if (world < 1 || rank < 0 || rank >= world || port <= 0) {
+      std::fprintf(stderr, "need --rank in [0,--world) and --port\n");
+      return 1;
+    }
+    try {
+      const auto transport = SocketTransport::Create(rank, world, port);
+      Communicator comm(*transport);
+      const Stopwatch watch;
+      model = DistributedGbdt::TrainShard(data, comm, p, worker_threads);
+      std::printf("rank %d/%d: trained %d trees in %.3fs (%s exchange)\n",
+                  rank, world, p.num_trees, watch.ElapsedSec(),
+                  p.comm_compress.c_str());
+      PrintCommStats("rank", comm.stats());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rank %d failed: %s\n", rank, e.what());
+      return 1;
+    }
+  } else {
+    const int workers = std::max(1, args.GetInt("workers", 2));
+    DistributedResult result =
+        DistributedGbdt::Train(data, workers, p, worker_threads);
+    std::printf("workers=%d: trained %d trees in %.3fs (%s exchange)\n",
+                result.workers, p.num_trees, result.seconds,
+                p.comm_compress.c_str());
+    PrintCommStats("total", result.comm);
+    for (size_t r = 0; r < result.per_rank.size(); ++r) {
+      std::string prefix = "rank " + std::to_string(r);
+      PrintCommStats(prefix.c_str(), result.per_rank[r]);
+    }
+    model = std::move(result.model);
+  }
+
+  if (!model_path.empty()) {
+    std::string error;
+    if (!SaveModel(model_path, model, &error)) {
+      std::fprintf(stderr, "save failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("model (%zu trees) saved to %s\n", model.NumTrees(),
+                model_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -441,5 +604,6 @@ int main(int argc, char** argv) {
   if (args.command == "eval") return CmdEval(args);
   if (args.command == "inspect") return CmdInspect(args);
   if (args.command == "serve") return CmdServe(args);
+  if (args.command == "dist-train") return CmdDistTrain(args);
   return Usage();
 }

@@ -64,6 +64,8 @@ const TrainParams& TrainParams::Validate() const {
   HARP_CHECK_LE(colsample_bytree, 1.0);
   HARP_CHECK(simd == "auto" || simd == "scalar" || simd == "avx2")
       << "simd must be auto|scalar|avx2, got '" << simd << "'";
+  HARP_CHECK(comm_compress == "dense" || comm_compress == "sparse")
+      << "comm_compress must be dense|sparse, got '" << comm_compress << "'";
   return *this;
 }
 

@@ -95,6 +95,14 @@ struct TrainParams {
   // binary/CPU cannot run fall back to scalar with a warning.
   std::string simd = "auto";
 
+  // --- distributed training (DistributedGbdt) ---
+  // Histogram-exchange encoding: "dense" (full f64 buffers, the bit-
+  // identity oracle) or "sparse" (SparseHistogram compressed frames —
+  // touched-region runs, and 8-byte quantized cells when quantize_hist is
+  // on). Both produce bitwise-identical models; single-node training
+  // ignores this.
+  std::string comm_compress = "dense";
+
   // --- stochastic boosting (excluded from the paper's controlled timing
   // experiments, Section V-A4, but part of any production GBDT) ---
   double subsample = 1.0;           // row fraction per tree

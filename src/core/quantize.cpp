@@ -29,11 +29,11 @@ struct ChunkStats {
 // stochastic by at most 1 — one whole unit per row bounds both modes.
 // The exponent is clamped to a range where 2^k is a normal float/double
 // (so g_scale / g_inv never overflow, underflow, or lose exactness).
-int PickExponent(double max_abs, double sum_abs, double fit_limit, size_t n) {
+int PickExponent(double max_abs, double sum_abs, double fit_limit, double n) {
   constexpr int kMinExp = -126;
   constexpr int kMaxExp = 126;
   if (max_abs <= 0.0) return kMaxExp;  // all-zero stream: any scale is exact
-  const double sum_room = kQuantSumLimit - static_cast<double>(n);
+  const double sum_room = kQuantSumLimit - n;
   HARP_CHECK_GT(sum_room, 0.0) << "too many rows for 32-bit histogram cells";
   int k = kMaxExp;
   while (k > kMinExp &&
@@ -66,8 +66,8 @@ inline int32_t StochasticRound(float v, uint64_t hash) {
 
 }  // namespace
 
-QuantScales ComputeQuantScales(const std::vector<GradientPair>& gradients,
-                               ThreadPool* pool) {
+QuantStats ComputeQuantStats(const std::vector<GradientPair>& gradients,
+                             ThreadPool* pool) {
   const size_t n = gradients.size();
   const size_t num_chunks = (n + kScaleChunk - 1) / kScaleChunk;
   std::vector<ChunkStats> partials(num_chunks);
@@ -104,16 +104,31 @@ QuantScales ComputeQuantScales(const std::vector<GradientPair>& gradients,
     total.h_sum += s.h_sum;
   }
 
+  QuantStats stats;
+  stats.g_max = static_cast<double>(total.g_max);
+  stats.h_max = static_cast<double>(total.h_max);
+  stats.g_sum = total.g_sum;
+  stats.h_sum = total.h_sum;
+  stats.rows = static_cast<double>(n);
+  return stats;
+}
+
+QuantScales QuantScalesFromStats(const QuantStats& stats) {
   QuantScales scales;
-  scales.g_exp = PickExponent(static_cast<double>(total.g_max), total.g_sum,
-                              static_cast<double>(kQuantGMax), n);
-  scales.h_exp = PickExponent(static_cast<double>(total.h_max), total.h_sum,
-                              static_cast<double>(kQuantHMax), n);
+  scales.g_exp = PickExponent(stats.g_max, stats.g_sum,
+                              static_cast<double>(kQuantGMax), stats.rows);
+  scales.h_exp = PickExponent(stats.h_max, stats.h_sum,
+                              static_cast<double>(kQuantHMax), stats.rows);
   scales.g_scale = std::ldexp(1.0f, scales.g_exp);
   scales.h_scale = std::ldexp(1.0f, scales.h_exp);
   scales.g_inv = std::ldexp(1.0, -scales.g_exp);
   scales.h_inv = std::ldexp(1.0, -scales.h_exp);
   return scales;
+}
+
+QuantScales ComputeQuantScales(const std::vector<GradientPair>& gradients,
+                               ThreadPool* pool) {
+  return QuantScalesFromStats(ComputeQuantStats(gradients, pool));
 }
 
 void QuantizeGradients(const std::vector<GradientPair>& gradients,

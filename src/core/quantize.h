@@ -85,10 +85,30 @@ inline int64_t CellH(int64_t cell) {
   return static_cast<int64_t>(static_cast<uint32_t>(cell));
 }
 
-// Computes the round's scales from the gradient array. Deterministic for a
-// fixed input regardless of thread count: per-chunk partials (fixed
-// 4096-row chunks) are combined serially in chunk order. CHECK-fails on
-// negative hessians (both supported objectives produce h >= 0).
+// Gradient-stream statistics the scale choice depends on. Kept as a
+// separate value so distributed workers can aggregate shard-local stats
+// (max -> AllreduceMax, sum/rows -> rank-ordered AllreduceSum) and derive
+// IDENTICAL scales on every rank from the agreed totals.
+struct QuantStats {
+  double g_max = 0.0;  // max |g|
+  double h_max = 0.0;  // max h
+  double g_sum = 0.0;  // sum |g|
+  double h_sum = 0.0;  // sum h
+  double rows = 0.0;   // row count (double: rides the f64 allreduce exactly)
+};
+
+// Scans the gradient array. Deterministic for a fixed input regardless of
+// thread count: per-chunk partials (fixed 4096-row chunks) are combined
+// serially in chunk order. CHECK-fails on negative hessians (all supported
+// objectives produce h >= 0).
+QuantStats ComputeQuantStats(const std::vector<GradientPair>& gradients,
+                             ThreadPool* pool);
+
+// Largest power-of-two exponents satisfying the fit and sum constraints
+// above for the given stats.
+QuantScales QuantScalesFromStats(const QuantStats& stats);
+
+// Single-node shorthand: QuantScalesFromStats(ComputeQuantStats(...)).
 QuantScales ComputeQuantScales(const std::vector<GradientPair>& gradients,
                                ThreadPool* pool);
 

@@ -24,6 +24,7 @@ struct FeaturePlan {
   std::vector<uint32_t> distinct;  // quantization levels per feature
   std::vector<double> weight;      // label weight (0 for inactive features)
   std::vector<double> shift;       // distribution shift per feature
+  std::vector<double> density;     // per-feature presence probability
   // Multiclass: per-class weights over the active features, row-major
   // [class][active feature index].
   std::vector<double> class_weight;
@@ -64,6 +65,21 @@ FeaturePlan MakePlan(const SyntheticSpec& spec) {
     plan.class_weight.resize(static_cast<size_t>(spec.num_classes) * active);
     for (double& w : plan.class_weight) w = rng.Normal();
   }
+
+  // Per-feature density. Skewed draws use a FRESH derived stream so that
+  // density_skew == 0 leaves every other draw — and therefore every
+  // existing dataset — bit-identical to the pre-knob generator.
+  plan.density.assign(spec.features, spec.density);
+  if (spec.density_skew > 0.0) {
+    Rng skew_rng(DeriveSeed(spec.seed, 0xD51CE));
+    const double scv = spec.density_skew;
+    const double ssigma = std::sqrt(std::log(1.0 + scv * scv));
+    const double smu = -0.5 * ssigma * ssigma;
+    for (uint32_t f = 0; f < spec.features; ++f) {
+      const double mult = std::exp(smu + ssigma * skew_rng.Normal());
+      plan.density[f] = std::clamp(spec.density * mult, 0.0, 1.0);
+    }
+  }
   return plan;
 }
 
@@ -87,7 +103,7 @@ void DrawRow(const SyntheticSpec& spec, const FeaturePlan& plan, uint32_t row,
 
   for (uint32_t f = 0; f < spec.features; ++f) {
     const double z = rng.Normal() + plan.shift[f];
-    const bool present = rng.Bernoulli(spec.density);
+    const bool present = rng.Bernoulli(plan.density[f]);
     if (present) {
       // Quantize the latent normal into the feature's distinct levels over
       // +/- 4 sigma; occupancy follows the normal density, so bins are

@@ -36,6 +36,15 @@ struct SyntheticSpec {
   // Fraction of entries that are present; Table III's S.
   double density = 1.0;
 
+  // Dispersion of PER-FEATURE density around `density` (coefficient of
+  // variation of a unit-mean log-normal multiplier, clamped to [0, 1]).
+  // Real sparse datasets (LibSVM-style CRITEO / YFCC dumps) concentrate
+  // their present entries in a few hot features with a long cold tail —
+  // exactly the shape that makes the sparse histogram exchange pay off.
+  // 0 (default) keeps the uniform density and is draw-for-draw identical
+  // to the previous generator.
+  double density_skew = 0.0;
+
   // Per-feature distinct-value counts are drawn log-normally with this mean
   // and coefficient of variation; CV of the resulting bin counts is
   // Table III's CV. distinct counts are clamped to [2, max_distinct].

@@ -1,24 +1,116 @@
 #include "distributed/communicator.h"
 
-#include <algorithm>
+#include <cstring>
 #include <exception>
+#include <mutex>
 #include <thread>
 
 #include "common/logging.h"
+#include "distributed/inprocess_transport.h"
+#include "distributed/sparse_hist.h"
 
 namespace harp {
 
+static_assert(sizeof(GHPair) == 2 * sizeof(double),
+              "GHPair must be two packed doubles for the transport view");
+
+void Communicator::AllreduceSum(GHPair* data, size_t count) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_bytes +=
+      static_cast<int64_t>(count * sizeof(GHPair)) * (world_size() - 1);
+  transport_->AllreduceSum(reinterpret_cast<double*>(data), count * 2);
+}
+
+void Communicator::AllreduceSum(double* data, size_t count) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_bytes +=
+      static_cast<int64_t>(count * sizeof(double)) * (world_size() - 1);
+  transport_->AllreduceSum(data, count);
+}
+
+void Communicator::AllreduceSum(int64_t* data, size_t count) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_bytes +=
+      static_cast<int64_t>(count * sizeof(int64_t)) * (world_size() - 1);
+  transport_->AllreduceSum(data, count);
+}
+
+void Communicator::AllreduceMax(double* data, size_t count) {
+  ++stats_.allreduce_calls;
+  stats_.allreduce_bytes +=
+      static_cast<int64_t>(count * sizeof(double)) * (world_size() - 1);
+  transport_->AllreduceMax(data, count);
+}
+
+void Communicator::Broadcast(void* data, size_t bytes, int root) {
+  ++stats_.broadcast_calls;
+  stats_.broadcast_bytes +=
+      static_cast<int64_t>(bytes) * (world_size() - 1);
+  transport_->Broadcast(data, bytes, root);
+}
+
+void Communicator::Barrier() {
+  ++stats_.barriers;
+  transport_->Barrier();
+}
+
+void Communicator::AllreduceHistograms(GHPair* const* hists,
+                                       uint32_t num_hists, uint32_t cells,
+                                       const HistExchangeOpts& opts) {
+  if (num_hists == 0) return;
+  ++stats_.hist_exchanges;
+  const bool communicates = world_size() > 1;
+  const int64_t dense_bytes = DenseHistBytes(num_hists, cells);
+  if (communicates) stats_.hist_dense_bytes += 2 * dense_bytes;
+
+  if (!opts.sparse) {
+    // Dense oracle: concatenate the batch and run one rank-ordered f64
+    // allreduce over it.
+    const size_t total = static_cast<size_t>(num_hists) * cells;
+    dense_scratch_.resize(total);
+    for (uint32_t h = 0; h < num_hists; ++h) {
+      std::memcpy(dense_scratch_.data() + static_cast<size_t>(h) * cells,
+                  hists[h], static_cast<size_t>(cells) * sizeof(GHPair));
+    }
+    AllreduceSum(dense_scratch_.data(), total);
+    for (uint32_t h = 0; h < num_hists; ++h) {
+      std::memcpy(hists[h],
+                  dense_scratch_.data() + static_cast<size_t>(h) * cells,
+                  static_cast<size_t>(cells) * sizeof(GHPair));
+    }
+    if (communicates) stats_.hist_wire_bytes += 2 * dense_bytes;
+    return;
+  }
+
+  SparseHistFormat fmt;
+  fmt.quant = opts.quant;
+  fmt.scales = opts.scales;
+  EncodeSparseHist(hists, num_hists, cells, fmt, &send_frame_);
+  transport_->ReduceBlobs(
+      send_frame_.data(), send_frame_.size(),
+      [&](const Transport::Frames& frames, std::vector<uint8_t>* out) {
+        ReduceSparseHist(frames, num_hists, cells, fmt, out);
+      },
+      &recv_frame_);
+  if (communicates) {
+    stats_.hist_wire_bytes +=
+        static_cast<int64_t>(send_frame_.size() + recv_frame_.size());
+  }
+  DecodeSparseHist(recv_frame_.data(), recv_frame_.size(), hists, num_hists,
+                   cells, fmt);
+}
+
 SimulatedCluster::SimulatedCluster(int world_size) : world_(world_size) {
   HARP_CHECK_GE(world_size, 1);
-  rendezvous_.buffers.assign(static_cast<size_t>(world_size), nullptr);
 }
 
 void SimulatedCluster::Run(const std::function<void(Communicator&)>& fn) {
   total_stats_ = CommStats{};
+  InProcessCluster cluster(world_);
   std::vector<Communicator> comms;
   comms.reserve(static_cast<size_t>(world_));
   for (int rank = 0; rank < world_; ++rank) {
-    comms.push_back(Communicator(this, rank, world_));
+    comms.push_back(Communicator(cluster.transport(rank)));
   }
 
   std::exception_ptr first_exception;
@@ -37,96 +129,8 @@ void SimulatedCluster::Run(const std::function<void(Communicator&)>& fn) {
   }
   for (auto& worker : workers) worker.join();
 
-  for (const Communicator& comm : comms) {
-    total_stats_.allreduce_calls += comm.stats_.allreduce_calls;
-    total_stats_.allreduce_bytes += comm.stats_.allreduce_bytes;
-    total_stats_.broadcast_calls += comm.stats_.broadcast_calls;
-    total_stats_.barriers += comm.stats_.barriers;
-  }
+  for (const Communicator& comm : comms) total_stats_ += comm.stats();
   if (first_exception) std::rethrow_exception(first_exception);
-}
-
-template <typename T>
-void Communicator::AllreduceImpl(T* data, size_t count) {
-  ++stats_.allreduce_calls;
-  stats_.allreduce_bytes +=
-      static_cast<int64_t>(count * sizeof(T)) * (world_ - 1);
-  if (world_ == 1) return;
-
-  auto& r = cluster_->rendezvous_;
-  std::unique_lock<std::mutex> lock(r.mutex);
-  const uint64_t generation = r.generation;
-  r.buffers[static_cast<size_t>(rank_)] = data;
-  if (++r.arrived == world_) {
-    // Last arrival reduces every rank's buffer into rank 0's in rank
-    // order (bitwise-deterministic), then replicates the result. All of
-    // this happens under the lock, so waiters see finished buffers.
-    T* dst = static_cast<T*>(r.buffers[0]);
-    for (int t = 1; t < world_; ++t) {
-      const T* src = static_cast<const T*>(r.buffers[static_cast<size_t>(t)]);
-      for (size_t i = 0; i < count; ++i) dst[i] += src[i];
-    }
-    for (int t = 1; t < world_; ++t) {
-      T* out = static_cast<T*>(r.buffers[static_cast<size_t>(t)]);
-      std::copy(dst, dst + count, out);
-    }
-    r.arrived = 0;
-    ++r.generation;
-    r.cv.notify_all();
-  } else {
-    r.cv.wait(lock, [&] { return r.generation != generation; });
-  }
-}
-
-void Communicator::AllreduceSum(GHPair* data, size_t count) {
-  AllreduceImpl(data, count);
-}
-void Communicator::AllreduceSum(double* data, size_t count) {
-  AllreduceImpl(data, count);
-}
-void Communicator::AllreduceSum(int64_t* data, size_t count) {
-  AllreduceImpl(data, count);
-}
-
-void Communicator::Broadcast(void* data, size_t bytes, int root) {
-  ++stats_.broadcast_calls;
-  if (world_ == 1) return;
-  HARP_CHECK_GE(root, 0);
-  HARP_CHECK_LT(root, world_);
-
-  auto& r = cluster_->rendezvous_;
-  std::unique_lock<std::mutex> lock(r.mutex);
-  const uint64_t generation = r.generation;
-  r.buffers[static_cast<size_t>(rank_)] = data;
-  if (++r.arrived == world_) {
-    const char* src =
-        static_cast<const char*>(r.buffers[static_cast<size_t>(root)]);
-    for (int t = 0; t < world_; ++t) {
-      if (t == root) continue;
-      char* dst = static_cast<char*>(r.buffers[static_cast<size_t>(t)]);
-      std::copy(src, src + bytes, dst);
-    }
-    r.arrived = 0;
-    ++r.generation;
-    r.cv.notify_all();
-  } else {
-    r.cv.wait(lock, [&] { return r.generation != generation; });
-  }
-}
-
-void Communicator::Barrier() {
-  ++stats_.barriers;
-  if (world_ == 1) return;
-  auto& r = cluster_->rendezvous_;
-  std::unique_lock<std::mutex> lock(r.mutex);
-  const uint64_t generation = r.generation;
-  if (++r.arrived == world_) {
-    r.arrived = 0;
-    ++r.generation;
-    r.cv.notify_all();
-  } else {
-    r.cv.wait(lock, [&] { return r.generation != generation; });
-  }
 }
 
 }  // namespace harp

@@ -1,24 +1,22 @@
-// In-process simulation of a collective-communication layer.
+// Collective-communication layer for sharded training.
 //
 // The paper's stated future work is distributed HarpGBDT: "Both XGBoost
 // and LightGBM build distributed GBDT upon a collective communication
-// layer" (Section VI). We do not have a cluster, so per the substitution
-// policy we build the closest synthetic equivalent: W worker threads, each
-// owning a row shard, synchronizing through rendezvous-based collectives
-// (allreduce / broadcast / barrier) with deterministic rank-ordered
-// reduction. The exercised code path — local histograms, allreduce,
-// replicated split decisions — is exactly the histogram-aggregation
-// algorithm of distributed XGBoost, and communication volume is counted
-// so the cost model is measurable.
+// layer" (Section VI). Communicator is that layer's front end: typed
+// collectives with per-rank traffic accounting plus the compressed
+// histogram exchange. The actual byte movement is delegated to a pluggable
+// Transport backend (distributed/transport.h) — worker threads in one
+// process for CI, or real processes over loopback TCP.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
+#include <memory>
 #include <vector>
 
 #include "core/gh.h"
+#include "core/quantize.h"
+#include "distributed/transport.h"
 
 namespace harp {
 
@@ -26,46 +24,82 @@ struct CommStats {
   int64_t allreduce_calls = 0;
   int64_t allreduce_bytes = 0;  // payload size x (world - 1), per call
   int64_t broadcast_calls = 0;
+  int64_t broadcast_bytes = 0;  // payload size x (world - 1), per call
   int64_t barriers = 0;
+  // Histogram-exchange accounting (AllreduceHistograms only). Wire bytes
+  // are what this rank physically moved — sent frame + received result —
+  // and dense bytes are what the uncompressed f64 exchange would have
+  // moved, so wire/dense is the measured compression ratio. Both are 0 at
+  // world == 1 (no communication happens).
+  int64_t hist_exchanges = 0;
+  int64_t hist_wire_bytes = 0;
+  int64_t hist_dense_bytes = 0;
+
+  CommStats& operator+=(const CommStats& o) {
+    allreduce_calls += o.allreduce_calls;
+    allreduce_bytes += o.allreduce_bytes;
+    broadcast_calls += o.broadcast_calls;
+    broadcast_bytes += o.broadcast_bytes;
+    barriers += o.barriers;
+    hist_exchanges += o.hist_exchanges;
+    hist_wire_bytes += o.hist_wire_bytes;
+    hist_dense_bytes += o.hist_dense_bytes;
+    return *this;
+  }
 };
 
-class SimulatedCluster;
-
-// Per-worker handle; valid only inside SimulatedCluster::Run.
+// Per-rank handle over a Transport. Not thread-safe: one rank, one thread.
 class Communicator {
  public:
-  int rank() const { return rank_; }
-  int world_size() const { return world_; }
+  explicit Communicator(Transport& transport) : transport_(&transport) {}
+
+  int rank() const { return transport_->rank(); }
+  int world_size() const { return transport_->world_size(); }
 
   // Element-wise sum of every rank's `data` (all ranks receive the
-  // result). Reduction is performed in rank order by one thread, so the
-  // result is bitwise identical on every rank and across runs.
+  // result). Reduction combines ranks in ascending rank order, so the
+  // result is bitwise identical on every rank, across runs, and across
+  // transport backends.
   void AllreduceSum(GHPair* data, size_t count);
   void AllreduceSum(double* data, size_t count);
   void AllreduceSum(int64_t* data, size_t count);
+
+  // Element-wise maximum (quantization scale agreement).
+  void AllreduceMax(double* data, size_t count);
 
   // Copies `bytes` of root's buffer into every other rank's buffer.
   void Broadcast(void* data, size_t bytes, int root);
 
   void Barrier();
 
+  // In-place global sum of a batch of node histograms (`num_hists`
+  // pointers, `cells` GHPair slots each). opts.sparse selects the
+  // compressed SparseHistogram wire format; opts.quant additionally ships
+  // 8-byte int64 cells using the round's agreed scales. Every combination
+  // produces bitwise-identical histograms (sparse_hist.h documents why).
+  struct HistExchangeOpts {
+    bool sparse = false;
+    bool quant = false;
+    QuantScales scales;
+  };
+  void AllreduceHistograms(GHPair* const* hists, uint32_t num_hists,
+                           uint32_t cells, const HistExchangeOpts& opts);
+
   // This rank's accumulated communication counters.
   const CommStats& stats() const { return stats_; }
 
  private:
-  friend class SimulatedCluster;
-  Communicator(SimulatedCluster* cluster, int rank, int world)
-      : cluster_(cluster), rank_(rank), world_(world) {}
-
-  template <typename T>
-  void AllreduceImpl(T* data, size_t count);
-
-  SimulatedCluster* cluster_;
-  int rank_;
-  int world_;
+  Transport* transport_;
   CommStats stats_;
+  // Exchange scratch, reused across batches.
+  std::vector<GHPair> dense_scratch_;
+  std::vector<uint8_t> send_frame_;
+  std::vector<uint8_t> recv_frame_;
 };
 
+// W worker threads in one process, each with its own Communicator over an
+// InProcessTransport. Retained front end for tests/examples; the transport
+// lives in distributed/inprocess_transport.h.
 class SimulatedCluster {
  public:
   explicit SimulatedCluster(int world_size);
@@ -78,22 +112,7 @@ class SimulatedCluster {
   CommStats TotalStats() const { return total_stats_; }
 
  private:
-  friend class Communicator;
-
-  // Two-phase rendezvous shared by all collectives: phase 1 collects
-  // every rank's buffer pointer, the last arrival performs the operation,
-  // phase 2 releases everyone after they have consumed the result.
-  struct Rendezvous {
-    std::mutex mutex;
-    std::condition_variable cv;
-    int arrived = 0;
-    int departed = 0;
-    uint64_t generation = 0;
-    std::vector<void*> buffers;
-  };
-
   const int world_;
-  Rendezvous rendezvous_;
   CommStats total_stats_;
 };
 

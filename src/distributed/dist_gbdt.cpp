@@ -10,28 +10,36 @@
 #include "core/hist_builder.h"
 #include "core/histogram.h"
 #include "core/objective.h"
+#include "core/quantize.h"
 #include "core/row_partitioner.h"
+#include "core/simd.h"
 #include "core/split_evaluator.h"
 
 namespace harp {
 namespace {
 
 // One worker's training state and loop. Determinism argument: every
-// worker sees identical global histograms (rank-ordered reduction),
-// identical node sums, and runs the identical FindSplit / queue logic, so
-// trees, margins-per-shard and models evolve in lockstep without any
-// decision broadcast.
-class Worker {
+// worker sees identical global histograms (rank-ordered reduction — and
+// the sparse/quantized encodings are exact, see sparse_hist.h), identical
+// node sums, and runs the identical FindSplit / queue logic, so trees,
+// margins-per-shard and models evolve in lockstep without any decision
+// broadcast.
+class ShardWorker {
  public:
-  Worker(Communicator& comm, const Dataset& shard, const QuantileCuts& cuts,
-         const TrainParams& params)
+  ShardWorker(Communicator& comm, const Dataset& shard,
+              const QuantileCuts& cuts, const TrainParams& params,
+              int worker_threads)
       : comm_(comm),
         shard_(shard),
         params_(params),
         matrix_(BinnedMatrix::Build(shard, cuts)),
         evaluator_(params),
         hists_(matrix_.TotalBins()),
-        partitioner_(matrix_.num_rows(), params.use_membuf) {}
+        partitioner_(matrix_.num_rows(), params.use_membuf),
+        pool_(std::max(1, worker_threads)),
+        use_quant_(params.quantize_hist),
+        sparse_(params.comm_compress == "sparse"),
+        simd_level_(ResolveSimdLevel(params.simd)) {}
 
   GbdtModel Run() {
     const auto objective = Objective::Create(params_.objective);
@@ -42,7 +50,7 @@ class Worker {
 
     for (int iter = 0; iter < params_.num_trees; ++iter) {
       objective->ComputeGradients(shard_.labels(), margins, &gradients);
-      RegTree tree = BuildTree(gradients);
+      RegTree tree = BuildTree(gradients, iter);
       // Leaf scatter on the local shard.
       for (int id = 0; id < tree.num_nodes(); ++id) {
         if (tree.node(id).IsLeaf()) {
@@ -55,18 +63,56 @@ class Worker {
   }
 
  private:
-  // Builds global histograms for `nodes`: local serial build, then one
-  // allreduce over the concatenated buffers.
-  void BuildGlobalHists(const std::vector<int>& nodes,
-                        std::vector<GHPair>* scratch) {
-    const size_t total_bins = matrix_.TotalBins();
-    scratch->assign(nodes.size() * total_bins, GHPair{});
-    const BuildContext ctx{matrix_, params_, *null_pool_, partitioner_,
-                           hists_};
-    for (size_t i = 0; i < nodes.size(); ++i) {
-      BuildHistSerial(ctx, nodes[i], scratch->data() + i * total_bins);
-    }
-    comm_.AllreduceSum(scratch->data(), scratch->size());
+  BuildContext Context() {
+    return BuildContext{matrix_,       params_,
+                        pool_,         partitioner_,
+                        hists_,        use_quant_ ? &quant_round_ : nullptr,
+                        simd_level_};
+  }
+
+  // Agrees on this round's quantization scales: maxima via AllreduceMax
+  // (order-independent), sums and the row count via the rank-ordered f64
+  // allreduce — every rank derives IDENTICAL scales from the agreed
+  // totals, which the exact int64 wire encoding depends on.
+  void AgreeQuantScales(const std::vector<GradientPair>& gradients,
+                        int iter) {
+    const QuantStats local = ComputeQuantStats(gradients, &pool_);
+    double maxima[2] = {local.g_max, local.h_max};
+    comm_.AllreduceMax(maxima, 2);
+    double sums[3] = {local.g_sum, local.h_sum, local.rows};
+    comm_.AllreduceSum(sums, 3);
+    QuantStats global;
+    global.g_max = maxima[0];
+    global.h_max = maxima[1];
+    global.g_sum = sums[0];
+    global.h_sum = sums[1];
+    global.rows = sums[2];
+    quant_round_.scales = QuantScalesFromStats(global);
+    QuantizeGradients(gradients, quant_round_.scales,
+                      params_.quant_stochastic,
+                      params_.seed + static_cast<uint64_t>(iter),
+                      static_cast<int>(simd_level_), &pool_,
+                      &quant_round_.packed);
+  }
+
+  // Builds global histograms for `nodes`: threaded local build on the DP
+  // kernel layer (per-thread replicas, touched-region reduce), then one
+  // histogram exchange.
+  void BuildGlobalHists(const std::vector<int>& nodes) {
+    for (const int node : nodes) hists_.Acquire(node);
+    const BuildContext ctx = Context();
+    dp_.Build(ctx, nodes);
+
+    hist_ptrs_.clear();
+    for (const int node : nodes) hist_ptrs_.push_back(hists_.Get(node));
+    Communicator::HistExchangeOpts opts;
+    opts.sparse = sparse_;
+    opts.quant = use_quant_;
+    opts.scales = quant_round_.scales;
+    comm_.AllreduceHistograms(hist_ptrs_.data(),
+                              static_cast<uint32_t>(nodes.size()),
+                              static_cast<uint32_t>(matrix_.TotalBins()),
+                              opts);
   }
 
   Candidate FindSplitFor(int node_id, int depth, const GHPair& sum,
@@ -79,34 +125,35 @@ class Worker {
     return cand;
   }
 
-  RegTree BuildTree(const std::vector<GradientPair>& gradients) {
+  RegTree BuildTree(const std::vector<GradientPair>& gradients, int iter) {
     const int64_t max_leaves = params_.MaxLeaves();
     const int max_depth = params_.MaxDepth();
     const int max_nodes = static_cast<int>(2 * max_leaves);
-    partitioner_.Reset(gradients, max_nodes);
+    partitioner_.Reset(gradients, max_nodes, &pool_);
+    hists_.ReleaseAll();
+    if (use_quant_) AgreeQuantScales(gradients, iter);
 
     RegTree tree;
     tree.mutable_nodes().reserve(static_cast<size_t>(max_nodes));
     // Global root sum.
-    GHPair root_sum = partitioner_.NodeSum(0);
+    GHPair root_sum = partitioner_.NodeSum(0, &pool_);
     comm_.AllreduceSum(&root_sum, 1);
     int64_t global_rows = partitioner_.num_rows();
     comm_.AllreduceSum(&global_rows, 1);
     tree.mutable_node(0).sum = root_sum;
     tree.mutable_node(0).num_rows = static_cast<uint32_t>(global_rows);
 
-    std::vector<GHPair> scratch;
     GrowQueue queue(params_.grow_policy);
     {
-      BuildGlobalHists({0}, &scratch);
-      const Candidate root = FindSplitFor(0, 0, root_sum, scratch.data());
+      BuildGlobalHists({0});
+      const Candidate root = FindSplitFor(0, 0, root_sum, hists_.Get(0));
+      hists_.Release(0);
       if (root.split.IsValid() && max_leaves > 1 && max_depth > 0) {
         queue.Push(root);
       }
     }
 
     int64_t leaves = 1;
-    const size_t total_bins = matrix_.TotalBins();
     while (!queue.Empty() && leaves < max_leaves) {
       const std::vector<Candidate> batch = queue.PopBatch(
           params_.EffectiveTopK(),
@@ -137,13 +184,12 @@ class Worker {
       }
       leaves += static_cast<int64_t>(batch.size());
 
-      BuildGlobalHists(children, &scratch);
-      for (size_t i = 0; i < children.size(); ++i) {
-        const int child = children[i];
-        const Candidate cand =
-            FindSplitFor(child, tree.node(child).depth,
-                         tree.node(child).sum,
-                         scratch.data() + i * total_bins);
+      BuildGlobalHists(children);
+      for (const int child : children) {
+        const Candidate cand = FindSplitFor(child, tree.node(child).depth,
+                                            tree.node(child).sum,
+                                            hists_.Get(child));
+        hists_.Release(child);
         if (cand.split.IsValid() && cand.depth < max_depth) {
           queue.Push(cand);
         }
@@ -164,48 +210,74 @@ class Worker {
   SplitEvaluator evaluator_;
   HistogramPool hists_;
   RowPartitioner partitioner_;
-  // BuildContext wants a pool reference; the per-worker path is serial,
-  // so a 1-thread pool shared by this worker suffices.
-  std::unique_ptr<ThreadPool> null_pool_ = std::make_unique<ThreadPool>(1);
+  ThreadPool pool_;
+  HistBuilderDP dp_;
+  const bool use_quant_;
+  const bool sparse_;
+  const SimdLevel simd_level_;
+  QuantRound quant_round_;
+  std::vector<GHPair*> hist_ptrs_;
 };
+
+// Contiguous shard boundaries: rank r owns rows [rows*r/W, rows*(r+1)/W).
+std::pair<uint32_t, uint32_t> ShardRange(uint32_t rows, int rank, int world) {
+  const uint32_t begin =
+      static_cast<uint32_t>(static_cast<uint64_t>(rows) * rank / world);
+  const uint32_t end =
+      static_cast<uint32_t>(static_cast<uint64_t>(rows) * (rank + 1) / world);
+  return {begin, end};
+}
 
 }  // namespace
 
+GbdtModel DistributedGbdt::TrainShard(const Dataset& dataset,
+                                      Communicator& comm,
+                                      const TrainParams& params,
+                                      int worker_threads) {
+  params.Validate();
+  const int world = comm.world_size();
+  HARP_CHECK_LE(static_cast<uint32_t>(world), dataset.num_rows());
+
+  // Global quantile cuts, computed identically in every process (a real
+  // deployment would merge distributed sketches; see GkSketch::Merge).
+  const QuantileCuts cuts = QuantileCuts::Compute(dataset, params.max_bins);
+  const auto [begin, end] = ShardRange(dataset.num_rows(), comm.rank(), world);
+  const Dataset shard = dataset.Slice(begin, end);
+  ShardWorker worker(comm, shard, cuts, params, worker_threads);
+  return worker.Run();
+}
+
 DistributedResult DistributedGbdt::Train(const Dataset& dataset, int workers,
-                                         const TrainParams& params) {
+                                         const TrainParams& params,
+                                         int worker_threads) {
   params.Validate();
   HARP_CHECK_GE(workers, 1);
   HARP_CHECK_LE(static_cast<uint32_t>(workers), dataset.num_rows());
 
-  // Global quantile cuts, computed once (a real deployment would merge
-  // distributed sketches; see GkSketch::Merge).
-  QuantileCuts cuts = QuantileCuts::Compute(dataset, params.max_bins);
-
-  // Contiguous row shards.
+  const QuantileCuts cuts = QuantileCuts::Compute(dataset, params.max_bins);
   std::vector<Dataset> shards;
   shards.reserve(static_cast<size_t>(workers));
-  const uint32_t rows = dataset.num_rows();
   for (int w = 0; w < workers; ++w) {
-    const uint32_t begin =
-        static_cast<uint32_t>(static_cast<uint64_t>(rows) * w / workers);
-    const uint32_t end = static_cast<uint32_t>(
-        static_cast<uint64_t>(rows) * (w + 1) / workers);
+    const auto [begin, end] = ShardRange(dataset.num_rows(), w, workers);
     shards.push_back(dataset.Slice(begin, end));
   }
 
   DistributedResult result;
   result.workers = workers;
   std::vector<GbdtModel> models(static_cast<size_t>(workers));
+  std::vector<CommStats> per_rank(static_cast<size_t>(workers));
 
   const Stopwatch watch;
   SimulatedCluster cluster(workers);
   cluster.Run([&](Communicator& comm) {
-    Worker worker(comm, shards[static_cast<size_t>(comm.rank())], cuts,
-                  params);
+    ShardWorker worker(comm, shards[static_cast<size_t>(comm.rank())], cuts,
+                       params, worker_threads);
     models[static_cast<size_t>(comm.rank())] = worker.Run();
+    per_rank[static_cast<size_t>(comm.rank())] = comm.stats();
   });
   result.seconds = watch.ElapsedSec();
   result.comm = cluster.TotalStats();
+  result.per_rank = std::move(per_rank);
   result.model = std::move(models[0]);
   return result;
 }

@@ -1,12 +1,25 @@
 // Tests for the simulated cluster communicator and distributed training.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstring>
 #include <stdexcept>
+#include <thread>
 
 #include "core/metrics.h"
+#include "core/model_io.h"
 #include "data/synthetic.h"
 #include "distributed/dist_gbdt.h"
+#include "distributed/inprocess_transport.h"
+#include "distributed/socket_transport.h"
+#include "distributed/sparse_hist.h"
 #include "test_util.h"
 
 namespace harp {
@@ -98,6 +111,72 @@ TEST(Communicator, CountsTraffic) {
   EXPECT_EQ(stats.barriers, 2);
 }
 
+TEST(Communicator, AllreduceMaxAcrossRanks) {
+  SimulatedCluster cluster(3);
+  cluster.Run([&](Communicator& comm) {
+    double data[3] = {static_cast<double>(comm.rank()),
+                      -static_cast<double>(comm.rank()) - 1.0, 0.5};
+    comm.AllreduceMax(data, 3);
+    EXPECT_DOUBLE_EQ(data[0], 2.0);
+    EXPECT_DOUBLE_EQ(data[1], -1.0);
+    EXPECT_DOUBLE_EQ(data[2], 0.5);
+  });
+}
+
+TEST(Communicator, CountsBroadcastBytes) {
+  SimulatedCluster cluster(3);
+  cluster.Run([&](Communicator& comm) {
+    char payload[12] = {};
+    if (comm.rank() == 1) std::memset(payload, 7, sizeof(payload));
+    comm.Broadcast(payload, sizeof(payload), 1);
+    EXPECT_EQ(payload[11], 7);
+    EXPECT_EQ(comm.stats().broadcast_calls, 1);
+    EXPECT_EQ(comm.stats().broadcast_bytes, 12 * 2);  // bytes x (world-1)
+  });
+  EXPECT_EQ(cluster.TotalStats().broadcast_calls, 3);
+  EXPECT_EQ(cluster.TotalStats().broadcast_bytes, 3 * 12 * 2);
+}
+
+// The chunked parallel dense reduce must be bitwise identical to the
+// serial rank-ordered reduction (chunking only changes WHO adds, never
+// the per-element addition order).
+TEST(InProcessTransport, ChunkedAllreduceMatchesSerialRankOrder) {
+  const int world = 3;
+  const size_t count = 2 * InProcessCluster::kChunkElems + 1234;
+
+  // Deterministic per-rank data with awkward magnitudes so float addition
+  // order matters.
+  const auto value = [](int rank, size_t i) {
+    uint64_t x = 0x9E3779B97F4A7C15ull * (i + 1) + rank * 0x10001ull;
+    x ^= x >> 33;
+    const double mag = static_cast<double>(x % 100003) / 997.0;
+    return (x & 1) ? mag : -mag * 1e-7;
+  };
+  std::vector<double> expect(count);
+  for (size_t i = 0; i < count; ++i) {
+    double acc = value(0, i);
+    for (int r = 1; r < world; ++r) acc += value(r, i);
+    expect[i] = acc;
+  }
+
+  InProcessCluster cluster(world);
+  std::vector<std::vector<double>> data(world, std::vector<double>(count));
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < world; ++rank) {
+    threads.emplace_back([&, rank] {
+      auto& mine = data[static_cast<size_t>(rank)];
+      for (size_t i = 0; i < count; ++i) mine[i] = value(rank, i);
+      cluster.transport(rank).AllreduceSum(mine.data(), count);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int rank = 0; rank < world; ++rank) {
+    ASSERT_EQ(0, std::memcmp(data[static_cast<size_t>(rank)].data(),
+                             expect.data(), count * sizeof(double)))
+        << "rank " << rank;
+  }
+}
+
 TEST(Communicator, WorkerExceptionPropagates) {
   SimulatedCluster cluster(2);
   EXPECT_THROW(cluster.Run([&](Communicator& comm) {
@@ -106,6 +185,215 @@ TEST(Communicator, WorkerExceptionPropagates) {
     // collectives here.
   }),
                std::runtime_error);
+}
+
+// ---------- SparseHistogram codec ----------
+
+// Exact quantization scales for codec tests: values are multiples of the
+// inverse scale, so encode/decode round-trips bit for bit.
+SparseHistFormat QuantFormat() {
+  SparseHistFormat fmt;
+  fmt.quant = true;
+  fmt.scales.g_exp = 8;
+  fmt.scales.g_scale = 256.0f;
+  fmt.scales.g_inv = 1.0 / 256.0;
+  fmt.scales.h_exp = 10;
+  fmt.scales.h_scale = 1024.0f;
+  fmt.scales.h_inv = 1.0 / 1024.0;
+  return fmt;
+}
+
+// Per-rank test histograms: scattered touched cells (different cells per
+// rank, some overlapping), values exactly representable at the quant
+// scales so f64 and quant paths must both be exact.
+std::vector<std::vector<GHPair>> RankHists(int world, uint32_t num_hists,
+                                           uint32_t cells) {
+  std::vector<std::vector<GHPair>> hists(static_cast<size_t>(world));
+  const SparseHistFormat fmt = QuantFormat();
+  for (int r = 0; r < world; ++r) {
+    auto& h = hists[static_cast<size_t>(r)];
+    h.assign(static_cast<size_t>(num_hists) * cells, GHPair{});
+    for (size_t i = 0; i < h.size(); ++i) {
+      if ((i * 7 + static_cast<size_t>(r) * 3) % 5 == 0) {
+        const double k = static_cast<double>((i % 97) + 1);
+        h[i].g = (r % 2 == 0 ? k : -k) * fmt.scales.g_inv;
+        h[i].h = k * fmt.scales.h_inv;
+      }
+    }
+  }
+  return hists;
+}
+
+// Reference: the dense rank-ordered reduction (rank 0's cell, then += each
+// higher rank in order) — what the dense oracle path computes.
+std::vector<GHPair> DenseRankOrderedSum(
+    const std::vector<std::vector<GHPair>>& hists) {
+  std::vector<GHPair> acc = hists[0];
+  for (size_t r = 1; r < hists.size(); ++r) {
+    for (size_t i = 0; i < acc.size(); ++i) {
+      acc[i].g += hists[r][i].g;
+      acc[i].h += hists[r][i].h;
+    }
+  }
+  return acc;
+}
+
+class SparseHistCodec : public ::testing::TestWithParam<bool> {};
+
+INSTANTIATE_TEST_SUITE_P(Formats, SparseHistCodec,
+                         ::testing::Values(false, true));
+
+TEST_P(SparseHistCodec, EncodeReduceDecodeMatchesDenseRankOrderBitwise) {
+  const bool quant = GetParam();
+  const int world = 3;
+  const uint32_t num_hists = 2;
+  const uint32_t cells = 37;  // partial last region
+  SparseHistFormat fmt = QuantFormat();
+  fmt.quant = quant;
+
+  const auto hists = RankHists(world, num_hists, cells);
+  const std::vector<GHPair> expect = DenseRankOrderedSum(hists);
+
+  std::vector<std::vector<uint8_t>> frames(world);
+  Transport::Frames views;
+  for (int r = 0; r < world; ++r) {
+    const GHPair* ptrs[2] = {hists[static_cast<size_t>(r)].data(),
+                             hists[static_cast<size_t>(r)].data() + cells};
+    EncodeSparseHist(ptrs, num_hists, cells, fmt,
+                     &frames[static_cast<size_t>(r)]);
+    views.emplace_back(frames[static_cast<size_t>(r)].data(),
+                       frames[static_cast<size_t>(r)].size());
+  }
+  std::vector<uint8_t> reduced;
+  ReduceSparseHist(views, num_hists, cells, fmt, &reduced);
+  // Compression: the frame must beat the dense payload on this data.
+  EXPECT_LT(reduced.size(),
+            static_cast<size_t>(DenseHistBytes(num_hists, cells)));
+
+  std::vector<GHPair> decoded(static_cast<size_t>(num_hists) * cells,
+                              GHPair{1.0, 1.0});  // must be overwritten
+  GHPair* out_ptrs[2] = {decoded.data(), decoded.data() + cells};
+  DecodeSparseHist(reduced.data(), reduced.size(), out_ptrs, num_hists, cells,
+                   fmt);
+  ASSERT_EQ(0, std::memcmp(decoded.data(), expect.data(),
+                           decoded.size() * sizeof(GHPair)));
+}
+
+TEST_P(SparseHistCodec, AllZeroHistogramsShipHeaderOnlyFrames) {
+  const bool quant = GetParam();
+  const uint32_t cells = 24;
+  SparseHistFormat fmt = QuantFormat();
+  fmt.quant = quant;
+  const std::vector<GHPair> zero(cells, GHPair{});
+  const GHPair* ptrs[1] = {zero.data()};
+  std::vector<uint8_t> frame;
+  EncodeSparseHist(ptrs, 1, cells, fmt, &frame);
+  EXPECT_EQ(frame.size(), sizeof(SparseHistHeader));
+
+  // Reducing three empty frames yields an empty frame; decoding it zeroes
+  // the output.
+  Transport::Frames views(
+      3, std::make_pair(static_cast<const uint8_t*>(frame.data()),
+                        frame.size()));
+  std::vector<uint8_t> reduced;
+  ReduceSparseHist(views, 1, cells, fmt, &reduced);
+  EXPECT_EQ(reduced.size(), sizeof(SparseHistHeader));
+  std::vector<GHPair> decoded(cells, GHPair{3.0, 3.0});
+  GHPair* out_ptrs[1] = {decoded.data()};
+  DecodeSparseHist(reduced.data(), reduced.size(), out_ptrs, 1, cells, fmt);
+  for (const GHPair& cell : decoded) {
+    EXPECT_EQ(cell.g, 0.0);
+    EXPECT_EQ(cell.h, 0.0);
+  }
+}
+
+TEST(SparseHistCodecEdge, NegativeZeroCountsAsTouched) {
+  // -0.0 has nonzero bits; skipping it would flip the sign the dense
+  // oracle preserves.
+  SparseHistFormat fmt;  // f64
+  std::vector<GHPair> hist(8, GHPair{});
+  hist[3].g = -0.0;
+  const GHPair* ptrs[1] = {hist.data()};
+  std::vector<uint8_t> frame;
+  EncodeSparseHist(ptrs, 1, 8, fmt, &frame);
+  EXPECT_GT(frame.size(), sizeof(SparseHistHeader));
+  std::vector<GHPair> decoded(8, GHPair{1.0, 1.0});
+  GHPair* out_ptrs[1] = {decoded.data()};
+  DecodeSparseHist(frame.data(), frame.size(), out_ptrs, 1, 8, fmt);
+  EXPECT_TRUE(std::signbit(decoded[3].g));
+}
+
+TEST(SparseHistCodecEdge, MalformedFramesRejected) {
+  SparseHistFormat fmt;
+  const auto hists = RankHists(1, 1, 16);
+  const GHPair* ptrs[1] = {hists[0].data()};
+  std::vector<uint8_t> frame;
+  EncodeSparseHist(ptrs, 1, 16, fmt, &frame);
+  std::vector<GHPair> out(16);
+  GHPair* out_ptrs[1] = {out.data()};
+  const auto decode = [&](const std::vector<uint8_t>& f) {
+    DecodeSparseHist(f.data(), f.size(), out_ptrs, 1, 16, fmt);
+  };
+  ASSERT_NO_THROW(decode(frame));
+
+  {
+    std::vector<uint8_t> f = frame;  // short header
+    f.resize(sizeof(SparseHistHeader) - 1);
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // truncated payload
+    f.resize(f.size() - 1);
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // bad magic
+    f[0] ^= 0xFF;
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // bad version
+    f[4] ^= 0xFF;
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // unknown flags
+    f[6] |= 0x80;
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // geometry mismatch
+    SparseHistHeader h;
+    std::memcpy(&h, f.data(), sizeof(h));
+    h.cells_per_hist = 99;
+    std::memcpy(f.data(), &h, sizeof(h));
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // absurd run count
+    SparseHistHeader h;
+    std::memcpy(&h, f.data(), sizeof(h));
+    h.num_runs = 1u << 30;
+    std::memcpy(f.data(), &h, sizeof(h));
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // zeroed region bitmap
+    SparseHistHeader h;
+    std::memcpy(&h, f.data(), sizeof(h));
+    ASSERT_GT(h.num_runs, 0u);
+    f[sizeof(h) + h.num_runs * sizeof(SparseHistRun)] = 0;
+    EXPECT_THROW(decode(f), std::runtime_error);
+  }
+  {
+    std::vector<uint8_t> f = frame;  // format mismatch (quant flag)
+    SparseHistFormat qfmt = QuantFormat();
+    std::vector<GHPair> q(16);
+    GHPair* qptrs[1] = {q.data()};
+    EXPECT_THROW(
+        DecodeSparseHist(f.data(), f.size(), qptrs, 1, 16, qfmt),
+        std::runtime_error);
+  }
 }
 
 // ---------- DistributedGbdt ----------
@@ -216,6 +504,180 @@ TEST(DistributedGbdt, UnevenShardsHandled) {
 TEST(DistributedGbdtDeath, MoreWorkersThanRows) {
   const Dataset data = TrainData(4);
   EXPECT_DEATH(DistributedGbdt::Train(data, 8, DistParams(1)), "CHECK");
+}
+
+// The acceptance gate of the compressed exchange: at every worker count,
+// with and without histogram quantization, on sparse and dense data, the
+// sparse wire format must reproduce the dense f64 oracle's model bit for
+// bit (SerializeModel emits hex floats, so string equality is bit
+// equality).
+TEST(DistributedGbdt, SparseExchangeModelMatchesDenseOracle) {
+  SyntheticSpec sparse_spec;
+  sparse_spec.rows = 700;
+  sparse_spec.features = 40;
+  sparse_spec.density = 0.08;
+  sparse_spec.density_skew = 0.8;
+  sparse_spec.mean_distinct = 32.0;
+  sparse_spec.distinct_cv = 0.5;
+  sparse_spec.margin_scale = 3.0;
+  sparse_spec.sparse_storage = true;
+  sparse_spec.seed = 2203;
+  const Dataset sparse_data = GenerateSynthetic(sparse_spec);
+  const Dataset dense_data = TrainData(700);
+
+  for (const Dataset* data : {&sparse_data, &dense_data}) {
+    for (const bool quant : {false, true}) {
+      for (const int workers : {1, 2, 3, 4}) {
+        TrainParams p = DistParams(2);
+        p.tree_size = 3;
+        p.quantize_hist = quant;
+        p.comm_compress = "dense";
+        const DistributedResult oracle =
+            DistributedGbdt::Train(*data, workers, p);
+        p.comm_compress = "sparse";
+        const DistributedResult compressed =
+            DistributedGbdt::Train(*data, workers, p);
+        EXPECT_EQ(SerializeModel(oracle.model),
+                  SerializeModel(compressed.model))
+            << "workers=" << workers << " quant=" << quant
+            << " rows=" << data->num_rows();
+        // The sparse path must actually compress relative to dense f64
+        // whenever histograms were exchanged.
+        if (workers > 1) {
+          EXPECT_LT(compressed.comm.hist_wire_bytes,
+                    compressed.comm.hist_dense_bytes);
+        }
+      }
+    }
+  }
+}
+
+// rows == workers: every shard holds exactly one row, so after the first
+// split most nodes are empty on most ranks — their local histograms are
+// all-zero and their sparse frames header-only.
+TEST(DistributedGbdt, OneRowShards) {
+  const Dataset data = TrainData(6);
+  for (const char* compress : {"dense", "sparse"}) {
+    TrainParams p = DistParams(2);
+    p.tree_size = 3;
+    p.comm_compress = compress;
+    const DistributedResult result = DistributedGbdt::Train(data, 6, p);
+    EXPECT_EQ(result.model.NumTrees(), 2u);
+    for (const RegTree& tree : result.model.trees()) {
+      EXPECT_TRUE(tree.CheckValid());
+    }
+  }
+}
+
+// ---------- SocketTransport ----------
+
+// Distinct base port per test process; tests in this binary run
+// sequentially and use different offsets.
+int TestPort(int offset) { return 21100 + (getpid() % 997) * 7 % 8000 + offset; }
+
+TEST(SocketTransport, CollectivesMatchInProcessSemantics) {
+  const int world = 3;
+  const int port = TestPort(0);
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int rank = 0; rank < world; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        auto transport = SocketTransport::Create(rank, world, port);
+        double sum[2] = {static_cast<double>(rank + 1), 0.5};
+        transport->AllreduceSum(sum, 2);
+        if (sum[0] != 6.0 || sum[1] != 1.5) ++failures;
+        int64_t isum = rank;
+        transport->AllreduceSum(&isum, 1);
+        if (isum != 3) ++failures;
+        double mx = rank == 1 ? 9.0 : -1.0;
+        transport->AllreduceMax(&mx, 1);
+        if (mx != 9.0) ++failures;
+        int payload = rank == 2 ? 77 : 0;
+        transport->Broadcast(&payload, sizeof(payload), 2);
+        if (payload != 77) ++failures;
+        transport->Barrier();
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SocketTransport, TrainedModelMatchesInProcessBitwise) {
+  const Dataset data = TrainData(900);
+  TrainParams p = DistParams(2);
+  p.tree_size = 3;
+  p.quantize_hist = true;
+  p.comm_compress = "sparse";
+  const int world = 3;
+  const DistributedResult inproc = DistributedGbdt::Train(data, world, p);
+  const std::string expect = SerializeModel(inproc.model);
+
+  const int port = TestPort(10);
+  std::vector<std::string> models(world);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int rank = 0; rank < world; ++rank) {
+    threads.emplace_back([&, rank] {
+      try {
+        auto transport = SocketTransport::Create(rank, world, port);
+        Communicator comm(*transport);
+        models[static_cast<size_t>(rank)] = SerializeModel(
+            DistributedGbdt::TrainShard(data, comm, p));
+      } catch (const std::exception&) {
+        ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int rank = 0; rank < world; ++rank) {
+    EXPECT_EQ(models[static_cast<size_t>(rank)], expect) << "rank " << rank;
+  }
+}
+
+TEST(SocketTransport, RejectsMalformedHandshakeFrame) {
+  const int port = TestPort(20);
+  std::atomic<bool> threw{false};
+  std::thread root([&] {
+    try {
+      // The handshake validates every frame; garbage must throw, not be
+      // interpreted.
+      SocketTransport::Create(0, 2, port, /*timeout_ms=*/5000);
+    } catch (const std::runtime_error&) {
+      threw = true;
+    }
+  });
+  std::thread client([&] {
+    // Raw TCP client sending 64 bytes of garbage instead of a hello.
+    int fd = -1;
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<uint16_t>(port));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        break;
+      }
+      ::close(fd);
+      fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    ASSERT_GE(fd, 0) << "could not connect to test root";
+    uint8_t garbage[64];
+    std::memset(garbage, 0xAB, sizeof(garbage));
+    (void)::send(fd, garbage, sizeof(garbage), 0);
+    ::close(fd);
+  });
+  root.join();
+  client.join();
+  EXPECT_TRUE(threw.load());
 }
 
 }  // namespace
