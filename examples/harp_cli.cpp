@@ -21,6 +21,17 @@
 //                    metric (logloss|rmse|auc|error|pinball|
 //                    poisson-deviance|ndcg|ndcg@<k>) — early stopping
 //                    maximizes or minimizes according to the metric.
+//                    Out-of-core / cache options: --from-cache F trains
+//                    straight from a binary cache (dataset cache or
+//                    binned cache, auto-detected) instead of re-parsing
+//                    text; --mmap backs the large payload with a file
+//                    mapping instead of heap copies (the binned cache
+//                    then streams row windows through madvise during
+//                    training; --prefetch-off disables the sweep,
+//                    --prefetch-window-mb sets its granularity).
+//                    --save-cache F writes the loaded dataset as a
+//                    page-aligned (mmap-ready) cache; --save-binned F
+//                    writes the post-quantile binned artifact.
 //   harp_cli predict --data test.csv --model in.model [--output preds.txt]
 //                    [--raw] [--threads N]
 //                    Batch inference via the flat block-wise Predictor.
@@ -122,7 +133,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     // Boolean switches take no value.
     if (arg == "header" || arg == "zero-based" || arg == "membuf-off" ||
         arg == "subtraction" || arg == "raw" || arg == "quantize" ||
-        arg == "quant-stochastic") {
+        arg == "quant-stochastic" || arg == "mmap" ||
+        arg == "prefetch-off") {
       args->flags[arg] = true;
     } else {
       if (i + 1 >= argc) return false;
@@ -160,10 +172,56 @@ bool LoadData(const Args& args, const std::string& path, Dataset* out,
 
 int CmdTrain(const Args& args) {
   Dataset train;
+  BinnedMatrix binned;
+  std::vector<float> binned_labels;
+  bool use_binned = false;  // training input is the binned artifact
   IngestStats ingest;
-  if (!LoadData(args, args.Get("data", ""), &train, &ingest)) return 1;
-  std::printf("loaded %u rows x %u features (S=%.2f)\n", train.num_rows(),
-              train.num_features(), train.Sparseness());
+  const std::string from_cache = args.Get("from-cache", "");
+  if (!from_cache.empty()) {
+    // Train straight from a binary cache image — no text re-parse. The
+    // file kind is sniffed: a binned cache feeds TrainBinned directly
+    // (sketch + bin already done), a dataset cache feeds the normal path.
+    std::string error;
+    CacheReadOptions copts;
+    copts.use_mmap = args.Has("mmap");
+    CacheReadInfo cinfo;
+    const Stopwatch read_watch;
+    if (IsBinnedCacheFile(from_cache)) {
+      if (!ReadBinnedCache(from_cache, &binned, &binned_labels, &error,
+                           copts, &cinfo)) {
+        std::fprintf(stderr, "failed to load %s: %s\n", from_cache.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      use_binned = true;
+      ingest.rows = binned.num_rows();
+      ingest.bytes = binned.MemoryBytes() + binned.MappedBytes();
+      std::printf("loaded binned cache: %u rows x %u features (%s)\n",
+                  binned.num_rows(), binned.num_features(),
+                  cinfo.mapped ? "mmap" : "heap");
+    } else {
+      if (!ReadDatasetCache(from_cache, &train, &error, copts, &cinfo)) {
+        std::fprintf(stderr, "failed to load %s: %s\n", from_cache.c_str(),
+                     error.c_str());
+        return 1;
+      }
+      ingest.rows = train.num_rows();
+      ingest.bytes = train.MemoryBytes() + train.MappedBytes();
+      std::printf("loaded %u rows x %u features (S=%.2f, %s)\n",
+                  train.num_rows(), train.num_features(),
+                  train.Sparseness(), cinfo.mapped ? "mmap" : "heap");
+    }
+    ingest.read_ns = read_watch.ElapsedNs();
+    ingest.mmap_bytes = cinfo.mapped_bytes;
+    if (cinfo.mapped) ingest.peak_rss_bytes = PeakRssBytes();
+    if (!cinfo.note.empty()) {
+      std::fprintf(stderr, "cache note: %s\n", cinfo.note.c_str());
+    }
+  } else {
+    if (!LoadData(args, args.Get("data", ""), &train, &ingest)) return 1;
+    std::printf("loaded %u rows x %u features (S=%.2f)\n", train.num_rows(),
+                train.num_features(), train.Sparseness());
+  }
 
   TrainParams p;
   p.num_trees = args.GetInt("trees", 100);
@@ -181,6 +239,9 @@ int CmdTrain(const Args& args) {
   p.quantize_hist = args.Has("quantize");
   p.quant_stochastic = args.Has("quant-stochastic");
   p.simd = args.Get("simd", "auto");
+  p.stream_prefetch = !args.Has("prefetch-off");
+  p.prefetch_window_bytes =
+      static_cast<int64_t>(args.GetInt("prefetch-window-mb", 16)) << 20;
   if (!ParseGrowPolicy(args.Get("grow", "topk"), &p.grow_policy)) {
     std::fprintf(stderr, "bad --grow\n");
     return 1;
@@ -197,8 +258,12 @@ int CmdTrain(const Args& args) {
   p.max_delta_step = args.GetDouble("max-delta-step", 0.7);
   p.ndcg_k = args.GetInt("ndcg-k", 10);
   p.eval_metric = args.Get("metric", "");
+  const std::vector<float>& train_labels =
+      use_binned ? binned_labels : train.labels();
+  const bool train_has_groups =
+      use_binned ? binned.has_groups() : train.has_groups();
   if (p.objective == ObjectiveKind::kPoisson) {
-    for (float y : train.labels()) {
+    for (float y : train_labels) {
       if (y < 0.0f) {
         std::fprintf(stderr,
                      "poisson objective requires non-negative labels\n");
@@ -206,10 +271,53 @@ int CmdTrain(const Args& args) {
       }
     }
   }
-  if (p.objective == ObjectiveKind::kLambdaRank && !train.has_groups()) {
+  if (p.objective == ObjectiveKind::kLambdaRank && !train_has_groups) {
     std::fprintf(stderr,
                  "lambdarank requires qid: columns (libsvm format)\n");
     return 1;
+  }
+
+  // Cache writers: --save-cache persists the raw dataset page-aligned
+  // (mmap-ready); --save-binned persists the post-quantile artifact the
+  // out-of-core trainer maps. Both run before training so a cache exists
+  // even if a long run is interrupted.
+  const std::string save_cache = args.Get("save-cache", "");
+  if (!save_cache.empty()) {
+    if (use_binned) {
+      std::fprintf(stderr,
+                   "--save-cache needs raw data (input is a binned cache)\n");
+      return 1;
+    }
+    CacheWriteOptions wopts;
+    wopts.page_align = true;
+    std::string error;
+    if (!WriteDatasetCache(save_cache, train, &error, wopts)) {
+      std::fprintf(stderr, "save-cache failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("dataset cache (page-aligned) saved to %s\n",
+                save_cache.c_str());
+  }
+  const std::string save_binned = args.Get("save-binned", "");
+  if (!save_binned.empty() && !use_binned) {
+    // Sketch + bin here so the written artifact is exactly what training
+    // uses; the run then continues on the binned matrix.
+    ThreadPool pool(p.num_threads > 0 ? p.num_threads
+                                      : ThreadPool::DefaultThreads());
+    const Stopwatch sketch_watch;
+    QuantileCuts cuts = QuantileCuts::Compute(train, p.max_bins, &pool);
+    ingest.sketch_ns += sketch_watch.ElapsedNs();
+    const Stopwatch bin_watch;
+    binned = BinnedMatrix::Build(train, std::move(cuts), &pool);
+    ingest.bin_ns += bin_watch.ElapsedNs();
+    binned_labels = train.labels();
+    use_binned = true;
+    std::string error;
+    if (!WriteBinnedCache(save_binned, binned, binned_labels, &error)) {
+      std::fprintf(stderr, "save-binned failed: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("binned cache saved to %s\n", save_binned.c_str());
   }
 
   Dataset valid;
@@ -224,8 +332,10 @@ int CmdTrain(const Args& args) {
 
   TrainStats stats;
   GbdtTrainer trainer(p);
-  const GbdtModel model = trainer.Train(train, &stats, {}, eval_ptr,
-                                        &ingest);
+  const GbdtModel model =
+      use_binned
+          ? trainer.TrainBinned(binned, binned_labels, &stats, {}, eval_ptr)
+          : trainer.Train(train, &stats, {}, eval_ptr, &ingest);
   std::printf("%s\n", ingest.Summary().c_str());
   std::printf("%s", stats.Report().c_str());
   if (eval_ptr != nullptr && !eval.history.empty()) {

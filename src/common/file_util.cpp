@@ -3,6 +3,14 @@
 #include <cstdio>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#define HARP_HAVE_FSYNC 1
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#define HARP_HAVE_FSYNC 0
+#endif
+
 namespace harp {
 
 bool ReadFileToString(const std::string& path, std::string* out,
@@ -32,6 +40,38 @@ bool ReadFileToString(const std::string& path, std::string* out,
 bool WriteStringToFile(const std::string& path, const std::string& content,
                        std::string* error) {
   const std::string tmp = path + ".tmp";
+#if HARP_HAVE_FSYNC
+  // POSIX path: write + fsync the tmp file before the rename. Without the
+  // fsync a crash after rename can leave the final name pointing at a file
+  // whose data blocks never hit disk — a valid-looking but torn image that
+  // the mmap cache backend would then happily map.
+  const int fd =
+      open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    *error = "cannot open " + tmp;
+    return false;
+  }
+  size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      close(fd);
+      *error = "write failed for " + tmp;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync(fd) != 0) {
+    close(fd);
+    *error = "fsync failed for " + tmp;
+    return false;
+  }
+  if (close(fd) != 0) {
+    *error = "close failed for " + tmp;
+    return false;
+  }
+#else
   {
     std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
     if (!file) {
@@ -45,6 +85,7 @@ bool WriteStringToFile(const std::string& path, const std::string& content,
       return false;
     }
   }
+#endif
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     *error = "rename failed for " + path;
     return false;

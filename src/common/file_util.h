@@ -11,8 +11,9 @@ namespace harp {
 bool ReadFileToString(const std::string& path, std::string* out,
                       std::string* error);
 
-// Writes `content` to `path` in one write through a tmp file + rename, so
-// readers never observe a partially written file. Returns false with a
+// Writes `content` to `path` in one write through a tmp file + fsync +
+// rename, so readers never observe a partially written file and a crash
+// cannot leave the final name pointing at torn data. Returns false with a
 // message in *error on failure.
 bool WriteStringToFile(const std::string& path, const std::string& content,
                        std::string* error);

@@ -1,12 +1,15 @@
 #include "core/gbdt.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/logging.h"
+#include "common/mmap_util.h"
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/metrics.h"
 #include "core/objective.h"
+#include "data/row_block_prefetcher.h"
 #include "predict/flat_forest.h"
 #include "predict/predictor.h"
 
@@ -68,6 +71,21 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
     }
   }
 
+  // Out-of-core mode: when the bin matrix lives in a file mapping, run the
+  // background sweep that bounds resident set, and record fault/RSS deltas
+  // so the streaming cost shows up in the report.
+  std::unique_ptr<RowBlockPrefetcher> prefetcher;
+  FaultCounts faults_before;
+  if (matrix.IsMapped()) {
+    faults_before = ProcessFaults();
+    if (params.stream_prefetch) {
+      prefetcher = std::make_unique<RowBlockPrefetcher>(
+          matrix.storage(),
+          static_cast<size_t>(params.prefetch_window_bytes));
+      prefetcher->Start();
+    }
+  }
+
   const SyncSnapshot sync_before = pool.Snapshot();
   const Stopwatch total_watch;
 
@@ -123,6 +141,7 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
       ++stats->trees;
     }
     model.AddTree(std::move(tree));
+    if (prefetcher != nullptr) prefetcher->Pulse();
     if (callback) {
       callback(IterationInfo{iter, model.trees().back(), margins,
                              tree_seconds});
@@ -161,9 +180,23 @@ GbdtModel RunBoosting(const BinnedMatrix& matrix,
   }
   builder.SetColumnMask(nullptr);
 
+  if (prefetcher != nullptr) prefetcher->Stop();
   if (stats != nullptr) {
     stats->wall_ns += total_watch.ElapsedNs();
     stats->sync = pool.Snapshot() - sync_before;
+    if (matrix.IsMapped()) {
+      stats->mapped_bytes = matrix.MappedBytes();
+      const FaultCounts faults_after = ProcessFaults();
+      stats->minor_faults += faults_after.minor - faults_before.minor;
+      stats->major_faults += faults_after.major - faults_before.major;
+      stats->peak_rss_bytes = PeakRssBytes();
+      if (prefetcher != nullptr) {
+        const RowBlockPrefetcher::Stats ps = prefetcher->GetStats();
+        stats->oo_advised_bytes += ps.advised_bytes;
+        stats->oo_retired_bytes += ps.retired_bytes;
+        stats->oo_sweeps += ps.sweeps;
+      }
+    }
   }
   return model;
 }

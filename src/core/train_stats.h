@@ -65,6 +65,17 @@ struct TrainStats {
   int64_t grow_region_launches = 0;  // RunOnAllThreads launches while growing
   int64_t grow_phase_barriers = 0;   // in-region phase barriers while growing
 
+  // Out-of-core streaming counters, populated only when the bin matrix is
+  // backed by an mmap'd cache file (mapped_bytes > 0 is the flag the
+  // report keys off, so heap training output is unchanged).
+  size_t mapped_bytes = 0;        // bin-matrix bytes living in the mapping
+  int64_t oo_advised_bytes = 0;   // prefetcher WILLNEED volume
+  int64_t oo_retired_bytes = 0;   // prefetcher DONTNEED volume
+  int64_t oo_sweeps = 0;          // full eviction passes over the matrix
+  int64_t minor_faults = 0;       // page-fault deltas over training
+  int64_t major_faults = 0;
+  size_t peak_rss_bytes = 0;      // VmHWM when training finished
+
   // Synchronization counters accumulated over the measured interval.
   SyncSnapshot sync;
 

@@ -1,4 +1,4 @@
-// Binary dataset cache (format v2).
+// Binary dataset cache (format v2) + binned-matrix cache.
 //
 // Benchmarks regenerate the same synthetic datasets many times; caching
 // the generated Dataset to disk makes re-runs start in milliseconds
@@ -14,27 +14,92 @@
 //     then, only for query-grouped (ranking) datasets: group_ptr —
 //     ungrouped files stay byte-identical to the pre-group format
 //   u64  FNV-1a checksum of every preceding byte
+//
+// Page-aligned variant (layout bit 0x80): identical section order, but a
+// zero pad is inserted between each section's byte count and its payload
+// so every payload starts on a 4096-byte boundary. That makes the dense
+// value matrix mappable in place: ReadDatasetCache with use_mmap backs
+// the Dataset's values with the file mapping instead of a heap copy.
+// Files without the flag are byte-identical to the pre-alignment format,
+// so existing caches keep loading (they just fall back to heap).
+//
+// Binned cache ("HARPGBB2"): the post-quantile artifact — labels, cuts and
+// the row-major bin matrix in one checksummed image, with the bin payload
+// page-aligned and its absolute offset recorded in the header. This is the
+// out-of-core training input: the trainer maps the bins read-only and
+// streams row windows through madvise while everything else stays heap.
+//
 // Writes are buffered (the whole image is serialized in memory and written
-// once, through a tmp file + rename). Loads read the file in one call,
-// verify the checksum, and reject truncation, trailing garbage and v1
-// files (with a "re-generate" message — v1 had no checksum, so a crafted
-// short read of the last vector could pass its size checks).
+// once, through a tmp file + fsync + rename). Heap loads read the file in
+// one call and verify the checksum; mmap loads verify the checksum by
+// streaming windows over the mapping (retiring pages behind the scan so
+// verification itself stays within an out-of-core memory budget), and both
+// reject truncation, trailing garbage and v1 files (with a "re-generate"
+// message — v1 had no checksum, so a crafted short read of the last vector
+// could pass its size checks). Binned loads additionally validate every
+// bin id against its feature's bin count — bin ids index histograms, so a
+// corrupt byte would otherwise become an out-of-bounds write much later.
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "data/binned_matrix.h"
 #include "data/dataset.h"
 
 namespace harp {
 
-// Writes `dataset` to `path` (atomic: tmp file + rename). Returns false on
-// IO failure with a message in *error.
+struct CacheWriteOptions {
+  // Page-align section payloads (layout bit 0x80) so the dense value
+  // matrix can be mapped in place. Default off: the unaligned format is
+  // byte-identical to what previous versions wrote.
+  bool page_align = false;
+};
+
+struct CacheReadOptions {
+  // Back the large payload (dense values / bin matrix) with a read-only
+  // mapping of the cache file instead of heap copies. Falls back to heap
+  // (with a note in CacheReadInfo) when the file is not page-aligned, the
+  // layout is CSR, or the platform has no mmap.
+  bool use_mmap = false;
+};
+
+struct CacheReadInfo {
+  bool mapped = false;       // the large payload is file-backed
+  size_t mapped_bytes = 0;   // bytes of that payload
+  std::string note;          // why an mmap request fell back, if it did
+};
+
+// Writes `dataset` to `path` (atomic: tmp file + fsync + rename). Returns
+// false on IO failure with a message in *error.
 bool WriteDatasetCache(const std::string& path, const Dataset& dataset,
-                       std::string* error);
+                       std::string* error,
+                       const CacheWriteOptions& opts = {});
 
 // Loads a dataset previously written by WriteDatasetCache. Returns false
 // on missing/corrupt/stale-format files (callers then regenerate).
 bool ReadDatasetCache(const std::string& path, Dataset* out,
-                      std::string* error);
+                      std::string* error,
+                      const CacheReadOptions& opts = {},
+                      CacheReadInfo* info = nullptr);
+
+// Writes the binned training artifact (bin matrix + cuts + labels) to
+// `path`. The bin payload is always page-aligned. `labels` must have
+// matrix.num_rows() entries.
+bool WriteBinnedCache(const std::string& path, const BinnedMatrix& matrix,
+                      const std::vector<float>& labels, std::string* error);
+
+// Loads a binned cache. With opts.use_mmap the bin matrix stays in the
+// file mapping (checksum + bin-id validation stream over it in windows);
+// otherwise everything is copied to the heap. Returns false on
+// missing/corrupt files.
+bool ReadBinnedCache(const std::string& path, BinnedMatrix* matrix,
+                     std::vector<float>* labels, std::string* error,
+                     const CacheReadOptions& opts = {},
+                     CacheReadInfo* info = nullptr);
+
+// True if the file at `path` starts with the binned-cache magic (cheap
+// sniff so the CLI can route --from-cache files to the right loader).
+bool IsBinnedCacheFile(const std::string& path);
 
 }  // namespace harp

@@ -7,6 +7,21 @@
 #include "parallel/thread_pool.h"
 
 namespace harp {
+namespace {
+
+// bin_offsets / max_bins are derived from the cuts in both construction
+// paths; keeping one derivation guarantees Build and FromParts agree.
+void DeriveOffsets(const QuantileCuts& cuts, uint32_t num_features,
+                   std::vector<uint32_t>* bin_offsets, uint32_t* max_bins) {
+  bin_offsets->assign(num_features + 1, 0);
+  *max_bins = 0;
+  for (uint32_t f = 0; f < num_features; ++f) {
+    (*bin_offsets)[f + 1] = (*bin_offsets)[f] + cuts.NumBins(f);
+    *max_bins = std::max(*max_bins, cuts.NumBins(f));
+  }
+}
+
+}  // namespace
 
 BinnedMatrix BinnedMatrix::Build(const Dataset& dataset, QuantileCuts cuts,
                                  ThreadPool* pool) {
@@ -16,22 +31,18 @@ BinnedMatrix BinnedMatrix::Build(const Dataset& dataset, QuantileCuts cuts,
   matrix.num_features_ = dataset.num_features();
   matrix.group_ptr_ = dataset.group_ptr();
   matrix.cuts_ = std::move(cuts);
-
-  matrix.bin_offsets_.resize(matrix.num_features_ + 1, 0);
-  for (uint32_t f = 0; f < matrix.num_features_; ++f) {
-    matrix.bin_offsets_[f + 1] =
-        matrix.bin_offsets_[f] + matrix.cuts_.NumBins(f);
-    matrix.max_bins_ = std::max(matrix.max_bins_, matrix.cuts_.NumBins(f));
-  }
+  DeriveOffsets(matrix.cuts_, matrix.num_features_, &matrix.bin_offsets_,
+                &matrix.max_bins_);
 
   // Bin 0 (missing) is the fill value; present entries overwrite it.
-  matrix.bins_.assign(
-      static_cast<size_t>(matrix.num_rows_) * matrix.num_features_, 0);
+  matrix.storage_ = BinMatrixStorage::Heap(std::vector<uint8_t>(
+      static_cast<size_t>(matrix.num_rows_) * matrix.num_features_, 0));
 
+  uint8_t* bins = matrix.storage_.MutableHeap();
   auto bin_rows = [&](int64_t begin, int64_t end, int) {
     for (int64_t r = begin; r < end; ++r) {
       uint8_t* row_bins =
-          matrix.bins_.data() + static_cast<size_t>(r) * matrix.num_features_;
+          bins + static_cast<size_t>(r) * matrix.num_features_;
       dataset.ForEachInRow(static_cast<uint32_t>(r), [&](uint32_t f, float v) {
         const uint32_t bin = matrix.cuts_.BinFor(f, v);
         HARP_CHECK_LT(bin, matrix.cuts_.NumBins(f));
@@ -47,15 +58,34 @@ BinnedMatrix BinnedMatrix::Build(const Dataset& dataset, QuantileCuts cuts,
   return matrix;
 }
 
+BinnedMatrix BinnedMatrix::FromParts(uint32_t num_rows, uint32_t num_features,
+                                     QuantileCuts cuts,
+                                     BinMatrixStorage storage,
+                                     std::vector<uint32_t> group_ptr) {
+  HARP_CHECK_EQ(num_features, cuts.num_features());
+  HARP_CHECK_EQ(storage.size(),
+                static_cast<size_t>(num_rows) * num_features);
+  BinnedMatrix matrix;
+  matrix.num_rows_ = num_rows;
+  matrix.num_features_ = num_features;
+  matrix.cuts_ = std::move(cuts);
+  matrix.storage_ = std::move(storage);
+  matrix.group_ptr_ = std::move(group_ptr);
+  DeriveOffsets(matrix.cuts_, matrix.num_features_, &matrix.bin_offsets_,
+                &matrix.max_bins_);
+  return matrix;
+}
+
 void BinnedMatrix::EnsureColumnMajor(ThreadPool* pool) {
   if (HasColumnMajor()) return;
-  col_bins_.resize(bins_.size());
+  const uint8_t* bins = storage_.data();
+  col_bins_.resize(storage_.size());
   auto transpose = [&](int64_t begin, int64_t end, int) {
     for (int64_t f = begin; f < end; ++f) {
       uint8_t* col = col_bins_.data() + static_cast<size_t>(f) * num_rows_;
       for (uint32_t r = 0; r < num_rows_; ++r) {
-        col[r] = bins_[static_cast<size_t>(r) * num_features_ +
-                       static_cast<size_t>(f)];
+        col[r] = bins[static_cast<size_t>(r) * num_features_ +
+                      static_cast<size_t>(f)];
       }
     }
   };

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "data/bin_matrix_storage.h"
 #include "data/dataset.h"
 #include "data/quantile.h"
 
@@ -33,22 +34,29 @@ class BinnedMatrix {
   static BinnedMatrix Build(const Dataset& dataset, QuantileCuts cuts,
                             ThreadPool* pool = nullptr);
 
+  // Assembles a matrix from pre-binned storage (the binned-cache read
+  // path): `storage` holds rows x features row-major bin ids — heap or a
+  // view into an mmap'd cache file — already validated against `cuts`.
+  static BinnedMatrix FromParts(uint32_t num_rows, uint32_t num_features,
+                                QuantileCuts cuts, BinMatrixStorage storage,
+                                std::vector<uint32_t> group_ptr);
+
   uint32_t num_rows() const { return num_rows_; }
   uint32_t num_features() const { return num_features_; }
 
   // Bin id of (row, feature); 0 means missing.
   uint8_t Bin(uint32_t row, uint32_t feature) const {
-    return bins_[static_cast<size_t>(row) * num_features_ + feature];
+    return storage_.data()[static_cast<size_t>(row) * num_features_ + feature];
   }
 
   // Row-major raw pointer to `row`'s bins (num_features entries).
   const uint8_t* RowBins(uint32_t row) const {
-    return bins_.data() + static_cast<size_t>(row) * num_features_;
+    return storage_.data() + static_cast<size_t>(row) * num_features_;
   }
 
   // Base pointer of the row-major bin store (stride num_features); raw
   // view for the hist_kernels layer.
-  const uint8_t* BinData() const { return bins_.data(); }
+  const uint8_t* BinData() const { return storage_.data(); }
 
   // Number of bins of `feature`, including the missing bin 0.
   uint32_t NumBins(uint32_t feature) const { return cuts_.NumBins(feature); }
@@ -84,17 +92,25 @@ class BinnedMatrix {
     return col_bins_.data() + static_cast<size_t>(feature) * num_rows_;
   }
 
-  // Approximate resident bytes (bench reporting).
+  // True when the bin store lives in an mmap'd cache file.
+  bool IsMapped() const { return storage_.mapped(); }
+
+  // The backing storage (the prefetcher drives madvise through it).
+  const BinMatrixStorage& storage() const { return storage_; }
+
+  // Approximate resident heap bytes (bench reporting). Bytes backed by
+  // the file mapping are excluded and reported by MappedBytes().
   size_t MemoryBytes() const {
-    return bins_.size() + col_bins_.size() +
+    return storage_.HeapBytes() + col_bins_.size() +
            (bin_offsets_.size() + group_ptr_.size()) * sizeof(uint32_t);
   }
+  size_t MappedBytes() const { return storage_.MappedBytes(); }
 
  private:
   uint32_t num_rows_ = 0;
   uint32_t num_features_ = 0;
   uint32_t max_bins_ = 0;  // max over features of NumBins(f)
-  std::vector<uint8_t> bins_;         // row-major
+  BinMatrixStorage storage_;          // row-major bins, heap | mmap
   std::vector<uint8_t> col_bins_;     // column-major copy (optional)
   std::vector<uint32_t> bin_offsets_;  // size num_features + 1
   std::vector<uint32_t> group_ptr_;    // query boundaries; empty = none

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/mmap_util.h"
 
 namespace harp {
 
@@ -46,6 +47,29 @@ Dataset Dataset::FromCsr(uint32_t num_rows, uint32_t num_features,
   return ds;
 }
 
+Dataset Dataset::FromDenseMapped(uint32_t num_rows, uint32_t num_features,
+                                 std::shared_ptr<MappedFile> mapping,
+                                 const float* values,
+                                 std::vector<float> labels) {
+  HARP_CHECK(mapping != nullptr);
+  HARP_CHECK(values != nullptr);
+  const uint8_t* begin = reinterpret_cast<const uint8_t*>(values);
+  const size_t bytes =
+      static_cast<size_t>(num_rows) * num_features * sizeof(float);
+  HARP_CHECK(begin >= mapping->data() &&
+             begin + bytes <= mapping->data() + mapping->size())
+      << "mapped values outside the file image";
+  HARP_CHECK_EQ(labels.size(), static_cast<size_t>(num_rows));
+  Dataset ds;
+  ds.num_rows_ = num_rows;
+  ds.num_features_ = num_features;
+  ds.layout_ = Layout::kDense;
+  ds.mapped_dense_ = values;
+  ds.mapping_ = std::move(mapping);
+  ds.labels_ = std::move(labels);
+  return ds;
+}
+
 void Dataset::SetGroupPtr(std::vector<uint32_t> group_ptr) {
   if (group_ptr.empty()) {
     group_ptr_.clear();
@@ -65,7 +89,7 @@ float Dataset::At(uint32_t row, uint32_t feature) const {
   HARP_CHECK_LT(row, num_rows_);
   HARP_CHECK_LT(feature, num_features_);
   if (layout_ == Layout::kDense) {
-    return dense_[static_cast<size_t>(row) * num_features_ + feature];
+    return dense_data()[static_cast<size_t>(row) * num_features_ + feature];
   }
   const Entry* begin = entries_.data() + row_ptr_[row];
   const Entry* end = entries_.data() + row_ptr_[row + 1];
@@ -79,8 +103,10 @@ float Dataset::At(uint32_t row, uint32_t feature) const {
 uint64_t Dataset::NumPresent() const {
   if (layout_ == Layout::kSparse) return entries_.size();
   uint64_t present = 0;
-  for (float v : dense_) {
-    if (!IsMissing(v)) ++present;
+  const float* values = dense_data();
+  const size_t total = static_cast<size_t>(num_rows_) * num_features_;
+  for (size_t i = 0; i < total; ++i) {
+    if (!IsMissing(values[i])) ++present;
   }
   return present;
 }
@@ -100,9 +126,12 @@ Dataset Dataset::Slice(uint32_t begin_row, uint32_t end_row) const {
                             labels_.begin() + end_row);
   Dataset out;
   if (layout_ == Layout::kDense) {
+    // Always materializes a heap copy, even when this dataset is mapped —
+    // slices are small bench fixtures, not streaming inputs.
+    const float* base = dense_data();
     std::vector<float> values(
-        dense_.begin() + static_cast<size_t>(begin_row) * num_features_,
-        dense_.begin() + static_cast<size_t>(end_row) * num_features_);
+        base + static_cast<size_t>(begin_row) * num_features_,
+        base + static_cast<size_t>(end_row) * num_features_);
     out = FromDense(n, num_features_, std::move(values), std::move(labels));
   } else {
     std::vector<uint32_t> row_ptr(n + 1);
@@ -140,8 +169,19 @@ Dataset Dataset::ConcatRows(const Dataset& other) const {
   ds.labels_.insert(ds.labels_.end(), other.labels_.begin(),
                     other.labels_.end());
   if (layout_ == Layout::kDense) {
-    ds.dense_.insert(ds.dense_.end(), other.dense_.begin(),
-                     other.dense_.end());
+    // The concatenation owns its values: if either side is mapped, its
+    // rows are copied out and the result drops the mapping reference.
+    const size_t this_n = static_cast<size_t>(num_rows_) * num_features_;
+    const size_t other_n =
+        static_cast<size_t>(other.num_rows_) * other.num_features_;
+    std::vector<float> values;
+    values.reserve(this_n + other_n);
+    values.insert(values.end(), dense_data(), dense_data() + this_n);
+    values.insert(values.end(), other.dense_data(),
+                  other.dense_data() + other_n);
+    ds.dense_ = std::move(values);
+    ds.mapped_dense_ = nullptr;
+    ds.mapping_.reset();
   } else {
     const uint32_t base = ds.row_ptr_.back();
     ds.row_ptr_.pop_back();

@@ -10,10 +10,13 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace harp {
+
+class MappedFile;
 
 inline constexpr float kMissingValue = std::numeric_limits<float>::quiet_NaN();
 
@@ -43,6 +46,15 @@ class Dataset {
                          std::vector<uint32_t> row_ptr,
                          std::vector<Entry> entries,
                          std::vector<float> labels);
+
+  // Dense constructor over an mmap'd cache region: `values` points at
+  // num_rows x num_features floats inside *mapping, which is kept alive by
+  // shared ownership (copies of the Dataset share it). The value matrix is
+  // read-only; labels stay on the heap (objectives read them every round).
+  static Dataset FromDenseMapped(uint32_t num_rows, uint32_t num_features,
+                                 std::shared_ptr<MappedFile> mapping,
+                                 const float* values,
+                                 std::vector<float> labels);
 
   uint32_t num_rows() const { return num_rows_; }
   uint32_t num_features() const { return num_features_; }
@@ -80,7 +92,7 @@ class Dataset {
   void ForEachInRow(uint32_t row, Fn&& fn) const {
     if (layout_ == Layout::kDense) {
       const float* row_values =
-          dense_.data() + static_cast<size_t>(row) * num_features_;
+          dense_data() + static_cast<size_t>(row) * num_features_;
       for (uint32_t f = 0; f < num_features_; ++f) {
         if (!IsMissing(row_values[f])) fn(f, row_values[f]);
       }
@@ -102,13 +114,24 @@ class Dataset {
   // Both datasets must agree on groupedness; group lists are concatenated.
   Dataset ConcatRows(const Dataset& other) const;
 
-  // Direct access for the binary cache and tests.
+  // Direct access for the binary cache and tests. dense_values() is the
+  // heap vector (empty under the mmap backend); dense_data() is the
+  // layout-agnostic pointer every dense read path goes through.
   const std::vector<float>& dense_values() const { return dense_; }
+  const float* dense_data() const {
+    return mapped_dense_ != nullptr ? mapped_dense_ : dense_.data();
+  }
   const std::vector<uint32_t>& row_ptr() const { return row_ptr_; }
   const std::vector<Entry>& entries() const { return entries_; }
 
-  // In-memory payload size (values + CSR arrays + labels), for ingest
-  // throughput reporting.
+  // True when the dense value matrix lives in an mmap'd cache file rather
+  // than on the heap.
+  bool is_mapped() const { return mapped_dense_ != nullptr; }
+
+  // Resident heap payload (values + CSR arrays + labels), for ingest
+  // throughput and memory reporting. Mapped file bytes are deliberately
+  // excluded — they are not resident heap — and reported separately by
+  // MappedBytes() so summaries don't double-count under the mmap backend.
   size_t MemoryBytes() const {
     return dense_.size() * sizeof(float) +
            row_ptr_.size() * sizeof(uint32_t) +
@@ -117,11 +140,20 @@ class Dataset {
            group_ptr_.size() * sizeof(uint32_t);
   }
 
+  // Bytes of the value matrix backed by the file mapping (0 when heap).
+  size_t MappedBytes() const {
+    return is_mapped()
+               ? static_cast<size_t>(num_rows_) * num_features_ * sizeof(float)
+               : 0;
+  }
+
  private:
   uint32_t num_rows_ = 0;
   uint32_t num_features_ = 0;
   Layout layout_ = Layout::kDense;
-  std::vector<float> dense_;       // dense layout
+  std::vector<float> dense_;       // dense layout (heap backend)
+  const float* mapped_dense_ = nullptr;      // dense layout (mmap backend)
+  std::shared_ptr<MappedFile> mapping_;      // keeps mapped_dense_ alive
   std::vector<uint32_t> row_ptr_;  // sparse layout
   std::vector<Entry> entries_;     // sparse layout
   std::vector<float> labels_;

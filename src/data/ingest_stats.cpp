@@ -41,6 +41,15 @@ std::string IngestStats::Summary() const {
     sep = ", ";
   }
   s += StrFormat("%s%d threads, %d chunks)", sep, threads, chunks);
+  if (mmap_bytes > 0) {
+    s += StrFormat(" [mmap %s",
+                   HumanBytes(static_cast<double>(mmap_bytes)).c_str());
+    if (peak_rss_bytes > 0) {
+      s += StrFormat(", peak RSS %s",
+                     HumanBytes(static_cast<double>(peak_rss_bytes)).c_str());
+    }
+    s += "]";
+  }
   return s;
 }
 

@@ -23,6 +23,13 @@ struct IngestStats {
   int64_t sketch_ns = 0;  // quantile cut computation
   int64_t bin_ns = 0;     // raw values -> BinnedMatrix
 
+  // mmap-backed loads: bytes left in the file mapping instead of copied to
+  // the heap (0 for heap loads — the Summary line then omits the clause).
+  uint64_t mmap_bytes = 0;
+  // Peak RSS sampled after the load (mmap loads only), so the CLI can show
+  // what streaming verification actually cost in resident memory.
+  uint64_t peak_rss_bytes = 0;
+
   int64_t TotalNs() const { return read_ns + parse_ns + sketch_ns + bin_ns; }
 
   // Parse throughput in MB/s (bytes / parse time); 0 when unmeasured.

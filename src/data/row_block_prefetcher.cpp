@@ -1,0 +1,173 @@
+#include "data/row_block_prefetcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <pthread.h>
+#define HARP_PREFETCH_RT 1
+#else
+#define HARP_PREFETCH_RT 0
+#endif
+
+namespace harp {
+namespace {
+
+// Target duration of one full eviction pass over the mapping. The sweep
+// must retire pages faster than the trainer faults them in, and faults
+// arrive in bursts at page-cache (or, under a memory cgroup, disk)
+// bandwidth during each histogram pass — so the pace is a fixed aggressive
+// period rather than an average derived from tree time. A 50ms pass over
+// an N-window mapping costs roughly N * ~80us of madvise per 50ms
+// (evicting an absent window is a near-free no-op), low single-digit
+// percent of one core.
+constexpr int64_t kSweepPeriodNs = 50 * 1000 * 1000;
+
+// Upper bound on eviction passes per tree, so fast trees over small
+// mappings don't churn pages more than a few times per tree.
+constexpr int64_t kMinSweepsPerTree = 3;
+
+constexpr int64_t kMinStepNs = 10 * 1000;          // 10 us
+constexpr int64_t kMaxStepNs = 20 * 1000 * 1000;   // 20 ms
+constexpr int64_t kDefaultStepNs = 2 * 1000 * 1000;
+constexpr int64_t kMinSleepNs = 1000 * 1000;       // wakeup granularity
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RowBlockPrefetcher::RowBlockPrefetcher(const BinMatrixStorage& storage,
+                                       size_t window_bytes)
+    : storage_(storage),
+      window_bytes_(std::max<size_t>(window_bytes, 64 * 1024)) {
+  if (storage_.mapped() && storage_.size() > 0) {
+    num_windows_ = (storage_.size() + window_bytes_ - 1) / window_bytes_;
+  }
+}
+
+RowBlockPrefetcher::~RowBlockPrefetcher() { Stop(); }
+
+void RowBlockPrefetcher::Start() {
+  if (num_windows_ == 0 || thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = false;
+  }
+  thread_ = std::thread(&RowBlockPrefetcher::SweepLoop, this);
+#if HARP_PREFETCH_RT
+  // The sweep spends ~1% CPU in madvise but must wake promptly: on a box
+  // whose cores are all saturated by trainer threads, a CFS-scheduled
+  // sweeper can see wakeup latencies of hundreds of milliseconds and the
+  // eviction rate collapses. Lowest real-time priority fixes the latency
+  // without meaningfully competing for compute; failure (no privilege) is
+  // fine — the catch-up batching still retires the owed windows, just
+  // burstier.
+  sched_param param;
+  param.sched_priority = 1;
+  (void)pthread_setschedparam(thread_.native_handle(), SCHED_FIFO, &param);
+#endif
+}
+
+void RowBlockPrefetcher::Pulse() {
+  const int64_t now = NowNs();
+  const int64_t last = last_pulse_ns_.exchange(now, std::memory_order_relaxed);
+  if (last != 0) {
+    const int64_t dt = now - last;
+    const int64_t ema = ema_tree_ns_.load(std::memory_order_relaxed);
+    ema_tree_ns_.store(ema == 0 ? dt : (3 * ema + dt) / 4,
+                       std::memory_order_relaxed);
+  }
+}
+
+void RowBlockPrefetcher::Stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+RowBlockPrefetcher::Stats RowBlockPrefetcher::GetStats() const {
+  Stats stats;
+  stats.advised_bytes = advised_bytes_.load(std::memory_order_relaxed);
+  stats.retired_bytes = retired_bytes_.load(std::memory_order_relaxed);
+  stats.sweeps = sweeps_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void RowBlockPrefetcher::SweepLoop() {
+  const size_t n = num_windows_;
+  auto window_len = [&](size_t w) {
+    const size_t begin = w * window_bytes_;
+    return std::min(window_bytes_, storage_.size() - begin);
+  };
+  size_t w = 0;
+  int64_t deficit_ns = 0;
+  int64_t last_wake = NowNs();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // One full pass per kSweepPeriodNs, slowed for fast trees so the
+    // matrix is still churned at most kMinSweepsPerTree times per tree.
+    const int64_t ema = ema_tree_ns_.load(std::memory_order_relaxed);
+    int64_t period_ns = kSweepPeriodNs;
+    if (ema > 0 && ema / kMinSweepsPerTree < period_ns) {
+      period_ns = ema / kMinSweepsPerTree;
+    }
+    int64_t step_ns = period_ns / static_cast<int64_t>(n);
+    if (step_ns <= 0) step_ns = kDefaultStepNs;
+    step_ns = std::min(std::max(step_ns, kMinStepNs), kMaxStepNs);
+    // Sleep at a granularity the scheduler can honour; the work loop below
+    // catches up on however much time actually passed, so an overshoot
+    // here only batches evictions, it does not slow them down.
+    if (cv_.wait_for(lock,
+                     std::chrono::nanoseconds(std::max(step_ns, kMinSleepNs)),
+                     [&] { return stop_; })) {
+      break;
+    }
+    lock.unlock();
+    const int64_t now = NowNs();
+    const int64_t elapsed = now - last_wake + deficit_ns;
+    last_wake = now;
+    int64_t todo = elapsed / step_ns;
+    if (todo < 1) todo = 1;
+    if (todo >= static_cast<int64_t>(n)) {
+      todo = static_cast<int64_t>(n);  // one full pass per wakeup, max
+      deficit_ns = 0;
+    } else {
+      deficit_ns = elapsed - todo * step_ns;
+    }
+    // WILLNEED readahead only while keeping pace comfortably (todo == 1):
+    // in catch-up mode the system is under fault pressure, and readahead
+    // into a full memory cgroup reclaims synchronously inside madvise —
+    // the opposite of helping.
+    const bool prefetch_ahead = todo == 1;
+    for (int64_t i = 0; i < todo; ++i) {
+      // Double-buffered advise around the sweep position: pull the next
+      // window toward the page cache, drop the previous one's PTEs.
+      const size_t ahead = (w + 1) % n;
+      const size_t behind = (w + n - 1) % n;
+      if (prefetch_ahead &&
+          storage_.Advise(ahead * window_bytes_, window_len(ahead),
+                          MemAdvice::kWillNeed)) {
+        advised_bytes_.fetch_add(static_cast<int64_t>(window_len(ahead)),
+                                 std::memory_order_relaxed);
+      }
+      if (storage_.Advise(behind * window_bytes_, window_len(behind),
+                          MemAdvice::kDontNeed)) {
+        retired_bytes_.fetch_add(static_cast<int64_t>(window_len(behind)),
+                                 std::memory_order_relaxed);
+      }
+      w = (w + 1) % n;
+      if (w == 0) sweeps_.fetch_add(1, std::memory_order_relaxed);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace harp

@@ -1,0 +1,82 @@
+// Background touch-ahead for an mmap-backed bin matrix.
+//
+// Training touches every active row once per TopK batch: row order within
+// a node is ascending, but the set of nodes interleaves over the whole
+// matrix, so a strict "window behind the scan" protocol has no single scan
+// to follow. Instead the prefetcher runs one background thread cycling
+// over the mapping in fixed windows — advising the window ahead of its
+// sweep in (MADV_WILLNEED) while retiring the one behind it
+// (MADV_DONTNEED). The invariant that bounds memory is rate-based: as
+// long as the sweep retires pages faster than the trainer faults them
+// back, resident set stays near a few windows instead of the matrix size.
+// Pulse() (called once per boosted tree) feeds an EMA of tree duration,
+// from which the sweep derives the trainer's touch rate and paces itself
+// to out-evict it. Because condvar waits overshoot their timeout by
+// scheduler granularity, the loop does not rely on short sleeps for rate:
+// each wakeup retires however many windows the elapsed wall time owes
+// (catch-up batching), so oversleeping changes burstiness, not the rate.
+//
+// Retired pages that training still needs come back as minor faults (the
+// data stays in the page cache); the TrainStats fault counters make that
+// cost visible. Everything the thread shares with the trainer is either
+// the read-only storage or relaxed atomics, so the component is trivially
+// race-free; the stop handshake uses a mutex + condvar.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "data/bin_matrix_storage.h"
+
+namespace harp {
+
+class RowBlockPrefetcher {
+ public:
+  struct Stats {
+    int64_t advised_bytes = 0;  // bytes hinted in with WILLNEED
+    int64_t retired_bytes = 0;  // bytes dropped with DONTNEED
+    int64_t sweeps = 0;         // completed full passes over the matrix
+  };
+
+  // `storage` must outlive the prefetcher and be a mapped backend;
+  // `window_bytes` is the advise granularity (clamped to >= 64 KiB).
+  RowBlockPrefetcher(const BinMatrixStorage& storage, size_t window_bytes);
+  ~RowBlockPrefetcher();
+
+  RowBlockPrefetcher(const RowBlockPrefetcher&) = delete;
+  RowBlockPrefetcher& operator=(const RowBlockPrefetcher&) = delete;
+
+  // Launches the sweep thread. No-op on heap storage.
+  void Start();
+
+  // Per-tree heartbeat: updates the tree-duration EMA the sweep paces by.
+  void Pulse();
+
+  // Stops and joins the sweep thread (idempotent).
+  void Stop();
+
+  Stats GetStats() const;
+
+ private:
+  void SweepLoop();
+
+  const BinMatrixStorage& storage_;
+  size_t window_bytes_;
+  size_t num_windows_ = 0;
+
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+
+  std::atomic<int64_t> ema_tree_ns_{0};
+  std::atomic<int64_t> last_pulse_ns_{0};
+  std::atomic<int64_t> advised_bytes_{0};
+  std::atomic<int64_t> retired_bytes_{0};
+  std::atomic<int64_t> sweeps_{0};
+};
+
+}  // namespace harp

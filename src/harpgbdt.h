@@ -20,6 +20,7 @@
 #include "core/multiclass.h"    // MulticlassTrainer
 #include "core/params.h"        // TrainParams, GrowPolicy, ParallelMode
 #include "core/train_stats.h"   // TrainStats
+#include "data/binary_cache.h"  // Write/ReadDatasetCache, binned cache
 #include "data/binned_matrix.h" // BinnedMatrix
 #include "data/csv_reader.h"    // ReadCsv
 #include "data/dataset.h"       // Dataset

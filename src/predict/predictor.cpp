@@ -148,7 +148,7 @@ void Predictor::AccumulateBlockRaw(const Dataset& dataset, uint32_t r0,
     const float* base;
     size_t stride;
     if (dense) {
-      base = dataset.dense_values().data() +
+      base = dataset.dense_data() +
              static_cast<size_t>(c0) * num_features;
       stride = num_features;
     } else {
@@ -230,7 +230,7 @@ void Predictor::AccumulateShortRaw(const Dataset& dataset, double* margins,
   const float* base;
   std::vector<float> scratch;
   if (dataset.layout() == Dataset::Layout::kDense) {
-    base = dataset.dense_values().data();
+    base = dataset.dense_data();
   } else {
     scratch.assign(static_cast<size_t>(rows) * num_features, kMissingValue);
     for (uint32_t r = 0; r < rows; ++r) {
